@@ -1,0 +1,80 @@
+"""Figure 2, Ordered vs Geometric rows — Example F.1 (Thms 5.4 / 4.11).
+
+Paper claims:
+
+* **Theorem 5.4**: Ordered Geometric Resolution needs Ω(|C|^{n-1}) on
+  adversarial instances; Example F.1 realizes Ω(|C|²) for n = 3 under
+  *every* SAO.
+* **Theorem 4.11**: lifting through the Balance map (Tetris-LB) solves
+  the same instances with Õ(|C|^{n/2}) resolutions.
+
+Measured: on Example F.1, the best-over-all-SAOs ordered count fits
+exponent ≈ 2 in |C| while Tetris-LB fits ≈ 1.5 — and LB wins outright at
+every size.
+"""
+
+import itertools
+
+import pytest
+
+from benchmarks.conftest import loglog_slope, print_sweep
+from repro.core.balance import tetris_preloaded_lb, tetris_reloaded_lb
+from repro.core.resolution import ResolutionStats
+from repro.core.tetris import solve_bcp
+from repro.workloads.hard_instances import example_f1
+
+DEPTHS = (4, 5, 6, 7)
+
+
+def _best_ordered(boxes, d):
+    """Min resolutions over all six SAOs (the Ω bound defeats them all)."""
+    best = None
+    for sao in itertools.permutations(range(3)):
+        stats = ResolutionStats()
+        assert solve_bcp(boxes, 3, d, sao=sao, stats=stats) == []
+        if best is None or stats.resolutions < best:
+            best = stats.resolutions
+    return best
+
+
+def test_f1_ordered_vs_loadbalanced(benchmark):
+    sizes, ordered_counts, lb_counts, rows = [], [], [], []
+    for d in DEPTHS:
+        boxes = example_f1(d)
+        c = len(boxes)
+        ordered = _best_ordered(boxes, d)
+        lb_stats = ResolutionStats()
+        assert tetris_preloaded_lb(boxes, 3, d, stats=lb_stats) == []
+        sizes.append(c)
+        ordered_counts.append(ordered)
+        lb_counts.append(lb_stats.resolutions)
+        rows.append((d, c, ordered, lb_stats.resolutions))
+    print_sweep(
+        "Figure 2: Example F.1 — ordered (best SAO) vs load-balanced",
+        ("depth", "|C|", "ordered best", "Tetris-LB"),
+        rows,
+    )
+    ordered_slope = loglog_slope(sizes, ordered_counts)
+    lb_slope = loglog_slope(sizes, lb_counts)
+    print(
+        f"ordered exponent {ordered_slope:.2f} (paper: 2.0), "
+        f"LB exponent {lb_slope:.2f} (paper: 1.5)"
+    )
+    assert ordered_slope > 1.6, "ordered resolution did not blow up"
+    assert lb_slope < ordered_slope - 0.3, "LB did not separate"
+    assert lb_counts[-1] < ordered_counts[-1], "LB must win at scale"
+    boxes = example_f1(6)
+    benchmark(lambda: tetris_preloaded_lb(boxes, 3, 6))
+
+
+def test_f1_ordered_timing(benchmark):
+    """Timing of plain ordered Tetris on the same instance, for contrast."""
+    boxes = example_f1(6)
+    benchmark(lambda: solve_bcp(boxes, 3, 6))
+
+
+def test_online_lb_matches(benchmark):
+    """The online (Reloaded) LB variant solves F.1 too (Appendix F.6)."""
+    boxes = example_f1(5)
+    assert tetris_reloaded_lb(boxes, 3, 5) == []
+    benchmark(lambda: tetris_reloaded_lb(boxes, 3, 5))

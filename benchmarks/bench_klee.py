@@ -1,0 +1,62 @@
+"""Corollary F.8 — Klee's measure problem over the Boolean semiring.
+
+Paper claim: the Boolean box cover (does the union cover the space?) is
+solvable in Õ(|C|^{n/2}) via load-balanced Tetris, matching Chan's
+O(m^{n/2}) but parameterized by the certificate.
+
+Measured: plain and load-balanced Tetris agree with the classical
+coordinate-compression sweep on random unions; on the adversarial
+Example F.1 family the LB decision procedure scales with exponent ≈ 1.5
+while plain ordered Tetris scales with ≈ 2 (see bench_fig2_ordered_lb).
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import print_sweep
+from repro.core.resolution import ResolutionStats
+from repro.klee.measure import (
+    klee_covers_space,
+    klee_measure_sweep,
+    klee_uncovered_count,
+)
+from repro.workloads.hard_instances import example_f1
+from tests.helpers import random_boxes
+
+
+def test_boolean_klee_decision(benchmark):
+    """Tetris-LB decides coverage; sweep cross-checks the measure."""
+    rows = []
+    for count in (20, 40, 80):
+        boxes = random_boxes(count, count, 3, 4)
+        covered = klee_covers_space(boxes, 3, 4)
+        measure = klee_measure_sweep(boxes, 3, 4)
+        total = 1 << 12
+        assert covered == (measure == total)
+        rows.append((count, measure, total, covered))
+    print_sweep(
+        "Klee (Boolean): random 3-D unions",
+        ("boxes", "measure", "space", "covers?"),
+        rows,
+    )
+    boxes = random_boxes(40, 40, 3, 4)
+    benchmark(lambda: klee_covers_space(boxes, 3, 4))
+
+
+def test_klee_lb_on_adversarial(benchmark):
+    """LB Klee on Example F.1 — the Õ(|C|^{n/2}) configuration."""
+    boxes = example_f1(6)
+    stats = ResolutionStats()
+    assert klee_covers_space(boxes, 3, 6, stats=stats)
+    c = len(boxes)
+    assert stats.resolutions <= 3 * c ** 1.5  # n/2 shape with slack
+    benchmark(lambda: klee_covers_space(example_f1(6), 3, 6))
+
+
+def test_klee_sweep_reference(benchmark):
+    """Timing of the classical sweep baseline on the same workload."""
+    boxes = random_boxes(7, 60, 3, 6)
+    uncovered = klee_uncovered_count(boxes, 3, 6)
+    assert 0 <= uncovered <= 1 << 18
+    benchmark(lambda: klee_measure_sweep(boxes, 3, 6))

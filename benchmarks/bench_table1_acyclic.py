@@ -1,0 +1,114 @@
+"""Table 1, row 1 — α-acyclic queries in Õ(N + Z) (Yannakakis bound).
+
+Paper claim (Theorem D.8): Tetris-Preloaded with a reverse-GYO SAO and
+GAO-consistent B-trees evaluates acyclic joins in time Õ(N + Z), where
+the Õ hides a d^{O(1)} polylog factor (the per-box prefix-witness count
+of Proposition B.12).
+
+Measured shapes:
+
+* **Z-sweep** (diagonal instances, N ∝ Z): resolutions scale with
+  exponent ≈ 1.0 in N + Z — the clean linear regime;
+* **N-sweep** (random instances): resolutions stay inside the
+  (N + Z)·d² envelope at every size and well below the quadratic shape
+  a treewidth-1 violation would show.
+"""
+
+import pytest
+
+from benchmarks.conftest import loglog_slope, print_sweep
+from repro.joins.tetris_join import join_tetris
+from repro.joins.yannakakis import join_yannakakis
+from repro.workloads.generators import chained_path_db, random_path_db
+
+DEPTH = 12
+
+
+def test_acyclic_z_sweep_linear(benchmark):
+    """Output-dominated instances: resolutions ∝ (N + Z), slope ≈ 1."""
+    xs, ys, rows = [], [], []
+    for k in (16, 64, 256, 1024):
+        query, db = chained_path_db(3, k, depth=DEPTH)
+        result = join_tetris(query, db, variant="preloaded")
+        assert len(result) == k
+        n_plus_z = db.total_tuples + len(result)
+        xs.append(n_plus_z)
+        ys.append(result.stats.resolutions)
+        rows.append((k, n_plus_z, result.stats.resolutions,
+                     result.stats.resolutions / n_plus_z))
+    slope = loglog_slope(xs, ys)
+    print_sweep(
+        "Table 1 row 1 (Z-sweep): diagonal path query, Tetris-Preloaded",
+        ("Z", "N+Z", "resolutions", "ratio"),
+        rows,
+    )
+    print(f"measured exponent: {slope:.2f} (paper: 1.0)")
+    assert 0.85 < slope < 1.15
+    query, db = chained_path_db(3, 256, depth=DEPTH)
+    benchmark(lambda: join_tetris(query, db, variant="preloaded"))
+
+
+def test_acyclic_n_sweep_envelope(benchmark):
+    """Random instances: resolutions within the Õ(N + Z) envelope."""
+    rows = []
+    xs, ys = [], []
+    for m in (200, 400, 800, 1600, 3200):
+        query, db = random_path_db(3, m, seed=17, depth=DEPTH)
+        result = join_tetris(query, db, variant="preloaded")
+        n_plus_z = db.total_tuples + len(result)
+        xs.append(n_plus_z)
+        ys.append(result.stats.resolutions)
+        rows.append(
+            (m, n_plus_z, len(result), result.stats.resolutions,
+             result.stats.resolutions / n_plus_z)
+        )
+        # Theory envelope: Õ(1) = O(d²) realized witnesses per box.
+        assert result.stats.resolutions <= n_plus_z * DEPTH ** 2
+    slope = loglog_slope(xs, ys)
+    print_sweep(
+        "Table 1 row 1 (N-sweep): random path query, Tetris-Preloaded",
+        ("m", "N+Z", "Z", "resolutions", "ratio"),
+        rows,
+    )
+    print(
+        f"measured exponent: {slope:.2f} "
+        f"(paper: 1.0 up to a d² factor; quadratic would signal a bug)"
+    )
+    assert slope < 1.8
+    query, db = random_path_db(3, 800, seed=17, depth=DEPTH)
+    benchmark(lambda: join_tetris(query, db, variant="preloaded"))
+
+
+def test_acyclic_timing_vs_yannakakis(benchmark):
+    """Timing of the classic Yannakakis baseline on the same instance."""
+    query, db = random_path_db(3, 800, seed=17, depth=DEPTH)
+    expected = join_yannakakis(query, db)
+    assert join_tetris(query, db).tuples == expected
+    got = benchmark(lambda: join_yannakakis(query, db))
+    assert got == expected
+
+
+def test_acyclic_star_query(benchmark):
+    """Stars are acyclic too; the same envelope must hold."""
+    import random
+
+    from repro.relational.query import star_query
+    from repro.workloads.generators import db_from_tuples
+
+    rng = random.Random(3)
+    query = star_query(3)
+    for m in (100, 400):
+        data = {
+            atom.name: sorted(
+                {
+                    (rng.randrange(1 << DEPTH), rng.randrange(1 << DEPTH))
+                    for _ in range(m)
+                }
+            )
+            for atom in query.atoms
+        }
+        db = db_from_tuples(query, data, DEPTH)
+        result = join_tetris(query, db, variant="preloaded")
+        n_plus_z = db.total_tuples + len(result)
+        assert result.stats.resolutions <= n_plus_z * DEPTH ** 2
+    benchmark(lambda: join_tetris(query, db, variant="preloaded"))

@@ -1,0 +1,127 @@
+"""Table 1, row 5 — treewidth-1 queries in Õ(|C| + Z).
+
+Paper claim (Theorem 4.7 / Corollary 4.8): with an elimination-width-1
+SAO, Tetris-Reloaded solves treewidth-1 joins in time proportional to the
+*box certificate*, not the input.
+
+Measured shape: on the split family (B-values of R and S in opposite
+domain halves ⇒ empty join, |C| = 2), the boxes loaded and resolutions
+performed must stay O(1) — flat — while N grows by 64×; the
+worst-case-optimal Leapfrog baseline's runtime grows with N.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import loglog_slope, print_sweep
+from repro.core.resolution import ResolutionStats
+from repro.joins.leapfrog import join_leapfrog
+from repro.joins.tetris_join import join_tetris, make_oracle
+from repro.workloads.generators import split_path_instance
+
+SIZES = (50, 200, 800, 3200)
+DEPTH = 12
+
+
+def test_certificate_flat_scaling(benchmark):
+    """Work is governed by |C| = O(1), independent of N."""
+    rows = []
+    loaded_counts = []
+    for m in SIZES:
+        query, db, gao = split_path_instance(m, depth=DEPTH, seed=1)
+        stats = ResolutionStats()
+        result = join_tetris(
+            query, db, variant="reloaded", gao=gao, stats=stats
+        )
+        assert result.tuples == []
+        rows.append(
+            (db.total_tuples, stats.boxes_loaded, stats.resolutions,
+             stats.oracle_queries)
+        )
+        loaded_counts.append(stats.boxes_loaded)
+    print_sweep(
+        "Table 1 row 5: split path query (|C| = O(1)), Tetris-Reloaded",
+        ("N", "boxes loaded", "resolutions", "oracle queries"),
+        rows,
+    )
+    # Flatness: the largest instance needs no more boxes than the
+    # smallest (both certify with the same two coarse boxes).
+    assert loaded_counts[-1] <= loaded_counts[0] + 2
+    assert max(loaded_counts) <= 8
+
+    query, db, gao = split_path_instance(SIZES[-1], depth=DEPTH, seed=1)
+    oracle, gao = make_oracle(query, db, gao=gao)
+
+    def run():
+        from repro.core.tetris import TetrisEngine
+
+        attrs = oracle.attrs
+        sao = tuple(attrs.index(a) for a in gao)
+        engine = TetrisEngine(len(attrs), DEPTH, sao=sao)
+        return engine.run(oracle, preload=False)
+
+    assert benchmark(run) == []
+
+
+def test_leapfrog_grows_with_n(benchmark):
+    """The comparison point: a WCOJ baseline must look at Θ(N) data."""
+    times = []
+    for m in (SIZES[0], SIZES[-1]):
+        query, db, gao = split_path_instance(m, depth=DEPTH, seed=1)
+        t0 = time.perf_counter()
+        assert join_leapfrog(query, db, gao=gao) == []
+        times.append(time.perf_counter() - t0)
+    print(f"\nleapfrog runtime small→large: {times[0]:.4f}s → "
+          f"{times[1]:.4f}s (grows with N)")
+    query, db, gao = split_path_instance(SIZES[-1], depth=DEPTH, seed=1)
+    benchmark(lambda: join_leapfrog(query, db, gao=gao))
+
+
+def test_nonempty_output_pays_only_z(benchmark):
+    """With K matching join values, work is Õ(|C| + Z): linear in Z."""
+    import random
+
+    from repro.relational.query import path_query
+    from repro.workloads.generators import db_from_tuples
+
+    def make(k):
+        # R's B-values in the lower half except k bridge values that S
+        # shares — output has exactly k · (pairs) tuples.
+        rng = random.Random(0)
+        half = 1 << (DEPTH - 1)
+        query = path_query(2)
+        bridges = list(range(half, half + k))
+        r_rows = sorted(
+            {(rng.randrange(1 << DEPTH), rng.randrange(half))
+             for _ in range(400)}
+        ) + [(i, b) for i, b in enumerate(bridges)]
+        s_rows = sorted(
+            {(half + rng.randrange(half), rng.randrange(1 << DEPTH))
+             for _ in range(400)}
+        )
+        s_rows = [t for t in s_rows if t[0] not in set(bridges)]
+        s_rows += [(b, 7) for b in bridges]
+        db = db_from_tuples(query, {"R0": r_rows, "R1": s_rows}, DEPTH)
+        return query, db
+
+    xs, ys = [], []
+    for k in (4, 16, 64):
+        query, db = make(k)
+        stats = ResolutionStats()
+        result = join_tetris(
+            query, db, variant="reloaded", gao=("A1", "A0", "A2"),
+            stats=stats,
+        )
+        assert len(result) >= k
+        xs.append(len(result) + stats.boxes_loaded)
+        ys.append(stats.resolutions)
+    slope = loglog_slope(xs, ys)
+    print(f"\nexponent of resolutions vs |C|+Z: {slope:.2f} (paper: 1.0)")
+    assert slope < 1.4
+    query, db = make(16)
+    benchmark(
+        lambda: join_tetris(
+            query, db, variant="reloaded", gao=("A1", "A0", "A2")
+        )
+    )

@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark both *times* a representative run (pytest-benchmark) and
+*asserts the scaling shape* the paper claims, by fitting a log-log slope
+to resolution counts over a small parameter sweep.  Resolution counts are
+the right interpreter-neutral proxy: Lemma 4.5 bounds Tetris's runtime by
+the number of resolutions up to polylog factors.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import pytest
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(x).
+
+    The measured exponent of a power law y ≈ c·x^slope.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) pairs")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(max(y, 1.0)) for y in ys]
+    mean_x = sum(lx) / len(lx)
+    mean_y = sum(ly) / len(ly)
+    num = sum((a - mean_x) * (b - mean_y) for a, b in zip(lx, ly))
+    den = sum((a - mean_x) ** 2 for a in lx)
+    return num / den
+
+
+def print_sweep(title: str, header: Sequence[str], rows) -> None:
+    """Emit a paper-style sweep table to stdout (visible with -s / -rA)."""
+    print(f"\n[{title}]")
+    widths = [max(10, len(h) + 2) for h in header]
+    print("".join(h.rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print(
+            "".join(
+                (f"{v:.3f}" if isinstance(v, float) else str(v)).rjust(w)
+                for v, w in zip(row, widths)
+            )
+        )

@@ -1,0 +1,57 @@
+"""Beyond worst-case: work proportional to the certificate, not the data.
+
+Section 4.4's headline: on treewidth-1 queries Tetris-Reloaded runs in
+Õ(|C| + Z) where C is the box certificate — which can be O(1) even as the
+input grows without bound.  This example builds the *split* family
+(R's join-attribute values live in the lower half of the domain, S's in
+the upper half, so two coarse gap boxes certify an empty join), sweeps N
+over two orders of magnitude, and shows that the number of gap boxes
+Tetris-Reloaded touches stays constant while a worst-case-optimal
+baseline scans the data.
+
+Run:  python examples/adaptive_certificates.py
+"""
+
+import time
+
+from repro import ResolutionStats, join_leapfrog, join_tetris
+from repro.workloads.generators import split_path_instance
+
+
+def main() -> None:
+    print("R(A,B) ⋈ S(B,C) with B-values split across domain halves")
+    print("(empty output; box certificate has 2 boxes regardless of N)\n")
+    header = (
+        f"{'N':>7} | {'boxes loaded':>12} {'resolutions':>11} "
+        f"{'tetris-reloaded':>15} | {'leapfrog':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for m in (50, 200, 800, 3200):
+        query, db, gao = split_path_instance(m, depth=12, seed=1)
+        stats = ResolutionStats()
+        t0 = time.perf_counter()
+        result = join_tetris(
+            query, db, variant="reloaded", gao=gao, stats=stats
+        )
+        t_tetris = time.perf_counter() - t0
+        assert result.tuples == []
+
+        t0 = time.perf_counter()
+        lf = join_leapfrog(query, db, gao=gao)
+        t_lf = time.perf_counter() - t0
+        assert lf == []
+
+        print(
+            f"{db.total_tuples:>7} | {stats.boxes_loaded:>12} "
+            f"{stats.resolutions:>11} {t_tetris:>14.4f}s | "
+            f"{t_lf:>8.4f}s"
+        )
+    print(
+        "\nThe certificate column is flat: Tetris-Reloaded's work is "
+        "Õ(|C| + Z), independent of N (Theorem 4.7)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""The geometry of indexes: gap boxes from B-trees, quadtrees, KD-trees.
+
+Recreates Figures 1 and 3 of the paper: the same relation stored in
+different indexes yields completely different gap-box sets, and the
+choice changes the achievable box certificate (Examples B.3 / B.7 / B.8).
+Renders the 2-D gap boxes as ASCII art and reports per-index box counts
+and certificate sizes.
+
+Run:  python examples/index_gap_geometry.py
+"""
+
+from repro import Domain, Relation, RelationSchema
+from repro.core import intervals as dy
+from repro.core.certificates import minimal_certificate
+from repro.indexes import BTreeIndex, DyadicTreeIndex, KDTreeIndex
+
+DEPTH = 3
+SIDE = 1 << DEPTH
+
+
+def render(rel, gap_boxes) -> str:
+    """ASCII picture: '#' = tuple, digits = how many gap boxes cover."""
+    grid = [["·"] * SIDE for _ in range(SIDE)]
+    for box, _ in gap_boxes:
+        (av, al), (bv, bl) = box
+        alo, ahi = dy.to_range((av, al), DEPTH)
+        blo, bhi = dy.to_range((bv, bl), DEPTH)
+        for a in range(alo, ahi + 1):
+            for b in range(blo, bhi + 1):
+                cell = grid[SIDE - 1 - b][a]
+                grid[SIDE - 1 - b][a] = (
+                    "1" if cell == "·" else str(min(int(cell) + 1, 9))
+                )
+    for a, b in rel:
+        grid[SIDE - 1 - b][a] = "#"
+    return "\n".join(" ".join(row) for row in grid)
+
+
+def main() -> None:
+    # The running example (Figure 1a): a cross of tuples.
+    tuples = [(3, b) for b in (1, 3, 5, 7)] + [
+        (a, 3) for a in (1, 3, 5, 7)
+    ]
+    rel = Relation(RelationSchema("R", ("A", "B")), tuples, Domain(DEPTH))
+
+    indexes = {
+        "B-tree (A,B)  [Fig 1b]": BTreeIndex(rel, ("A", "B")),
+        "B-tree (B,A)  [Fig 3a]": BTreeIndex(rel, ("B", "A")),
+        "quadtree      [Fig 3b]": DyadicTreeIndex(rel),
+        "KD-tree              ": KDTreeIndex(rel),
+    }
+    for name, idx in indexes.items():
+        boxes = list(idx.gap_boxes())
+        cert = minimal_certificate([b for b, _ in boxes], 2, DEPTH)
+        print(f"\n{name}: {len(boxes)} gap boxes, "
+              f"minimal certificate {len(cert)}")
+        # B-tree (B,A) boxes come in (B,A) order; swap for rendering.
+        if name.startswith("B-tree (B,A)"):
+            rendered = [((b[1], b[0]), a) for b, a in boxes]
+        else:
+            rendered = boxes
+        print(render(rel, rendered))
+
+    # Example B.7/B.8: on the MSB-complement relation, the dyadic index's
+    # 2 boxes beat every B-tree.
+    msb = [
+        (a, b)
+        for a in range(SIDE)
+        for b in range(SIDE)
+        if (a >> (DEPTH - 1)) != (b >> (DEPTH - 1))
+    ]
+    rel2 = Relation(RelationSchema("M", ("A", "B")), msb, Domain(DEPTH))
+    print("\nMSB-complement relation (Figure 5a's R):")
+    for name, idx in [
+        ("B-tree (A,B)", BTreeIndex(rel2, ("A", "B"))),
+        ("quadtree    ", DyadicTreeIndex(rel2)),
+    ]:
+        print(f"  {name}: {idx.count_gap_boxes()} gap boxes")
+    print(
+        "  → a richer index can shrink the certificate from Θ(N) to O(1)\n"
+        "    (Proposition B.6; this is why the paper's certificates are\n"
+        "    index-dependent)."
+    )
+
+
+if __name__ == "__main__":
+    main()

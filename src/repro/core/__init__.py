@@ -1,0 +1,28 @@
+"""Core geometric machinery: dyadic boxes, resolution, and Tetris."""
+
+from repro.core.boxes import Box, Space
+from repro.core.dyadic_tree import MultilevelDyadicTree
+from repro.core.resolution import ResolutionStats, Resolver, resolve
+from repro.core.tetris import (
+    BoxSetOracle,
+    TetrisEngine,
+    boolean_box_cover,
+    solve_bcp,
+    tetris_preloaded,
+    tetris_reloaded,
+)
+
+__all__ = [
+    "Box",
+    "BoxSetOracle",
+    "MultilevelDyadicTree",
+    "ResolutionStats",
+    "Resolver",
+    "Space",
+    "TetrisEngine",
+    "boolean_box_cover",
+    "resolve",
+    "solve_bcp",
+    "tetris_preloaded",
+    "tetris_reloaded",
+]

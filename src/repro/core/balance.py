@@ -1,0 +1,284 @@
+"""Load balancing: balanced partitions, the Balance map, and Tetris-LB.
+
+Section 4.5 / Appendix F: plain ordered resolution is stuck at
+Ω(|C|^{n-1}) on adversarial inputs (Theorem 5.4; Example F.1 realizes the
+bottleneck for n = 3).  The fix lifts the n-dimensional BCP into 2n-2
+dimensions through the **Balance map**
+
+    ⟨b_1, ..., b_n⟩  ↦  ⟨b'_1, ..., b'_{n-2}, b_n, b_{n-1},
+                          b''_{n-2}, ..., b''_1⟩,
+
+where ``b_i = b'_i · b''_i`` splits at the boundary of a *balanced
+partition* P_i of dimension i (Definition 4.13: Õ(√|C|) parts, each with
+at most √|C| boxes strictly inside).  Running ordered Tetris on the lifted
+boxes with the lifted SAO gives the Õ(|C|^{n/2} + Z) bound of
+Theorem 4.11 — the Geometric Resolution upper bound of Figure 2.
+
+The lifted space is *not* a product of fixed-depth domains: a primed
+dimension ranges over the code P_i and its double-primed partner holds the
+variable-length remainder.  :class:`~repro.core.tetris.CodeDimension` and
+:class:`~repro.core.tetris.RemainderDimension` teach the engine where those
+dimensions bottom out, and the map is exact on points (each original point
+corresponds to exactly one lifted unit box), so outputs translate back
+losslessly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.boxes import BoxTuple
+from repro.core.intervals import LAMBDA, Interval
+from repro.core.resolution import ResolutionStats
+from repro.core.tetris import (
+    BoxSetOracle,
+    CodeDimension,
+    FixedDepth,
+    RemainderDimension,
+    TetrisEngine,
+)
+
+Point = Tuple[int, ...]
+Partition = Tuple[Interval, ...]
+
+
+def strictly_inside_count(
+    components: Sequence[Interval], part: Interval
+) -> int:
+    """|C_{⊂x}|: how many components have ``part`` as a *strict* prefix."""
+    pv, pl = part
+    return sum(
+        1
+        for (v, length) in components
+        if length > pl and (v >> (length - pl)) == pv
+    )
+
+
+def balanced_partition(
+    boxes: Sequence[BoxTuple], axis: int, depth: int,
+    threshold: Optional[float] = None,
+) -> Partition:
+    """A balanced partition of dimension ``axis`` (Proposition F.4).
+
+    Start from {λ} and split every *heavy* interval — one with more than
+    ``threshold`` (default √|C|) boxes strictly inside — until none is
+    heavy.  The result is a complete prefix-free code with Õ(√|C|) parts.
+    """
+    components = [box[axis] for box in boxes]
+    if threshold is None:
+        threshold = math.sqrt(len(boxes)) if boxes else 1.0
+    parts: List[Interval] = []
+    frontier: List[Interval] = [LAMBDA]
+    while frontier:
+        part = frontier.pop()
+        value, length = part
+        if (
+            length < depth
+            and strictly_inside_count(components, part) > threshold
+        ):
+            frontier.append((value << 1, length + 1))
+            frontier.append(((value << 1) | 1, length + 1))
+        else:
+            parts.append(part)
+    return tuple(sorted(parts))
+
+
+def split_by_partition(
+    iv: Interval, partition: Partition
+) -> Tuple[Interval, Interval]:
+    """The (s¹(P), s²(P)) split of equations (19)–(20).
+
+    If ``iv`` is a prefix of some code element, return ``(iv, λ)``;
+    otherwise a unique code element ``p`` strictly prefixes ``iv`` and we
+    return ``(p, suffix)``.
+    """
+    value, length = iv
+    for pv, pl in partition:
+        if pl >= length:
+            if (pv >> (pl - length)) == value:
+                return iv, LAMBDA  # iv ∈ prefixes(P)
+        else:
+            if (value >> (length - pl)) == pv:
+                suffix_len = length - pl
+                suffix = value & ((1 << suffix_len) - 1)
+                return (pv, pl), (suffix, suffix_len)
+    raise ValueError(
+        f"interval {iv} not consistent with the partition {partition}"
+    )
+
+
+class BalanceMap:
+    """The lifting ``Balance_{A_1..A_{n-2}}`` and its inverse on points.
+
+    Lifted attribute order (which is also the SAO Tetris-LB uses):
+
+        A'_1, ..., A'_{n-2}, A_n, A_{n-1}, A''_{n-2}, ..., A''_1
+    """
+
+    def __init__(
+        self,
+        boxes: Sequence[BoxTuple],
+        ndim: int,
+        depth: int,
+        threshold: Optional[float] = None,
+    ):
+        if ndim < 2:
+            raise ValueError("the Balance map needs at least 2 dimensions")
+        self.ndim = ndim
+        self.depth = depth
+        self.num_partitioned = max(ndim - 2, 0)
+        self.partitions: List[Partition] = [
+            balanced_partition(boxes, axis, depth, threshold=threshold)
+            for axis in range(self.num_partitioned)
+        ]
+        self.lifted_ndim = 2 * ndim - 2 if ndim > 2 else ndim
+
+    def lift_box(self, box: BoxTuple) -> BoxTuple:
+        """Map one original box into the lifted space."""
+        k = self.num_partitioned
+        primed: List[Interval] = []
+        double_primed: List[Interval] = []
+        for axis in range(k):
+            first, second = split_by_partition(
+                box[axis], self.partitions[axis]
+            )
+            primed.append(first)
+            double_primed.append(second)
+        # Lifted order: primed ascending, A_n, A_{n-1}, double-primed
+        # descending.
+        return tuple(
+            primed + [box[self.ndim - 1], box[self.ndim - 2]]
+            + list(reversed(double_primed))
+        )
+
+    def lift_boxes(self, boxes: Iterable[BoxTuple]) -> List[BoxTuple]:
+        return [self.lift_box(b) for b in boxes]
+
+    def lower_point(self, lifted_unit: BoxTuple) -> Point:
+        """Map a lifted unit box back to the original point coordinates."""
+        k = self.num_partitioned
+        coords: List[int] = [0] * self.ndim
+        for axis in range(k):
+            pv, pl = lifted_unit[axis]
+            sv, sl = lifted_unit[self.lifted_ndim - 1 - axis]
+            if pl + sl != self.depth:
+                raise ValueError(
+                    f"lifted unit box has inconsistent lengths on axis "
+                    f"{axis}: {pl} + {sl} != {self.depth}"
+                )
+            coords[axis] = (pv << sl) | sv
+        coords[self.ndim - 1] = lifted_unit[k][0]
+        coords[self.ndim - 2] = lifted_unit[k + 1][0]
+        return tuple(coords)
+
+    def dimension_specs(self):
+        """Specs for the lifted space, in lifted (SAO) order."""
+        k = self.num_partitioned
+        specs: List = []
+        for axis in range(k):
+            specs.append(CodeDimension(self.partitions[axis]))
+        specs.append(FixedDepth(self.depth))  # A_n
+        specs.append(FixedDepth(self.depth))  # A_{n-1}
+        for axis in range(k - 1, -1, -1):
+            specs.append(RemainderDimension(axis, self.depth))
+        return specs
+
+
+def tetris_preloaded_lb(
+    boxes: Sequence[BoxTuple],
+    ndim: int,
+    depth: int,
+    stats: Optional[ResolutionStats] = None,
+    threshold: Optional[float] = None,
+) -> List[Point]:
+    """Algorithm 3 / 5: Balance then Tetris-Preloaded on the lifted boxes.
+
+    Solves BCP in Õ(|C|^{n/2} + Z) when handed a box certificate (the
+    offline setting of Section 4.5.1); on arbitrary box sets the bound is
+    in terms of |input| instead.
+    """
+    boxes = list(boxes)
+    if ndim <= 2:
+        # Nothing to balance below 3 dimensions; plain Tetris is already
+        # within the bound (Theorem E.11 gives Õ(|C|^{n-1}) = Õ(|C|)).
+        from repro.core.tetris import tetris_preloaded
+
+        return tetris_preloaded(boxes, ndim, depth, stats=stats)
+    mapping = BalanceMap(boxes, ndim, depth, threshold=threshold)
+    lifted = mapping.lift_boxes(boxes)
+    engine = TetrisEngine(
+        mapping.lifted_ndim,
+        depth,
+        stats=stats,
+        dims=mapping.dimension_specs(),
+    )
+    oracle = BoxSetOracle(lifted, mapping.lifted_ndim)
+    outputs = engine.run(
+        oracle, preload=True, one_pass=True, return_boxes=True
+    )
+    return sorted(mapping.lower_point(b) for b in outputs)
+
+
+def tetris_reloaded_lb(
+    boxes: Sequence[BoxTuple],
+    ndim: int,
+    depth: int,
+    stats: Optional[ResolutionStats] = None,
+    rebuild_factor: float = 2.0,
+) -> List[Point]:
+    """Online Tetris-LB (Appendix F.6, simplified).
+
+    The paper's online variant re-adjusts partitions as boxes stream in;
+    we approximate the amortized bookkeeping by restarting with fresh
+    balanced partitions whenever the number of *loaded* boxes grows by
+    ``rebuild_factor`` — total rebalancing work stays within a log factor
+    of the final run (each restart's work is dominated by the next).
+    """
+    boxes = list(boxes)
+    if ndim <= 2:
+        from repro.core.tetris import tetris_reloaded
+
+        return tetris_reloaded(boxes, ndim, depth, stats=stats)
+    stats = stats if stats is not None else ResolutionStats()
+    oracle = BoxSetOracle(boxes, ndim)
+    loaded: List[BoxTuple] = []
+    loaded_set = set()
+    budget = 4
+    while True:
+        mapping = BalanceMap(
+            loaded if loaded else boxes[:1], ndim, depth
+        )
+        engine = TetrisEngine(
+            mapping.lifted_ndim, depth, stats=stats,
+            dims=mapping.dimension_specs(),
+        )
+        for box in loaded:
+            engine.add_box(mapping.lift_box(box))
+        outputs: List[Point] = []
+        restart = False
+        # Run the outer loop manually so we can intercept oracle loads.
+        covered, witness = engine.skeleton(engine._universe)
+        while not covered:
+            lowered = mapping.lower_point(engine.to_external(witness))
+            unit = tuple((v, depth) for v in lowered)
+            stats.oracle_queries += 1
+            gap_boxes = oracle.containing(unit)
+            if not gap_boxes:
+                outputs.append(lowered)
+                engine.add_box(engine.to_external(witness))
+            else:
+                fresh = [
+                    b for b in gap_boxes if b not in loaded_set
+                ]
+                for b in fresh:
+                    loaded_set.add(b)
+                    loaded.append(b)
+                    engine.add_box(mapping.lift_box(b))
+                if len(loaded) > budget:
+                    restart = True
+                    break
+            covered, witness = engine.skeleton(engine._universe)
+        if not restart:
+            return sorted(outputs)
+        budget = max(budget + 1, int(budget * rebuild_factor))

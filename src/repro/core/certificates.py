@@ -1,0 +1,202 @@
+"""Box certificates (Definitions 3.1 / 3.4) and certificate computation.
+
+A box certificate of a BCP instance ``A`` is a subset ``C ⊆ A`` whose
+union equals the union of ``A``; the *optimal* certificate is a smallest
+one.  Certificate size — not input size — is the complexity measure of the
+paper's beyond-worst-case results.
+
+Finding a minimum certificate is a set-cover problem; we provide
+
+* :func:`is_redundant` / :func:`minimal_certificate` — an irredundant
+  subset via covered-by-the-rest checks, each check answered by a Boolean
+  Tetris run on the box's complement (so no point enumeration happens);
+* :func:`minimum_certificate` — exact minimum by branch-and-bound over
+  subsets, for the small instances the experiments study;
+* :func:`complement_boxes` — the dyadic complement of a box, the gadget
+  the redundancy check is built from.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.boxes import BoxTuple, box_contains
+from repro.core.intervals import LAMBDA, Interval
+from repro.core.resolution import ResolutionStats
+from repro.core.tetris import boolean_box_cover
+
+
+def complement_boxes(box: BoxTuple, depth: int) -> List[BoxTuple]:
+    """Dyadic boxes whose union is the complement of ``box``.
+
+    For each dimension i and each proper prefix p of the component, the
+    sibling of the next bit of p spans everything that diverges from the
+    component at that bit (with λ on later dimensions restricted... on all
+    other dimensions the original components up to i-1 are kept so the
+    pieces are disjoint).  At most n·d boxes.
+    """
+    out: List[BoxTuple] = []
+    n = len(box)
+    for i in range(n):
+        value, length = box[i]
+        for cut in range(length):
+            # prefix of length `cut`, next bit flipped
+            prefix = value >> (length - cut)
+            bit = (value >> (length - cut - 1)) & 1
+            sibling = ((prefix << 1) | (bit ^ 1), cut + 1)
+            piece = box[:i] + (sibling,) + (LAMBDA,) * (n - i - 1)
+            out.append(piece)
+    return out
+
+
+def covers(
+    candidate: Sequence[BoxTuple],
+    target: BoxTuple,
+    ndim: int,
+    depth: int,
+) -> bool:
+    """Does the union of ``candidate`` cover every point of ``target``?
+
+    Reduction: ``target ⊆ ∪ candidate`` iff ``candidate ∪ complement(target)``
+    covers the whole space — a Boolean BCP solved by Tetris.
+    """
+    boxes = list(candidate) + complement_boxes(target, depth)
+    return boolean_box_cover(boxes, ndim, depth)
+
+
+def is_redundant(
+    boxes: Sequence[BoxTuple], index: int, ndim: int, depth: int
+) -> bool:
+    """Is ``boxes[index]`` covered by the union of the other boxes?"""
+    target = boxes[index]
+    rest = [b for i, b in enumerate(boxes) if i != index]
+    # Cheap pre-check: another box contains it outright.
+    if any(box_contains(other, target) for other in rest):
+        return True
+    return covers(rest, target, ndim, depth)
+
+
+def minimal_certificate(
+    boxes: Iterable[BoxTuple], ndim: int, depth: int
+) -> List[BoxTuple]:
+    """An irredundant certificate: greedily drop covered boxes.
+
+    Scans smallest-first so big boxes survive; the result is *minimal*
+    (no box can be removed) but not necessarily *minimum*.  Size is an
+    upper bound on |C|.
+    """
+    # Deduplicate and drop boxes strictly contained in another box.
+    unique = list(dict.fromkeys(boxes))
+    kept = [
+        b
+        for b in unique
+        if not any(
+            box_contains(other, b) and other != b for other in unique
+        )
+    ]
+
+    # Smallest volume first: prefer to delete little boxes.
+    def volume_key(box: BoxTuple) -> int:
+        return sum(depth - length for _, length in box)
+
+    result = list(kept)
+    for box in sorted(kept, key=volume_key):
+        trial = [b for b in result if b != box]
+        if trial and covers(trial, box, ndim, depth):
+            result = trial
+    return result
+
+
+def minimum_certificate(
+    boxes: Sequence[BoxTuple],
+    ndim: int,
+    depth: int,
+    limit: int = 18,
+) -> List[BoxTuple]:
+    """Exact minimum certificate by subset search (small instances only).
+
+    Starts from the greedy minimal certificate as an upper bound and
+    searches all smaller subsets of the (deduplicated, maximal) boxes.
+    Raises when more than ``limit`` candidate boxes remain.
+    """
+    upper = minimal_certificate(boxes, ndim, depth)
+    unique = list(dict.fromkeys(boxes))
+    maximal = [
+        b
+        for b in unique
+        if not any(
+            box_contains(other, b) and other != b for other in unique
+        )
+    ]
+    if len(maximal) > limit:
+        raise ValueError(
+            f"{len(maximal)} candidate boxes exceed the exact-search limit "
+            f"({limit}); use minimal_certificate instead"
+        )
+
+    def union_equal(subset: Sequence[BoxTuple]) -> bool:
+        return all(
+            covers(subset, b, ndim, depth) for b in maximal
+        )
+
+    best = upper
+    for size in range(1, len(best)):
+        for subset in combinations(maximal, size):
+            if union_equal(subset):
+                return list(subset)
+    return best
+
+
+def certificate_size(
+    boxes: Iterable[BoxTuple],
+    ndim: int,
+    depth: int,
+    exact: bool = False,
+) -> int:
+    """|C| (exact) or an irredundant upper bound on it."""
+    boxes = list(boxes)
+    if exact:
+        return len(minimum_certificate(boxes, ndim, depth))
+    return len(minimal_certificate(boxes, ndim, depth))
+
+
+def is_gao_consistent(box: BoxTuple, sao: Sequence[int], depth: int) -> bool:
+    """Definition 3.11: at most one non-trivial component, λ after it.
+
+    ``sao`` orders the dimensions by the global attribute order.  A
+    component is *non-trivial* when it is neither λ nor a unit interval.
+    """
+    seen_nontrivial = False
+    for axis in sao:
+        _, length = box[axis]
+        if seen_nontrivial:
+            if length != 0:
+                return False
+        elif 0 < length < depth:
+            seen_nontrivial = True
+    return True
+
+
+def gao_consistent_certificate(
+    boxes: Iterable[BoxTuple],
+    sao: Sequence[int],
+    ndim: int,
+    depth: int,
+) -> List[BoxTuple]:
+    """A minimal certificate using only GAO-consistent boxes (Def B.1).
+
+    Restricting to σ-consistent boxes models the Minesweeper setting of
+    [50]; Proposition B.6's gap — |C| ≪ |C_gao| on some instances — is
+    observable by comparing this against :func:`minimal_certificate`.
+    Raises when the σ-consistent subset does not cover the full union.
+    """
+    boxes = list(boxes)
+    consistent = [b for b in boxes if is_gao_consistent(b, sao, depth)]
+    for box in boxes:
+        if not covers(consistent, box, ndim, depth):
+            raise ValueError(
+                "the GAO-consistent boxes do not cover the union; no "
+                "σ-consistent certificate exists for this box set"
+            )
+    return minimal_certificate(consistent, ndim, depth)

@@ -1,0 +1,192 @@
+"""Dyadic intervals encoded as ``(value, length)`` bitstring pairs.
+
+The paper (Definition 3.2) encodes the domain of every attribute as the set
+of binary strings of length ``d``; a *dyadic interval* is a binary string
+``x`` with ``|x| <= d`` and represents every length-``d`` string having
+``x`` as a prefix.  On the integer domain ``[0, 2**d)`` the interval with
+value ``i`` and length ``k`` covers ``[i * 2**(d-k), (i+1) * 2**(d-k))``.
+
+We represent an interval as the plain tuple ``(value, length)``:
+
+* ``LAMBDA == (0, 0)`` is the empty string λ (the wildcard spanning the
+  whole domain),
+* a *unit* interval has ``length == d`` and represents a single point.
+
+Keeping intervals as tuples (rather than a class) makes the hot loops of
+Tetris cheap: containment and prefix tests are two integer operations,
+which is exactly the paper's "string operations take time linear in the
+length of strings" claim, and hashing/equality come for free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+#: A dyadic interval: ``(value, length)`` with ``0 <= value < 2**length``.
+Interval = Tuple[int, int]
+
+#: The empty string λ — the wildcard interval covering the whole domain.
+LAMBDA: Interval = (0, 0)
+
+
+def make(value: int, length: int) -> Interval:
+    """Build an interval, validating the ``0 <= value < 2**length`` invariant."""
+    if length < 0:
+        raise ValueError(f"interval length must be non-negative, got {length}")
+    if not 0 <= value < (1 << length) and length > 0:
+        raise ValueError(f"value {value} does not fit in {length} bits")
+    if length == 0 and value != 0:
+        raise ValueError("the empty interval must have value 0")
+    return (value, length)
+
+
+def from_bits(bits: str) -> Interval:
+    """Parse an interval from its bitstring notation, e.g. ``'10'`` or ``''``."""
+    if bits and set(bits) - {"0", "1"}:
+        raise ValueError(f"bitstring may only contain 0/1, got {bits!r}")
+    return (int(bits, 2) if bits else 0, len(bits))
+
+
+def to_bits(iv: Interval) -> str:
+    """Render an interval as its bitstring; λ renders as ``'λ'``."""
+    value, length = iv
+    if length == 0:
+        return "λ"
+    return format(value, f"0{length}b")
+
+
+def from_point(point: int, depth: int) -> Interval:
+    """The unit interval for a domain value at the given domain depth."""
+    if not 0 <= point < (1 << depth):
+        raise ValueError(f"point {point} outside domain of depth {depth}")
+    return (point, depth)
+
+
+def is_unit(iv: Interval, depth: int) -> bool:
+    """True when the interval is a single point of a depth-``depth`` domain."""
+    return iv[1] == depth
+
+
+def is_prefix(a: Interval, b: Interval) -> bool:
+    """True when ``a`` is a prefix of ``b`` (equivalently, ``a`` contains ``b``).
+
+    λ is a prefix of everything.  As dyadic segments this is the containment
+    order of the paper's poset (Definition 3.3): shorter strings are bigger
+    boxes.
+    """
+    av, al = a
+    bv, bl = b
+    return al <= bl and (bv >> (bl - al)) == av
+
+
+#: Containment of dyadic segments coincides with the prefix relation.
+contains = is_prefix
+
+
+def overlaps(a: Interval, b: Interval) -> bool:
+    """True when the two dyadic segments intersect (one is a prefix of the other)."""
+    return is_prefix(a, b) or is_prefix(b, a)
+
+
+def meet(a: Interval, b: Interval) -> Interval:
+    """Intersection of two comparable intervals: the *longer* of the two.
+
+    This is the ``y_i ∩ z_i`` operation of the resolution definition in
+    Section 4.1.  Raises if the segments are disjoint.
+    """
+    if is_prefix(a, b):
+        return b
+    if is_prefix(b, a):
+        return a
+    raise ValueError(f"intervals {to_bits(a)} and {to_bits(b)} are disjoint")
+
+
+def split(iv: Interval) -> Tuple[Interval, Interval]:
+    """Split an interval into its two dyadic halves ``x0`` and ``x1``."""
+    value, length = iv
+    return (value << 1, length + 1), ((value << 1) | 1, length + 1)
+
+
+def extend(iv: Interval, bit: int) -> Interval:
+    """Append one bit to the interval (the string concatenation ``x·b``)."""
+    value, length = iv
+    return ((value << 1) | (bit & 1), length + 1)
+
+
+def parent(iv: Interval) -> Interval:
+    """Drop the last bit (the dyadic parent); λ has no parent."""
+    value, length = iv
+    if length == 0:
+        raise ValueError("λ has no parent")
+    return (value >> 1, length - 1)
+
+
+def last_bit(iv: Interval) -> int:
+    """The final bit of a non-empty interval."""
+    value, length = iv
+    if length == 0:
+        raise ValueError("λ has no last bit")
+    return value & 1
+
+
+def are_siblings(a: Interval, b: Interval) -> bool:
+    """True when ``a = x·0`` and ``b = x·1`` (or vice versa) for some ``x``.
+
+    This is condition (1) of geometric resolution in Section 4.1.
+    """
+    av, al = a
+    bv, bl = b
+    return al == bl and al > 0 and (av ^ bv) == 1
+
+
+def prefixes(iv: Interval) -> Iterator[Interval]:
+    """All prefixes of ``iv`` from λ down to ``iv`` itself (inclusive)."""
+    value, length = iv
+    for cut in range(length + 1):
+        yield (value >> (length - cut), cut)
+
+
+def to_range(iv: Interval, depth: int) -> Tuple[int, int]:
+    """The inclusive integer range ``[lo, hi]`` covered on a depth-d domain."""
+    value, length = iv
+    if length > depth:
+        raise ValueError(f"interval deeper ({length}) than domain ({depth})")
+    width = depth - length
+    lo = value << width
+    return lo, lo + (1 << width) - 1
+
+
+def width(iv: Interval, depth: int) -> int:
+    """Number of domain points covered on a depth-``depth`` domain."""
+    return 1 << (depth - iv[1])
+
+
+def covers_point(iv: Interval, point: int, depth: int) -> bool:
+    """True when the interval contains the given domain point."""
+    return is_prefix(iv, (point, depth))
+
+
+def decompose_range(lo: int, hi: int, depth: int) -> List[Interval]:
+    """Decompose the inclusive integer range ``[lo, hi]`` into dyadic intervals.
+
+    This is Proposition B.14: every closed interval over a depth-``d`` domain
+    is a disjoint union of at most ``2d`` dyadic segments.  Returns the
+    canonical (greedy, left-to-right, maximal) decomposition in increasing
+    order; an empty range (``lo > hi``) yields ``[]``.
+    """
+    if lo > hi:
+        return []
+    if lo < 0 or hi >= (1 << depth):
+        raise ValueError(f"range [{lo}, {hi}] outside domain of depth {depth}")
+    pieces: List[Interval] = []
+    cursor = lo
+    remaining = hi - lo + 1
+    while remaining > 0:
+        # Largest power-of-two block that is aligned at `cursor` and fits.
+        align = cursor & -cursor if cursor else 1 << depth
+        size = min(align, 1 << remaining.bit_length() - 1)
+        length = depth - size.bit_length() + 1
+        pieces.append((cursor >> (depth - length), length))
+        cursor += size
+        remaining -= size
+    return pieces

@@ -1,0 +1,55 @@
+"""Alternative knowledge-base stores, for ablating Appendix C.1.
+
+The paper stores the knowledge base in a multilevel dyadic tree so the
+"find a stored box containing b" query costs Õ(1) (Proposition B.12).
+``ListStore`` is the naive alternative — a flat list with O(|A|) linear
+scans — retained to measure exactly how much the data structure
+contributes (benchmarks/bench_ablation.py).  Both implement the protocol
+:class:`~repro.core.tetris.TetrisEngine` expects of ``knowledge_base``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Set
+
+from repro.core.boxes import BoxTuple, box_contains
+
+
+class ListStore:
+    """Flat-list knowledge base: O(n) containment scans, O(1) insert."""
+
+    def __init__(self, ndim: int):
+        if ndim < 1:
+            raise ValueError("ndim must be at least 1")
+        self.ndim = ndim
+        self._boxes: List[BoxTuple] = []
+        self._seen: Set[BoxTuple] = set()
+
+    def __len__(self) -> int:
+        return len(self._boxes)
+
+    def __contains__(self, box: BoxTuple) -> bool:
+        return box in self._seen
+
+    def __iter__(self) -> Iterator[BoxTuple]:
+        return iter(self._boxes)
+
+    def add(self, box: BoxTuple) -> bool:
+        if len(box) != self.ndim:
+            raise ValueError(
+                f"box has {len(box)} components, store has {self.ndim}"
+            )
+        if box in self._seen:
+            return False
+        self._seen.add(box)
+        self._boxes.append(box)
+        return True
+
+    def find_container(self, box: BoxTuple) -> Optional[BoxTuple]:
+        for stored in self._boxes:
+            if box_contains(stored, box):
+                return stored
+        return None
+
+    def find_all_containers(self, box: BoxTuple) -> List[BoxTuple]:
+        return [s for s in self._boxes if box_contains(s, box)]

@@ -1,0 +1,546 @@
+"""Tetris — the paper's join / box-cover algorithm (Algorithms 1 and 2).
+
+``TetrisSkeleton`` solves the *Boolean* box cover problem: given the
+knowledge base ``A`` and a target box ``b``, decide whether ``b`` is covered
+by the union of ``A`` and produce a witness — a single box covering ``b``
+(derived by geometric resolutions, cached back into ``A``), or an uncovered
+point of ``b``.
+
+The outer ``Tetris`` loop repeatedly calls the skeleton on the universal
+box ⟨λ,...,λ⟩; every false witness is either a fresh output tuple (no input
+gap box contains it) or triggers loading the containing gap boxes from the
+input oracle into ``A``.
+
+Variants, selected by flags (Sections 4.3–4.4, 5.1):
+
+* **Tetris-Preloaded** (``preload=True``): ``A`` starts with every input
+  gap box — the worst-case-optimal configuration (AGM / fhtw bounds).
+* **Tetris-Reloaded** (``preload=False``): ``A`` starts empty and boxes are
+  loaded on demand — the certificate-based, beyond-worst-case
+  configuration (Õ(|C|+Z) for treewidth 1, Õ(|C|^{w+1}+Z) for treewidth w).
+* **No resolvent caching** (``cache_resolvents=False``): drops line 19 of
+  Algorithm 1, restricting the proof to Tree Ordered Geometric Resolution
+  (Theorem 5.1 / Corollary D.3).
+* **One-pass** (``one_pass=True``): the TetrisSkeleton2 optimization from
+  the proof of Theorem D.2 — outputs are reported inside the skeleton so
+  the traversal never restarts from the root.  Semantically identical;
+  saves the Õ(1)-per-output restart cost, which matters in CPython.
+
+The engine is written iteratively (explicit stack) so deep recursions
+(depth ``n·d``) never hit the interpreter recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.boxes import BoxTuple, box_contains
+from repro.core.dyadic_tree import MultilevelDyadicTree
+from repro.core.resolution import ResolutionStats, Resolver
+
+Point = Tuple[int, ...]
+
+
+class DimensionSpec:
+    """How one dimension of the output space bottoms out.
+
+    The plain engine treats every dimension as ``{0,1}^d`` (``FixedDepth``).
+    The load-balanced engine of Section 4.5 lifts an n-dimensional BCP into
+    2n-2 dimensions whose components are *not* fixed-length strings:
+
+    * a partition dimension ``A'`` holds elements of a complete prefix-free
+      code P (a balanced partition) — a component is unit when it is in P;
+    * its remainder dimension ``A''`` holds the suffix, whose unit length
+      depends on the P element chosen on ``A'``.
+
+    Implementations answer, for a box in SAO order, whether an axis is at
+    its unit (unsplittable) level.
+    """
+
+    def is_unit(self, box: BoxTuple, axis: int) -> bool:
+        raise NotImplementedError
+
+
+class FixedDepth(DimensionSpec):
+    """Ordinary dimension over ``{0,1}^depth``."""
+
+    __slots__ = ("depth",)
+
+    def __init__(self, depth: int):
+        self.depth = depth
+
+    def is_unit(self, box: BoxTuple, axis: int) -> bool:
+        return box[axis][1] == self.depth
+
+
+class CodeDimension(DimensionSpec):
+    """Dimension whose unit values form a complete prefix-free code.
+
+    ``code`` is the set of intervals of a balanced partition P; any strict
+    prefix of a code element is splittable, any code element is unit.
+    """
+
+    __slots__ = ("code",)
+
+    def __init__(self, code):
+        self.code = frozenset(code)
+
+    def is_unit(self, box: BoxTuple, axis: int) -> bool:
+        return box[axis] in self.code
+
+
+class RemainderDimension(DimensionSpec):
+    """Suffix dimension paired with a code dimension.
+
+    Unit length is ``total_depth`` minus the length of the partner (code)
+    component.  Valid because the SAO visits the partner first, so by the
+    time this axis is split the partner component is already unit.
+    """
+
+    __slots__ = ("partner_axis", "total_depth")
+
+    def __init__(self, partner_axis: int, total_depth: int):
+        self.partner_axis = partner_axis
+        self.total_depth = total_depth
+
+    def is_unit(self, box: BoxTuple, axis: int) -> bool:
+        return box[axis][1] == self.total_depth - box[self.partner_axis][1]
+
+
+class BoxSetOracle:
+    """Oracle access to a set of gap boxes ``B`` (Section 3.4).
+
+    Given a unit box (a point of the output space), returns all boxes of
+    ``B`` containing it in Õ(1) via a multilevel dyadic tree.  This models
+    "the pre-built database indices of the input relations".
+    """
+
+    def __init__(self, boxes: Iterable[BoxTuple], ndim: int):
+        self.ndim = ndim
+        self._tree = MultilevelDyadicTree(ndim)
+        self._boxes: List[BoxTuple] = []
+        for box in boxes:
+            if self._tree.add(box):
+                self._boxes.append(box)
+
+    def __len__(self) -> int:
+        return len(self._boxes)
+
+    def containing(self, unit_box: BoxTuple) -> List[BoxTuple]:
+        """All gap boxes containing the given point (Algorithm 2, line 4)."""
+        return self._tree.find_all_containers(unit_box)
+
+    def boxes(self) -> Sequence[BoxTuple]:
+        """The full box set (used by Tetris-Preloaded initialization)."""
+        return self._boxes
+
+
+class TetrisEngine:
+    """One Tetris run: a knowledge base, a resolver, and a splitting order.
+
+    ``sao`` is the splitting attribute order as a permutation of dimension
+    indices; boxes are stored and split internally in SAO order and
+    translated back at the API boundary.
+    """
+
+    def __init__(
+        self,
+        ndim: int,
+        depth: int,
+        sao: Optional[Sequence[int]] = None,
+        cache_resolvents: bool = True,
+        stats: Optional[ResolutionStats] = None,
+        dims: Optional[Sequence[DimensionSpec]] = None,
+        knowledge_base=None,
+    ):
+        if ndim < 1:
+            raise ValueError("ndim must be at least 1")
+        if depth < 0:
+            raise ValueError("depth must be non-negative")
+        self.ndim = ndim
+        self.depth = depth
+        self.sao: Tuple[int, ...] = (
+            tuple(range(ndim)) if sao is None else tuple(sao)
+        )
+        if sorted(self.sao) != list(range(ndim)):
+            raise ValueError(
+                f"sao must be a permutation of 0..{ndim - 1}, got {self.sao}"
+            )
+        self._inv_sao = tuple(
+            self.sao.index(i) for i in range(ndim)
+        )
+        self.cache_resolvents = cache_resolvents
+        self.stats = stats if stats is not None else ResolutionStats()
+        # The store behind Algorithm 1's A; any object with
+        # add / find_container / find_all_containers works
+        # (see repro.core.stores for the linear-scan ablation).
+        self.knowledge_base = (
+            knowledge_base
+            if knowledge_base is not None
+            else MultilevelDyadicTree(ndim)
+        )
+        self._resolver = Resolver(self.stats)
+        self._universe: BoxTuple = ((0, 0),) * ndim
+        self._return_boxes = False
+        # Dimension specs are given in *internal (SAO) order*; None means
+        # every dimension is a plain {0,1}^depth domain (the fast path).
+        self.dims: Optional[Tuple[DimensionSpec, ...]] = (
+            tuple(dims) if dims is not None else None
+        )
+        if self.dims is not None:
+            if len(self.dims) != ndim:
+                raise ValueError("one dimension spec per dimension")
+            for i, spec in enumerate(self.dims):
+                if (
+                    isinstance(spec, RemainderDimension)
+                    and spec.partner_axis >= i
+                ):
+                    raise ValueError(
+                        "a remainder dimension must follow its code "
+                        "dimension in SAO order"
+                    )
+
+    def _is_unit_box(self, box: BoxTuple) -> bool:
+        """Unit test under dimension specs (generalized spaces only)."""
+        dims = self.dims
+        return all(
+            dims[i].is_unit(box, i) for i in range(self.ndim)
+        )
+
+    def _first_thick_generalized(self, box: BoxTuple) -> int:
+        dims = self.dims
+        for i in range(self.ndim):
+            if not dims[i].is_unit(box, i):
+                return i
+        raise ValueError("unit boxes cannot be split")
+
+    # -- SAO translation -----------------------------------------------------
+
+    def to_internal(self, box: BoxTuple) -> BoxTuple:
+        """Permute a space-order box into SAO order."""
+        sao = self.sao
+        return tuple(box[sao[i]] for i in range(self.ndim))
+
+    def to_external(self, box: BoxTuple) -> BoxTuple:
+        """Permute an SAO-order box back into space order."""
+        inv = self._inv_sao
+        return tuple(box[inv[i]] for i in range(self.ndim))
+
+    def add_box(self, box: BoxTuple) -> bool:
+        """Amend the knowledge base with a space-order box."""
+        added = self.knowledge_base.add(self.to_internal(box))
+        if added:
+            self.stats.boxes_loaded += 1
+        return added
+
+    # -- Algorithm 1: TetrisSkeleton ------------------------------------------
+
+    def _first_thick_dimension(self, box: BoxTuple) -> int:
+        """Smallest SAO dimension that is not yet at its unit level."""
+        if self.dims is not None:
+            return self._first_thick_generalized(box)
+        depth = self.depth
+        for i, (_, length) in enumerate(box):
+            if length < depth:
+                return i
+        raise ValueError("unit boxes cannot be split")
+
+    def skeleton(self, target: BoxTuple) -> Tuple[bool, BoxTuple]:
+        """Algorithm 1 on an SAO-order target box.
+
+        Returns ``(True, w)`` with ``w ⊇ target`` covered by the knowledge
+        base, or ``(False, p)`` with ``p`` an uncovered unit box inside
+        ``target``.  Implemented with an explicit stack; each frame holds
+        ``[b, second_half, axis, w1, stage]``.
+        """
+        kb = self.knowledge_base
+        stats = self.stats
+        depth = self.depth
+        cache = self.cache_resolvents
+        resolver = self._resolver
+        uniform = self.dims is None
+        stats.skeleton_calls += 1
+
+        stack: list = []
+        current: Optional[BoxTuple] = target
+        result: Tuple[bool, BoxTuple] = (False, target)
+
+        while True:
+            if current is not None:
+                b = current
+                stats.containment_queries += 1
+                witness = kb.find_container(b)
+                if witness is not None:
+                    stats.cache_hits += 1
+                    result = (True, witness)
+                    current = None
+                    continue
+                # Unit box check: every component at its unit level.
+                if (
+                    all(length == depth for _, length in b)
+                    if uniform
+                    else self._is_unit_box(b)
+                ):
+                    result = (False, b)
+                    current = None
+                    continue
+                axis = self._first_thick_dimension(b)
+                value, length = b[axis]
+                b1 = b[:axis] + ((value << 1, length + 1),) + b[axis + 1:]
+                b2 = (
+                    b[:axis]
+                    + (((value << 1) | 1, length + 1),)
+                    + b[axis + 1:]
+                )
+                stack.append([b, b2, axis, None, 0])
+                current = b1
+                continue
+
+            if not stack:
+                return result
+
+            frame = stack[-1]
+            covered, witness = result
+            if not covered:
+                # An uncovered point propagates straight to the root
+                # (Algorithm 1, lines 9–10 and 14–15).
+                stack.pop()
+                continue
+            b, b2, axis, w1, stage = frame
+            if box_contains(witness, b):
+                # Lines 11–12 / 16–17: the half's witness already covers b.
+                stack.pop()
+                continue
+            if stage == 0:
+                frame[3] = witness
+                frame[4] = 1
+                current = b2
+                continue
+            # Both halves covered but neither witness covers b: resolve.
+            resolvent = resolver.resolve(w1, witness, axis)
+            if cache:
+                kb.add(resolvent)
+            stack.pop()
+            result = (True, resolvent)
+
+    # -- Algorithm 2: the outer loop -------------------------------------------
+
+    def run(
+        self,
+        oracle: Optional[BoxSetOracle] = None,
+        preload: bool = False,
+        one_pass: bool = False,
+        max_outputs: Optional[int] = None,
+        return_boxes: bool = False,
+    ):
+        """Solve the box cover problem, returning all uncovered points.
+
+        ``oracle`` supplies the input gap boxes in space order; with
+        ``preload=True`` they are all loaded into the knowledge base up
+        front (Tetris-Preloaded), otherwise they are pulled on demand
+        (Tetris-Reloaded).  ``one_pass`` switches to the TetrisSkeleton2
+        traversal that reports outputs without restarting.
+
+        ``return_boxes=True`` yields each output as a full unit BoxTuple
+        (space order) rather than a tuple of values — required for
+        generalized spaces where components have varying lengths.
+        """
+        if oracle is not None and preload:
+            for box in oracle.boxes():
+                self.add_box(box)
+        self._return_boxes = return_boxes
+        if one_pass:
+            return self._run_one_pass(oracle, max_outputs)
+        return self._run_restarting(oracle, max_outputs)
+
+    def _emit(self, unit_internal: BoxTuple):
+        """Convert an internal unit box to the configured output form."""
+        external = self.to_external(unit_internal)
+        if self._return_boxes:
+            return external
+        return tuple(v for v, _ in external)
+
+    def _oracle_lookup(
+        self, oracle: Optional[BoxSetOracle], point_internal: BoxTuple
+    ) -> List[BoxTuple]:
+        """Query the oracle with an internal (SAO-order) unit box."""
+        if oracle is None:
+            return []
+        self.stats.oracle_queries += 1
+        external = self.to_external(point_internal)
+        return [self.to_internal(b) for b in oracle.containing(external)]
+
+    def _run_restarting(
+        self, oracle: Optional[BoxSetOracle], max_outputs: Optional[int]
+    ) -> List[Point]:
+        """Faithful Algorithm 2: restart the skeleton after every witness."""
+        outputs: List[Point] = []
+        universe = self._universe
+        kb = self.knowledge_base
+        covered, witness = self.skeleton(universe)
+        while not covered:
+            gap_boxes = self._oracle_lookup(oracle, witness)
+            if not gap_boxes:
+                outputs.append(self._emit(witness))
+                gap_boxes = [witness]
+                if max_outputs is not None and len(outputs) >= max_outputs:
+                    return outputs
+            for box in gap_boxes:
+                if kb.add(box):
+                    self.stats.boxes_loaded += 1
+            covered, witness = self.skeleton(universe)
+        return outputs
+
+    def _run_one_pass(
+        self, oracle: Optional[BoxSetOracle], max_outputs: Optional[int]
+    ) -> List[Point]:
+        """TetrisSkeleton2: handle uncovered points in place, never restart."""
+        kb = self.knowledge_base
+        stats = self.stats
+        depth = self.depth
+        cache = self.cache_resolvents
+        resolver = self._resolver
+        uniform = self.dims is None
+        outputs: List[Point] = []
+        stats.skeleton_calls += 1
+
+        stack: list = []
+        current: Optional[BoxTuple] = self._universe
+        result: Tuple[bool, BoxTuple] = (True, self._universe)
+
+        while True:
+            if current is not None:
+                b = current
+                stats.containment_queries += 1
+                witness = kb.find_container(b)
+                if witness is not None:
+                    stats.cache_hits += 1
+                    result = (True, witness)
+                    current = None
+                    continue
+                if (
+                    all(length == depth for _, length in b)
+                    if uniform
+                    else self._is_unit_box(b)
+                ):
+                    gap_boxes = self._oracle_lookup(oracle, b)
+                    if gap_boxes:
+                        for box in gap_boxes:
+                            if kb.add(box):
+                                stats.boxes_loaded += 1
+                        result = (True, gap_boxes[0])
+                    else:
+                        outputs.append(self._emit(b))
+                        if (
+                            max_outputs is not None
+                            and len(outputs) >= max_outputs
+                        ):
+                            return outputs
+                        kb.add(b)
+                        stats.boxes_loaded += 1
+                        result = (True, b)
+                    current = None
+                    continue
+                axis = self._first_thick_dimension(b)
+                value, length = b[axis]
+                b1 = b[:axis] + ((value << 1, length + 1),) + b[axis + 1:]
+                b2 = (
+                    b[:axis]
+                    + (((value << 1) | 1, length + 1),)
+                    + b[axis + 1:]
+                )
+                stack.append([b, b2, axis, None, 0])
+                current = b1
+                continue
+
+            if not stack:
+                return outputs
+
+            frame = stack[-1]
+            _, witness = result
+            b, b2, axis, w1, stage = frame
+            if box_contains(witness, b):
+                stack.pop()
+                continue
+            if stage == 0:
+                frame[3] = witness
+                frame[4] = 1
+                current = b2
+                continue
+            resolvent = resolver.resolve(w1, witness, axis)
+            if cache:
+                kb.add(resolvent)
+            stack.pop()
+            result = (True, resolvent)
+
+
+# -- Convenience entry points ---------------------------------------------------
+
+
+def solve_bcp(
+    boxes: Iterable[BoxTuple],
+    ndim: int,
+    depth: int,
+    sao: Optional[Sequence[int]] = None,
+    preload: bool = True,
+    cache_resolvents: bool = True,
+    one_pass: bool = True,
+    stats: Optional[ResolutionStats] = None,
+) -> List[Point]:
+    """Solve a Box Cover Problem instance: list points not covered by ``boxes``.
+
+    Defaults to the fast one-pass preloaded configuration; pass
+    ``preload=False, one_pass=False`` for the faithful Tetris-Reloaded.
+    """
+    oracle = BoxSetOracle(boxes, ndim)
+    engine = TetrisEngine(
+        ndim, depth, sao=sao, cache_resolvents=cache_resolvents, stats=stats
+    )
+    return engine.run(oracle, preload=preload, one_pass=one_pass)
+
+
+def tetris_preloaded(
+    boxes: Iterable[BoxTuple],
+    ndim: int,
+    depth: int,
+    sao: Optional[Sequence[int]] = None,
+    stats: Optional[ResolutionStats] = None,
+    one_pass: bool = True,
+) -> List[Point]:
+    """Tetris-Preloaded (Section 4.3): worst-case-optimal configuration."""
+    return solve_bcp(
+        boxes, ndim, depth, sao=sao, preload=True, one_pass=one_pass,
+        stats=stats,
+    )
+
+
+def tetris_reloaded(
+    boxes: Iterable[BoxTuple],
+    ndim: int,
+    depth: int,
+    sao: Optional[Sequence[int]] = None,
+    stats: Optional[ResolutionStats] = None,
+    one_pass: bool = False,
+) -> List[Point]:
+    """Tetris-Reloaded (Section 4.4): certificate-based configuration."""
+    return solve_bcp(
+        boxes, ndim, depth, sao=sao, preload=False, one_pass=one_pass,
+        stats=stats,
+    )
+
+
+def boolean_box_cover(
+    boxes: Iterable[BoxTuple],
+    ndim: int,
+    depth: int,
+    sao: Optional[Sequence[int]] = None,
+    stats: Optional[ResolutionStats] = None,
+) -> bool:
+    """Boolean BCP (Definition 3.5): does the union cover the whole space?
+
+    Stops at the first uncovered point, so an uncovered instance exits early.
+    """
+    oracle = BoxSetOracle(boxes, ndim)
+    engine = TetrisEngine(ndim, depth, sao=sao, stats=stats)
+    uncovered = engine.run(oracle, preload=True, one_pass=True, max_outputs=1)
+    return not uncovered

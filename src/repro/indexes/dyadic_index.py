@@ -1,0 +1,173 @@
+"""Quadtree-style dyadic index (Figure 3b) — gap boxes as empty cells.
+
+A *dyadic index* recursively subdivides the relation's box space into
+2^k equal sub-cells (a quadtree for binary relations, an octree for
+ternary, ...).  A cell containing no tuples is emitted as a single gap box
+— this is how Figure 3b covers the running-example relation with far fewer
+boxes than either B-tree order, and how Example B.8's "non-B-tree gap
+boxes" arise.
+
+The index also answers lazy probes: the gap box containing a non-tuple
+point is the *largest* empty cell on the point's root-to-leaf path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.core.boxes import BoxTuple
+from repro.core.intervals import Interval
+from repro.relational.relation import Relation
+
+
+class DyadicTreeIndex:
+    """Quadtree-like index: all components subdivide in lock-step."""
+
+    def __init__(self, relation: Relation):
+        self.relation = relation
+        self.depth = relation.domain.depth
+        self.arity = relation.arity
+        self._tuples = sorted(relation.tuples())
+
+    def _cell_tuples(
+        self, cell: Tuple[Interval, ...], tuples: Sequence[Tuple[int, ...]]
+    ) -> List[Tuple[int, ...]]:
+        depth = self.depth
+        out = []
+        for t in tuples:
+            for (value, length), coord in zip(cell, t):
+                if (coord >> (depth - length)) != value:
+                    break
+            else:
+                out.append(t)
+        return out
+
+    def gap_boxes(self) -> Iterator[Tuple[Tuple[Interval, ...], Tuple[str, ...]]]:
+        """Empty cells of the recursive 2^k-ary subdivision, maximal first."""
+        depth = self.depth
+        arity = self.arity
+        attrs = self.relation.attrs
+
+        def walk(cell: Tuple[Interval, ...], level: int, tuples):
+            if not tuples:
+                yield cell
+                return
+            if level == depth:
+                return  # a unit cell holding a tuple
+            children_count = 1 << arity
+            for mask in range(children_count):
+                child = tuple(
+                    ((value << 1) | ((mask >> i) & 1), length + 1)
+                    for i, (value, length) in enumerate(cell)
+                )
+                sub = self._cell_tuples(child, tuples)
+                yield from walk(child, level + 1, sub)
+
+        root = ((0, 0),) * arity
+        if not self._tuples and depth == 0:
+            yield root, attrs
+            return
+        for box in walk(root, 0, self._tuples):
+            yield box, attrs
+
+    def gap_boxes_containing(
+        self, point: Sequence[int]
+    ) -> List[Tuple[Interval, ...]]:
+        """The maximal empty cell containing the probe point, or ``[]``."""
+        depth = self.depth
+        cell: Tuple[Interval, ...] = ((0, 0),) * self.arity
+        tuples = self._tuples
+        for level in range(depth + 1):
+            tuples = self._cell_tuples(cell, tuples)
+            if not tuples:
+                return [cell]
+            if level == depth:
+                return []
+            cell = tuple(
+                (
+                    (value << 1)
+                    | ((point[i] >> (depth - length - 1)) & 1),
+                    length + 1,
+                )
+                for i, (value, length) in enumerate(cell)
+            )
+        return []
+
+    def count_gap_boxes(self) -> int:
+        return sum(1 for _ in self.gap_boxes())
+
+
+class KDTreeIndex:
+    """KD-tree index: subdivide one dimension at a time, round-robin.
+
+    Cells are dyadic boxes whose component lengths differ by at most one;
+    empty cells are gap boxes.  Sits between the B-tree (one long
+    dimension) and the quadtree (all dimensions at once) in the index
+    taxonomy of Section 1.
+    """
+
+    def __init__(self, relation: Relation):
+        self.relation = relation
+        self.depth = relation.domain.depth
+        self.arity = relation.arity
+        self._tuples = sorted(relation.tuples())
+
+    def _in_cell(self, cell, t) -> bool:
+        depth = self.depth
+        for (value, length), coord in zip(cell, t):
+            if (coord >> (depth - length)) != value:
+                return False
+        return True
+
+    def gap_boxes(self) -> Iterator[Tuple[Tuple[Interval, ...], Tuple[str, ...]]]:
+        attrs = self.relation.attrs
+        depth = self.depth
+        arity = self.arity
+        total = depth * arity
+
+        def walk(cell, level, tuples):
+            if not tuples:
+                yield cell
+                return
+            if level == total:
+                return
+            axis = level % arity
+            value, length = cell[axis]
+            for bit in (0, 1):
+                child = (
+                    cell[:axis]
+                    + (((value << 1) | bit, length + 1),)
+                    + cell[axis + 1:]
+                )
+                sub = [t for t in tuples if self._in_cell(child, t)]
+                yield from walk(child, level + 1, sub)
+
+        root = ((0, 0),) * arity
+        for box in walk(root, 0, self._tuples):
+            yield box, attrs
+
+    def gap_boxes_containing(
+        self, point: Sequence[int]
+    ) -> List[Tuple[Interval, ...]]:
+        depth = self.depth
+        arity = self.arity
+        cell: Tuple[Interval, ...] = ((0, 0),) * arity
+        tuples = [t for t in self._tuples]
+        for level in range(depth * arity + 1):
+            tuples = [t for t in tuples if self._in_cell(cell, t)]
+            if not tuples:
+                return [cell]
+            if level == depth * arity:
+                return []
+            axis = level % arity
+            value, length = cell[axis]
+            bit = (point[axis] >> (depth - length - 1)) & 1
+            cell = (
+                cell[:axis]
+                + (((value << 1) | bit, length + 1),)
+                + cell[axis + 1:]
+            )
+        return []
+
+    def count_gap_boxes(self) -> int:
+        return sum(1 for _ in self.gap_boxes())

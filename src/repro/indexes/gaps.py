@@ -1,0 +1,85 @@
+"""Gap extraction helpers: from stored values to dyadic gap intervals.
+
+An index over an ordered domain exposes, for free, the *gaps* between the
+values it stores (Section 3.2).  These helpers turn sorted value lists into
+the dyadic intervals covering their complement — the raw material every
+index in :mod:`repro.indexes` feeds into gap boxes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core import intervals as dy
+from repro.core.intervals import Interval
+
+
+def complement_ranges(
+    values: Sequence[int], depth: int
+) -> List[Tuple[int, int]]:
+    """Inclusive integer ranges of ``[0, 2^d)`` minus a sorted value list."""
+    top = (1 << depth) - 1
+    out: List[Tuple[int, int]] = []
+    prev = -1
+    for v in values:
+        if v > prev + 1:
+            out.append((prev + 1, v - 1))
+        prev = v
+    if prev < top:
+        out.append((prev + 1, top))
+    return out
+
+
+def dyadic_gaps(values: Iterable[int], depth: int) -> List[Interval]:
+    """Dyadic intervals covering everything *not* in ``values``.
+
+    The input need not be sorted; duplicates are fine.  Output intervals
+    are disjoint and each maximal within its gap (Proposition B.14 keeps
+    the count at most ``2d`` per gap).
+    """
+    ordered = sorted(set(values))
+    pieces: List[Interval] = []
+    for lo, hi in complement_ranges(ordered, depth):
+        pieces.extend(dy.decompose_range(lo, hi, depth))
+    return pieces
+
+
+def dyadic_boxes_from_ranges(
+    ranges: Sequence[Tuple[int, int]], depth: int
+) -> List[Tuple[Interval, ...]]:
+    """Decompose an axis-aligned integer box into disjoint dyadic boxes.
+
+    ``ranges`` gives one inclusive ``(lo, hi)`` range per dimension.  The
+    cross product of the per-dimension decompositions realizes
+    Proposition B.14's bound of at most ``(2d)^n`` dyadic boxes; an empty
+    range yields no boxes.  This is how a user hands arbitrary
+    (non-dyadic) gap boxes to the BCP machinery.
+    """
+    import itertools
+
+    per_dim = [dy.decompose_range(lo, hi, depth) for lo, hi in ranges]
+    if any(not pieces for pieces in per_dim):
+        return []
+    return [tuple(combo) for combo in itertools.product(*per_dim)]
+
+
+def gap_piece_containing(
+    values: Sequence[int], point: int, depth: int
+) -> Optional[Interval]:
+    """The dyadic gap interval containing ``point``, or ``None`` if stored.
+
+    ``values`` must be sorted.  This is the O(log N + d) probe that lazy
+    index oracles use: binary-search the neighbours of ``point``, decompose
+    the single surrounding gap, and pick the piece containing the point.
+    """
+    import bisect
+
+    i = bisect.bisect_left(values, point)
+    if i < len(values) and values[i] == point:
+        return None
+    lo = values[i - 1] + 1 if i > 0 else 0
+    hi = values[i] - 1 if i < len(values) else (1 << depth) - 1
+    for piece in dy.decompose_range(lo, hi, depth):
+        if dy.covers_point(piece, point, depth):
+            return piece
+    raise AssertionError("gap decomposition must cover the probe point")

@@ -1,0 +1,143 @@
+"""Gap-box oracles: the bridge from indexed relations to BCP instances.
+
+``QueryGapOracle`` aggregates the gap boxes of every index of every input
+relation (multiple indexes per relation are explicitly supported — that is
+the Appendix B.2 generalization the paper advertises) and lifts them into
+the query's output space with λ wildcards on the missing attributes
+(Section 3.3).  It implements the interface the Tetris engine expects:
+
+* ``containing(unit_box)`` — all gap boxes containing a probe point,
+  answered *lazily* by the underlying indexes in Õ(1) per index;
+* ``boxes()`` — the full materialized set B(Q), used by Tetris-Preloaded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.boxes import BoxTuple
+from repro.core.intervals import LAMBDA
+from repro.indexes.btree import BTreeIndex
+from repro.indexes.dyadic_index import DyadicTreeIndex, KDTreeIndex
+from repro.relational.hypergraph import Hypergraph, gao_for_acyclic
+from repro.relational.query import Database, JoinQuery
+
+
+class QueryGapOracle:
+    """Oracle access to B(Q) = ∪_R B(R) lifted into the output space."""
+
+    def __init__(
+        self,
+        query: JoinQuery,
+        indexes: Iterable[object],
+        attrs: Optional[Sequence[str]] = None,
+    ):
+        self.query = query
+        self.attrs: Tuple[str, ...] = (
+            tuple(attrs) if attrs is not None else query.variables
+        )
+        self._axis = {a: i for i, a in enumerate(self.attrs)}
+        self.indexes: List[object] = list(indexes)
+        if not self.indexes:
+            raise ValueError("at least one index is required")
+        self._materialized: Optional[List[BoxTuple]] = None
+        # Pre-compute per-index lifting info.
+        self._lift_axes: List[Tuple[int, ...]] = []
+        for idx in self.indexes:
+            order = self._index_attr_order(idx)
+            self._lift_axes.append(tuple(self._axis[a] for a in order))
+
+    @staticmethod
+    def _index_attr_order(index: object) -> Tuple[str, ...]:
+        if hasattr(index, "attr_order"):
+            return tuple(index.attr_order)
+        return tuple(index.relation.attrs)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.attrs)
+
+    def _lift(self, box, axes) -> BoxTuple:
+        lifted = [LAMBDA] * len(self.attrs)
+        for iv, axis in zip(box, axes):
+            lifted[axis] = iv
+        return tuple(lifted)
+
+    def containing(self, unit_box: BoxTuple) -> List[BoxTuple]:
+        """All gap boxes containing the probe point, straight off the indexes."""
+        out: List[BoxTuple] = []
+        for idx, axes in zip(self.indexes, self._lift_axes):
+            point = tuple(unit_box[axis][0] for axis in axes)
+            for box in idx.gap_boxes_containing(point):
+                out.append(self._lift(box, axes))
+        return out
+
+    def boxes(self) -> List[BoxTuple]:
+        """Materialize the full lifted gap-box set (cached)."""
+        if self._materialized is None:
+            seen = set()
+            out: List[BoxTuple] = []
+            for idx, axes in zip(self.indexes, self._lift_axes):
+                for box, _ in idx.gap_boxes():
+                    lifted = self._lift(box, axes)
+                    if lifted not in seen:
+                        seen.add(lifted)
+                        out.append(lifted)
+            self._materialized = out
+        return self._materialized
+
+    def __len__(self) -> int:
+        return len(self.boxes())
+
+
+def build_btree_indexes(
+    query: JoinQuery, db: Database, gao: Sequence[str]
+) -> List[BTreeIndex]:
+    """One GAO-consistent B-tree per atom (the Minesweeper setting)."""
+    indexes = []
+    for atom in query.atoms:
+        order = tuple(a for a in gao if a in atom.attrs)
+        indexes.append(BTreeIndex(db[atom.name], order))
+    return indexes
+
+
+def build_dyadic_indexes(
+    query: JoinQuery, db: Database
+) -> List[DyadicTreeIndex]:
+    """One quadtree-style dyadic index per atom."""
+    return [DyadicTreeIndex(db[atom.name]) for atom in query.atoms]
+
+
+def build_kdtree_indexes(
+    query: JoinQuery, db: Database
+) -> List[KDTreeIndex]:
+    """One KD-tree index per atom."""
+    return [KDTreeIndex(db[atom.name]) for atom in query.atoms]
+
+
+def build_all_order_btrees(
+    query: JoinQuery, db: Database
+) -> List[BTreeIndex]:
+    """Every possible B-tree order for every atom (Example B.7's setting).
+
+    Exponential in arity — meant for the small-arity relations of the
+    paper's examples, where multiple indexes per relation shrink the box
+    certificate.
+    """
+    import itertools
+
+    indexes = []
+    for atom in query.atoms:
+        for order in itertools.permutations(atom.attrs):
+            indexes.append(BTreeIndex(db[atom.name], order))
+    return indexes
+
+
+def default_gao(query: JoinQuery) -> Tuple[str, ...]:
+    """A good global attribute order: reverse-GYO for α-acyclic queries,
+    otherwise a minimum-induced-width elimination order."""
+    h = Hypergraph.of_query(query)
+    if h.is_alpha_acyclic():
+        return gao_for_acyclic(h)
+    _, order = h.treewidth()
+    return tuple(order)

@@ -1,0 +1,80 @@
+"""Boolean and counting joins on top of the Tetris engine.
+
+``join_exists`` answers the Boolean join ("is the output non-empty?") by
+running Tetris with an output cap of one — the engine stops at the first
+uncovered point, so an early witness exits without enumerating Z tuples.
+``join_count`` counts output tuples; with Tetris this is free model
+counting (the same mechanism as #SAT in :mod:`repro.sat`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.resolution import ResolutionStats
+from repro.core.tetris import TetrisEngine
+from repro.joins.tetris_join import make_oracle
+from repro.relational.query import Database, JoinQuery
+
+
+def _engine_for(
+    query: JoinQuery,
+    db: Database,
+    index_kind: str,
+    gao: Optional[Sequence[str]],
+    stats: Optional[ResolutionStats],
+):
+    oracle, gao = make_oracle(query, db, index_kind=index_kind, gao=gao)
+    attrs = oracle.attrs
+    sao = tuple(attrs.index(a) for a in gao)
+    engine = TetrisEngine(
+        len(attrs), db.domain.depth, sao=sao, stats=stats
+    )
+    return engine, oracle
+
+
+def join_exists(
+    query: JoinQuery,
+    db: Database,
+    index_kind: str = "btree",
+    gao: Optional[Sequence[str]] = None,
+    stats: Optional[ResolutionStats] = None,
+) -> bool:
+    """Boolean join: True iff the join output is non-empty.
+
+    Equivalent to the Boolean BCP (Definition 3.5) being *uncovered*;
+    stops at the first output tuple found.
+    """
+    engine, oracle = _engine_for(query, db, index_kind, gao, stats)
+    found = engine.run(oracle, preload=True, one_pass=True, max_outputs=1)
+    return bool(found)
+
+
+def join_count(
+    query: JoinQuery,
+    db: Database,
+    index_kind: str = "btree",
+    gao: Optional[Sequence[str]] = None,
+    stats: Optional[ResolutionStats] = None,
+) -> int:
+    """Number of output tuples of the join (full enumeration count)."""
+    engine, oracle = _engine_for(query, db, index_kind, gao, stats)
+    return len(engine.run(oracle, preload=True, one_pass=True))
+
+
+def triangle_count(db: Database) -> int:
+    """Undirected triangles of a symmetric edge relation database.
+
+    Expects the triangle query's relations R, S, T to hold the same
+    symmetrized edge set; each undirected triangle appears as six ordered
+    embeddings.
+    """
+    from repro.relational.query import triangle_query
+
+    ordered = join_count(triangle_query(), db)
+    if ordered % 6 != 0:
+        raise ValueError(
+            "ordered embedding count not divisible by 6 — is the edge "
+            "relation symmetric and loop-free?"
+        )
+    return ordered // 6

@@ -1,0 +1,83 @@
+"""Binary hash-join plans — the traditional pairwise-join baseline.
+
+Evaluates the query as a left-deep sequence of binary hash joins in a
+given (or size-ascending) atom order.  On cyclic queries this is the
+algorithm the AGM line of work beats: intermediate results can blow up to
+Θ(N²) on triangle instances whose output is far smaller.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.relational.query import Database, JoinQuery
+
+
+def join_hash(
+    query: JoinQuery,
+    db: Database,
+    atom_order: Optional[Sequence[str]] = None,
+) -> List[Tuple[int, ...]]:
+    """Left-deep binary hash-join plan; outputs follow query.variables.
+
+    ``atom_order`` names atoms in join order; defaults to ascending
+    relation size (a common heuristic).
+    """
+    if atom_order is None:
+        atom_order = sorted(
+            (a.name for a in query.atoms), key=lambda n: len(db[n])
+        )
+    if sorted(atom_order) != sorted(a.name for a in query.atoms):
+        raise ValueError(f"{atom_order} does not enumerate the atoms")
+
+    first = query.atom(atom_order[0])
+    acc: List[tuple] = [tuple(t) for t in db[first.name]]
+    acc_attrs: List[str] = list(first.attrs)
+    for name in atom_order[1:]:
+        atom = query.atom(name)
+        right_attrs = list(atom.attrs)
+        common = [a for a in acc_attrs if a in right_attrs]
+        new_attrs = [a for a in right_attrs if a not in acc_attrs]
+        rpos_common = [right_attrs.index(a) for a in common]
+        rpos_new = [right_attrs.index(a) for a in new_attrs]
+        lpos_common = [acc_attrs.index(a) for a in common]
+        table: Dict[tuple, List[tuple]] = {}
+        for t in db[name]:
+            key = tuple(t[i] for i in rpos_common)
+            table.setdefault(key, []).append(
+                tuple(t[i] for i in rpos_new)
+            )
+        joined: List[tuple] = []
+        for t in acc:
+            key = tuple(t[i] for i in lpos_common)
+            for ext in table.get(key, ()):
+                joined.append(t + ext)
+        acc = joined
+        acc_attrs = acc_attrs + new_attrs
+    positions = [acc_attrs.index(v) for v in query.variables]
+    return sorted({tuple(t[i] for i in positions) for t in acc})
+
+
+def intermediate_sizes(
+    query: JoinQuery,
+    db: Database,
+    atom_order: Optional[Sequence[str]] = None,
+) -> List[int]:
+    """Sizes of every intermediate result of the left-deep plan.
+
+    Used by the crossover benchmarks to show the Θ(N²) blowups that
+    worst-case-optimal joins avoid.
+    """
+    if atom_order is None:
+        atom_order = sorted(
+            (a.name for a in query.atoms), key=lambda n: len(db[n])
+        )
+    sizes = []
+    sub_atoms = []
+    for name in atom_order:
+        sub_atoms.append(query.atom(name))
+        sub_query = JoinQuery(sub_atoms)
+        sizes.append(len(join_hash(sub_query, db, atom_order=[
+            a.name for a in sub_atoms
+        ])))
+    return sizes

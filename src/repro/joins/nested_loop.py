@@ -1,0 +1,37 @@
+"""Block-nested-loop join — the simplest (and slowest) baseline.
+
+Iterates the tuples of the first atom and extends bindings atom by atom,
+checking compatibility eagerly.  Exponential in the worst case; included
+as the sanity-check floor for the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.relational.query import Database, JoinQuery
+
+
+def join_nested_loop(
+    query: JoinQuery, db: Database
+) -> List[Tuple[int, ...]]:
+    """Evaluate a join by nested iteration; outputs follow query.variables."""
+    variables = query.variables
+
+    def extend(atom_index: int, binding: Dict[str, int]):
+        if atom_index == len(query.atoms):
+            yield tuple(binding[v] for v in variables)
+            return
+        atom = query.atoms[atom_index]
+        for row in db[atom.name]:
+            merged = dict(binding)
+            ok = True
+            for attr, value in zip(atom.attrs, row):
+                if merged.get(attr, value) != value:
+                    ok = False
+                    break
+                merged[attr] = value
+            if ok:
+                yield from extend(atom_index + 1, merged)
+
+    return sorted(set(extend(0, {})))

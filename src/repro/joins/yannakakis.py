@@ -1,0 +1,147 @@
+"""Yannakakis' algorithm for α-acyclic joins [73] — the classic baseline.
+
+Three phases over a join tree (built by GYO ear removal):
+
+1. bottom-up semijoin pass (each child filters its parent),
+2. top-down semijoin pass (each parent filters its children),
+3. bottom-up join along the tree.
+
+After full reduction every partial tuple extends to an output tuple, so
+for a *full* join query the intermediate results never exceed the output
+— the Õ(N + Z) guarantee that Table 1's first row credits to [73] and
+that Tetris-Preloaded matches (Theorem D.8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.relational.query import Database, JoinQuery
+from repro.relational.schema import RelationSchema
+
+
+class JoinTree:
+    """A join tree over the query's atoms: parent pointers by atom name."""
+
+    def __init__(
+        self,
+        order: List[str],
+        parent: Dict[str, Optional[str]],
+        attrs: Dict[str, Tuple[str, ...]],
+    ):
+        #: Ear-removal order: leaves first, root last.
+        self.order = order
+        self.parent = parent
+        self.attrs = attrs
+
+    @property
+    def root(self) -> str:
+        return self.order[-1]
+
+
+def build_join_tree(query: JoinQuery) -> JoinTree:
+    """GYO ear removal over atoms; raises for cyclic queries.
+
+    An atom E is an *ear* when the attributes it shares with the rest of
+    the query are all contained in some other atom F; F becomes E's parent.
+    """
+    remaining: Dict[str, Set[str]] = {
+        a.name: set(a.attrs) for a in query.atoms
+    }
+    attrs = {a.name: a.attrs for a in query.atoms}
+    parent: Dict[str, Optional[str]] = {}
+    order: List[str] = []
+    while len(remaining) > 1:
+        ear = None
+        for name, vs in remaining.items():
+            others = set().union(
+                *(v for n, v in remaining.items() if n != name)
+            )
+            shared = vs & others
+            for other, ovs in remaining.items():
+                if other != name and shared <= ovs:
+                    ear = (name, other)
+                    break
+            if ear:
+                break
+        if ear is None:
+            raise ValueError(
+                "query is not α-acyclic; Yannakakis does not apply"
+            )
+        name, par = ear
+        parent[name] = par
+        order.append(name)
+        del remaining[name]
+    root = next(iter(remaining))
+    parent[root] = None
+    order.append(root)
+    return JoinTree(order, parent, attrs)
+
+
+def _semijoin(
+    left: Set[tuple], left_attrs: Sequence[str],
+    right: Set[tuple], right_attrs: Sequence[str],
+) -> Set[tuple]:
+    """left ⋉ right: keep left tuples matching some right tuple."""
+    common = [a for a in left_attrs if a in right_attrs]
+    if not common:
+        return left if right else set()
+    lpos = [list(left_attrs).index(a) for a in common]
+    rpos = [list(right_attrs).index(a) for a in common]
+    keys = {tuple(t[i] for i in rpos) for t in right}
+    return {t for t in left if tuple(t[i] for i in lpos) in keys}
+
+
+def _join(
+    left: List[tuple], left_attrs: List[str],
+    right: Set[tuple], right_attrs: Sequence[str],
+) -> Tuple[List[tuple], List[str]]:
+    """Hash join producing tuples over left_attrs ∪ right_attrs."""
+    common = [a for a in left_attrs if a in right_attrs]
+    new_attrs = [a for a in right_attrs if a not in left_attrs]
+    out_attrs = list(left_attrs) + new_attrs
+    rpos_common = [list(right_attrs).index(a) for a in common]
+    rpos_new = [list(right_attrs).index(a) for a in new_attrs]
+    lpos_common = [left_attrs.index(a) for a in common]
+    table: Dict[tuple, List[tuple]] = {}
+    for t in right:
+        key = tuple(t[i] for i in rpos_common)
+        table.setdefault(key, []).append(tuple(t[i] for i in rpos_new))
+    out: List[tuple] = []
+    for t in left:
+        key = tuple(t[i] for i in lpos_common)
+        for ext in table.get(key, ()):
+            out.append(t + ext)
+    return out, out_attrs
+
+
+def join_yannakakis(
+    query: JoinQuery, db: Database
+) -> List[Tuple[int, ...]]:
+    """Evaluate an α-acyclic join; output tuples follow query.variables."""
+    tree = build_join_tree(query)
+    tuples: Dict[str, Set[tuple]] = {
+        a.name: set(db[a.name].tuples()) for a in query.atoms
+    }
+    # Phase 1 — bottom-up: each ear filters its parent.
+    for name in tree.order[:-1]:
+        par = tree.parent[name]
+        tuples[par] = _semijoin(
+            tuples[par], tree.attrs[par], tuples[name], tree.attrs[name]
+        )
+    # Phase 2 — top-down: each parent filters its children.
+    for name in reversed(tree.order[:-1]):
+        par = tree.parent[name]
+        tuples[name] = _semijoin(
+            tuples[name], tree.attrs[name], tuples[par], tree.attrs[par]
+        )
+    # Phase 3 — join bottom-up (children folded into parents, root last).
+    acc: List[tuple] = sorted(tuples[tree.root])
+    acc_attrs: List[str] = list(tree.attrs[tree.root])
+    for name in reversed(tree.order[:-1]):
+        acc, acc_attrs = _join(
+            acc, acc_attrs, tuples[name], tree.attrs[name]
+        )
+    # Reorder columns to the query's variable order.
+    positions = [acc_attrs.index(v) for v in query.variables]
+    return sorted({tuple(t[i] for i in positions) for t in acc})

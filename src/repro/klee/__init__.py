@@ -1,0 +1,13 @@
+"""Klee's measure problem over the Boolean semiring."""
+
+from repro.klee.measure import (
+    klee_covers_space,
+    klee_measure_sweep,
+    klee_uncovered_count,
+)
+
+__all__ = [
+    "klee_covers_space",
+    "klee_measure_sweep",
+    "klee_uncovered_count",
+]

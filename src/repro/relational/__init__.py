@@ -1,0 +1,48 @@
+"""Relational substrate: schemas, relations, queries, hypergraph analysis."""
+
+from repro.relational.agm import (
+    agm_bound,
+    fhtw,
+    fractional_edge_cover,
+    fractional_edge_cover_number,
+)
+from repro.relational.hypergraph import (
+    Hypergraph,
+    TreeDecomposition,
+    gao_for_acyclic,
+)
+from repro.relational.query import (
+    Database,
+    JoinQuery,
+    bowtie_query,
+    clique_query,
+    cycle_query,
+    evaluate_reference,
+    path_query,
+    star_query,
+    triangle_query,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Domain, RelationSchema
+
+__all__ = [
+    "Database",
+    "Domain",
+    "Hypergraph",
+    "JoinQuery",
+    "Relation",
+    "RelationSchema",
+    "TreeDecomposition",
+    "agm_bound",
+    "bowtie_query",
+    "clique_query",
+    "cycle_query",
+    "evaluate_reference",
+    "fhtw",
+    "fractional_edge_cover",
+    "fractional_edge_cover_number",
+    "gao_for_acyclic",
+    "path_query",
+    "star_query",
+    "triangle_query",
+]

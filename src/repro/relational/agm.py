@@ -1,0 +1,152 @@
+"""AGM bounds and width measures built on fractional edge covers (App A).
+
+* :func:`fractional_edge_cover` — solve the covering LP with scipy;
+* :func:`agm_bound` — the instance-specific AGM output-size bound
+  ``∏ |R_F|^{x_F}`` (Definition A.1), minimized by weighting the LP
+  objective with ``log |R_F|``;
+* :func:`fractional_edge_cover_number` — ρ*(H) with unit weights
+  (Definition A.2);
+* :func:`fhtw` — fractional hypertree width: the minimum over tree
+  decompositions (enumerated through elimination orders) of the maximum
+  bag cover number.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.relational.hypergraph import Hypergraph
+
+
+def fractional_edge_cover(
+    vertices: Sequence[str],
+    edges: Sequence[FrozenSet[str]],
+    weights: Optional[Sequence[float]] = None,
+) -> Tuple[float, Tuple[float, ...]]:
+    """Solve ``min Σ w_F x_F  s.t.  Σ_{F ∋ v} x_F ≥ 1 ∀v, x ≥ 0``.
+
+    Returns ``(objective, x)``.  Vertices not covered by any edge make the
+    LP infeasible and raise ``ValueError``.
+    """
+    missing = [v for v in vertices if not any(v in e for e in edges)]
+    if missing:
+        raise ValueError(f"vertices {missing} appear in no edge")
+    if not edges:
+        if vertices:
+            raise ValueError("no edges to cover the vertices with")
+        return 0.0, ()
+    w = list(weights) if weights is not None else [1.0] * len(edges)
+    if len(w) != len(edges):
+        raise ValueError("one weight per edge required")
+    # linprog minimizes c @ x with A_ub @ x <= b_ub; coverage constraints
+    # Σ x_F ≥ 1 become -Σ x_F ≤ -1.
+    a_ub = np.zeros((len(vertices), len(edges)))
+    for i, v in enumerate(vertices):
+        for j, e in enumerate(edges):
+            if v in e:
+                a_ub[i, j] = -1.0
+    b_ub = -np.ones(len(vertices))
+    result = linprog(
+        c=np.array(w), A_ub=a_ub, b_ub=b_ub, bounds=(0, None),
+        method="highs",
+    )
+    if not result.success:
+        raise ValueError(f"edge cover LP failed: {result.message}")
+    return float(result.fun), tuple(float(x) for x in result.x)
+
+
+def fractional_edge_cover_number(h: Hypergraph) -> float:
+    """ρ*(H): optimal unit-weight fractional edge cover (Definition A.2)."""
+    value, _ = fractional_edge_cover(h.vertices, h.edges)
+    return value
+
+
+def agm_bound(query, db) -> float:
+    """The best AGM bound 2^{ρ*(Q, D)} for a query on a database instance.
+
+    Relations of size 0 make the output empty; we return 0 in that case
+    (the LP weight log2(0) is -inf, which the paper's formulation sidesteps
+    by the trivial bound |Q| ≤ 0).
+    """
+    sizes = [len(db[a.name]) for a in query.atoms]
+    if any(s == 0 for s in sizes):
+        return 0.0
+    weights = [math.log2(s) if s > 1 else 0.0 for s in sizes]
+    edges = [frozenset(a.attrs) for a in query.atoms]
+    value, _ = fractional_edge_cover(query.variables, edges, weights)
+    return 2.0 ** value
+
+
+def bag_cover_number(
+    bag: FrozenSet[str], edges: Sequence[FrozenSet[str]]
+) -> float:
+    """ρ* of a hypergraph restricted to a bag (edges intersected with it)."""
+    restricted = [e & bag for e in edges if e & bag]
+    return fractional_edge_cover(sorted(bag), restricted)[0]
+
+
+def fhtw_of_order(h: Hypergraph, order: Sequence[str]) -> float:
+    """Max bag cover number of the decomposition induced by an order."""
+    decomposition = h.tree_decomposition(order)
+    return max(
+        bag_cover_number(bag, h.edges)
+        for bag in decomposition.bags.values()
+    )
+
+
+def fhtw(
+    h: Hypergraph, exact_limit: int = 7
+) -> Tuple[float, Tuple[str, ...]]:
+    """Fractional hypertree width with a witnessing elimination order.
+
+    Exact by enumerating all elimination orders for ≤ ``exact_limit``
+    vertices (decompositions induced by elimination orders suffice to reach
+    fhtw up to the usual caveats for these small queries); otherwise falls
+    back to the treewidth-optimal order as an upper bound.
+    """
+    n = len(h.vertices)
+    if n <= exact_limit:
+        best = math.inf
+        best_order: Tuple[str, ...] = tuple(h.vertices)
+        for perm in itertools.permutations(h.vertices):
+            value = fhtw_of_order(h, perm)
+            if value < best - 1e-9:
+                best = value
+                best_order = perm
+        return best, best_order
+    _, order = h.treewidth()
+    return fhtw_of_order(h, order), tuple(order)
+
+
+def agm_per_bag(
+    query, db, order: Sequence[str]
+) -> Dict[str, float]:
+    """Instance AGM bound of every bag of an elimination-order decomposition.
+
+    The max over bags is the AGM_TD(Q) of Theorem D.9.
+    """
+    h = Hypergraph.of_query(query)
+    decomposition = h.tree_decomposition(order)
+    sizes = {a.name: len(db[a.name]) for a in query.atoms}
+    out: Dict[str, float] = {}
+    for v, bag in decomposition.bags.items():
+        edges = []
+        weights = []
+        for atom in query.atoms:
+            inter = frozenset(atom.attrs) & bag
+            if inter:
+                edges.append(inter)
+                size = sizes[atom.name]
+                if size == 0:
+                    out[v] = 0.0
+                    break
+                weights.append(math.log2(size) if size > 1 else 0.0)
+        else:
+            value, _ = fractional_edge_cover(sorted(bag), edges, weights)
+            out[v] = 2.0 ** value
+    return out

@@ -1,0 +1,210 @@
+"""Loading real data: value dictionaries, CSV / edge-list readers.
+
+The geometric machinery works over integer domains ``[0, 2^d)``; real
+datasets have strings, floats, sparse ids.  ``ValueDictionary`` provides
+the standard dictionary encoding (dense ints in first-seen order, with
+decode for presenting results), and the readers build
+:class:`~repro.relational.relation.Relation` objects directly from
+delimited files.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.relational.query import Database, JoinQuery
+from repro.relational.relation import Relation
+from repro.relational.schema import Domain, RelationSchema
+
+
+class ValueDictionary:
+    """Dictionary encoding: arbitrary hashable values ↔ dense integers.
+
+    Every attribute shares one dictionary by default, which keeps natural
+    joins meaningful (equal values encode equally across relations).
+    """
+
+    def __init__(self):
+        self._encode: Dict[Hashable, int] = {}
+        self._decode: List[Hashable] = []
+
+    def __len__(self) -> int:
+        return len(self._decode)
+
+    def encode(self, value: Hashable) -> int:
+        code = self._encode.get(value)
+        if code is None:
+            code = len(self._decode)
+            self._encode[value] = code
+            self._decode.append(value)
+        return code
+
+    def encode_row(self, row: Sequence[Hashable]) -> Tuple[int, ...]:
+        return tuple(self.encode(v) for v in row)
+
+    def decode(self, code: int) -> Hashable:
+        if not 0 <= code < len(self._decode):
+            raise KeyError(f"code {code} not in dictionary")
+        return self._decode[code]
+
+    def decode_row(self, row: Sequence[int]) -> Tuple[Hashable, ...]:
+        return tuple(self.decode(c) for c in row)
+
+    def domain(self) -> Domain:
+        """The smallest power-of-two domain holding every code."""
+        return Domain.for_values(max(len(self) - 1, 0))
+
+
+def relation_from_rows(
+    name: str,
+    attrs: Sequence[str],
+    rows: Iterable[Sequence[Hashable]],
+    dictionary: ValueDictionary,
+    domain: Optional[Domain] = None,
+) -> Relation:
+    """Encode raw rows through the dictionary into a Relation.
+
+    When ``domain`` is omitted the caller must finish feeding the
+    dictionary first (the domain is sized to the dictionary at call time).
+    """
+    encoded = [dictionary.encode_row(row) for row in rows]
+    dom = domain if domain is not None else dictionary.domain()
+    return Relation(RelationSchema(name, tuple(attrs)), encoded, dom)
+
+
+def read_csv_rows(
+    path: str | Path, delimiter: str = ",", skip_header: bool = False
+) -> List[Tuple[str, ...]]:
+    """Raw string rows of a delimited file (blank lines skipped)."""
+    out: List[Tuple[str, ...]] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        for i, row in enumerate(reader):
+            if skip_header and i == 0:
+                continue
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            out.append(tuple(cell.strip() for cell in row))
+    return out
+
+
+def database_from_csvs(
+    query: JoinQuery,
+    paths: Dict[str, str | Path],
+    delimiter: str = ",",
+    skip_header: bool = False,
+) -> Tuple[Database, ValueDictionary]:
+    """Load one CSV per query atom into a Database with a shared dictionary.
+
+    Column order in each file must match the atom's attribute order.
+    Returns the database and the dictionary for decoding results.
+    """
+    dictionary = ValueDictionary()
+    raw: Dict[str, List[Tuple[str, ...]]] = {}
+    for atom in query.atoms:
+        if atom.name not in paths:
+            raise ValueError(f"no file given for relation {atom.name}")
+        rows = read_csv_rows(
+            paths[atom.name], delimiter=delimiter, skip_header=skip_header
+        )
+        for row in rows:
+            if len(row) != atom.arity:
+                raise ValueError(
+                    f"{atom.name}: row {row} has {len(row)} columns, "
+                    f"schema expects {atom.arity}"
+                )
+            dictionary.encode_row(row)
+        raw[atom.name] = rows
+    domain = dictionary.domain()
+    relations = [
+        relation_from_rows(
+            atom.name, atom.attrs, raw[atom.name], dictionary, domain
+        )
+        for atom in query.atoms
+    ]
+    return Database(relations), dictionary
+
+
+def read_edge_list(path: str | Path) -> List[Tuple[str, str]]:
+    """Parse a whitespace-separated edge list (comments start with #)."""
+    edges: List[Tuple[str, str]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            edges.append((parts[0], parts[1]))
+    return edges
+
+
+def parse_query(spec: str) -> JoinQuery:
+    """Parse a query like ``"R(A,B), S(B,C), T(A,C)"`` into a JoinQuery."""
+    atoms: List[RelationSchema] = []
+    spec = spec.strip()
+    if not spec:
+        raise ValueError("empty query specification")
+    depth = 0
+    start = 0
+    chunks: List[str] = []
+    for i, ch in enumerate(spec):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise ValueError(f"unbalanced parentheses in {spec!r}")
+        elif ch == "," and depth == 0:
+            chunks.append(spec[start:i])
+            start = i + 1
+    chunks.append(spec[start:])
+    for chunk in chunks:
+        chunk = chunk.strip()
+        if "(" not in chunk or not chunk.endswith(")"):
+            raise ValueError(f"malformed atom {chunk!r}")
+        name, _, body = chunk.partition("(")
+        name = name.strip()
+        if not name:
+            raise ValueError(f"atom missing a relation name: {chunk!r}")
+        attrs = [a.strip() for a in body[:-1].split(",")]
+        if any(not a for a in attrs):
+            raise ValueError(f"atom {chunk!r} has an empty attribute")
+        atoms.append(RelationSchema(name, tuple(attrs)))
+    return JoinQuery(atoms)
+
+
+def read_dimacs(path: str | Path):
+    """Parse a DIMACS CNF file into a :class:`repro.sat.clauses.CNF`."""
+    from repro.sat.clauses import CNF
+
+    num_vars = None
+    clauses: List[List[int]] = []
+    current: List[int] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith(("c", "%")):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise ValueError(f"malformed problem line: {line!r}")
+                num_vars = int(parts[2])
+                continue
+            for token in line.split():
+                lit = int(token)
+                if lit == 0:
+                    if current:
+                        clauses.append(current)
+                        current = []
+                else:
+                    current.append(lit)
+    if current:
+        clauses.append(current)
+    if num_vars is None:
+        raise ValueError("missing DIMACS problem line")
+    return CNF(num_vars, clauses)

@@ -1,0 +1,194 @@
+"""Natural join queries and databases (Section 3.1).
+
+``JoinQuery`` is a set of relation schemas; evaluating it over a
+``Database`` produces every tuple over ``vars(Q)`` whose projection onto
+each relation's attributes is a tuple of that relation.  A slow reference
+evaluator (`evaluate_reference`) is included for cross-checking the real
+join algorithms in tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Domain, RelationSchema
+
+
+class Database:
+    """A collection of relation instances sharing one domain."""
+
+    def __init__(self, relations: Iterable[Relation]):
+        self._relations: Dict[str, Relation] = {}
+        self.domain: Optional[Domain] = None
+        for rel in relations:
+            if rel.name in self._relations:
+                raise ValueError(f"duplicate relation name {rel.name}")
+            if self.domain is None:
+                self.domain = rel.domain
+            elif rel.domain != self.domain:
+                raise ValueError(
+                    "all relations in a database must share a domain"
+                )
+            self._relations[rel.name] = rel
+        if self.domain is None:
+            raise ValueError("a database needs at least one relation")
+
+    def __getitem__(self, name: str) -> Relation:
+        return self._relations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self):
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def total_tuples(self) -> int:
+        """The paper's N: total number of input tuples."""
+        return sum(len(r) for r in self._relations.values())
+
+
+class JoinQuery:
+    """A natural join query ⋈_{R ∈ atoms(Q)} R."""
+
+    def __init__(self, atoms: Sequence[RelationSchema]):
+        if not atoms:
+            raise ValueError("a join query needs at least one atom")
+        names = [a.name for a in atoms]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate atom names in {names}")
+        self.atoms: Tuple[RelationSchema, ...] = tuple(atoms)
+        seen: List[str] = []
+        for atom in self.atoms:
+            for attr in atom.attrs:
+                if attr not in seen:
+                    seen.append(attr)
+        self.variables: Tuple[str, ...] = tuple(seen)
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.variables)
+
+    def atom(self, name: str) -> RelationSchema:
+        for a in self.atoms:
+            if a.name == name:
+                return a
+        raise KeyError(name)
+
+    def edges(self) -> List[frozenset]:
+        """The query hypergraph's edge multiset (attribute sets of atoms)."""
+        return [frozenset(a.attrs) for a in self.atoms]
+
+    def __repr__(self) -> str:
+        return " ⋈ ".join(repr(a) for a in self.atoms)
+
+
+def evaluate_reference(
+    query: JoinQuery, db: Database
+) -> List[Tuple[int, ...]]:
+    """Slow but obviously-correct join evaluation used as a test oracle.
+
+    Iterates candidate assignments relation-by-relation (a left-deep
+    nested-loop over the atom tuples with hash-based compatibility checks),
+    which is far better than enumerating the cross product of domains but
+    still only meant for tests and tiny examples.
+    """
+    variables = query.variables
+    # Start with the tuples of the first atom as partial assignments.
+    first = query.atoms[0]
+    rel = db[first.name]
+    partials: List[Dict[str, int]] = [
+        dict(zip(first.attrs, t)) for t in rel
+    ]
+    for atom in query.atoms[1:]:
+        rel = db[atom.name]
+        rows = list(rel)
+        extended: List[Dict[str, int]] = []
+        for partial in partials:
+            for row in rows:
+                candidate = dict(zip(atom.attrs, row))
+                if all(
+                    partial.get(k, v) == v for k, v in candidate.items()
+                ):
+                    merged = dict(partial)
+                    merged.update(candidate)
+                    extended.append(merged)
+        partials = extended
+    # Any variable not bound by the atoms... cannot happen (vars come from
+    # atoms), so every partial is total.
+    out = sorted(
+        {tuple(p[v] for v in variables) for p in partials}
+    )
+    return out
+
+
+def triangle_query() -> JoinQuery:
+    """The running example: Q△ = R(A,B) ⋈ S(B,C) ⋈ T(A,C)."""
+    return JoinQuery(
+        [
+            RelationSchema("R", ("A", "B")),
+            RelationSchema("S", ("B", "C")),
+            RelationSchema("T", ("A", "C")),
+        ]
+    )
+
+
+def path_query(length: int) -> JoinQuery:
+    """P_k: R1(A0,A1) ⋈ R2(A1,A2) ⋈ ... — an acyclic treewidth-1 query."""
+    if length < 1:
+        raise ValueError("path length must be at least 1")
+    return JoinQuery(
+        [
+            RelationSchema(f"R{i}", (f"A{i}", f"A{i + 1}"))
+            for i in range(length)
+        ]
+    )
+
+
+def star_query(rays: int) -> JoinQuery:
+    """Star: R1(H,A1) ⋈ ... ⋈ Rk(H,Ak) — acyclic, treewidth 1."""
+    if rays < 1:
+        raise ValueError("star needs at least one ray")
+    return JoinQuery(
+        [RelationSchema(f"R{i}", ("H", f"A{i}")) for i in range(1, rays + 1)]
+    )
+
+
+def cycle_query(length: int) -> JoinQuery:
+    """C_k: binary relations around a cycle (treewidth 2 for k ≥ 3)."""
+    if length < 3:
+        raise ValueError("cycles need at least 3 edges")
+    return JoinQuery(
+        [
+            RelationSchema(
+                f"R{i}", (f"A{i}", f"A{(i + 1) % length}")
+            )
+            for i in range(length)
+        ]
+    )
+
+
+def clique_query(n: int) -> JoinQuery:
+    """K_n: one binary relation per vertex pair (treewidth n-1)."""
+    if n < 2:
+        raise ValueError("cliques need at least 2 vertices")
+    atoms = []
+    for i, j in itertools.combinations(range(n), 2):
+        atoms.append(RelationSchema(f"R{i}{j}", (f"A{i}", f"A{j}")))
+    return JoinQuery(atoms)
+
+
+def bowtie_query() -> JoinQuery:
+    """The bowtie of Example B.3: R(A) ⋈ S(A,B) ⋈ T(B)."""
+    return JoinQuery(
+        [
+            RelationSchema("R", ("A",)),
+            RelationSchema("S", ("A", "B")),
+            RelationSchema("T", ("B",)),
+        ]
+    )

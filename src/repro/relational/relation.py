@@ -1,0 +1,101 @@
+"""Relation instances: finite sets of integer tuples over a schema."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.relational.schema import Domain, RelationSchema
+
+Tuple_ = Tuple[int, ...]
+
+
+class Relation:
+    """A relation instance: a set of tuples over a schema and shared domain.
+
+    Tuples are kept both as a set (membership) and as a sorted list
+    (the indexes build tries from sorted orders).  Instances are immutable
+    after construction.
+    """
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        tuples: Iterable[Sequence[int]],
+        domain: Domain,
+    ):
+        self.schema = schema
+        self.domain = domain
+        seen = set()
+        for t in tuples:
+            t = tuple(t)
+            if len(t) != schema.arity:
+                raise ValueError(
+                    f"tuple {t} has arity {len(t)}, schema {schema} expects "
+                    f"{schema.arity}"
+                )
+            for v in t:
+                if v not in domain:
+                    raise ValueError(
+                        f"value {v} outside domain [0, {domain.size}) "
+                        f"in relation {schema.name}"
+                    )
+            seen.add(t)
+        self._tuples = frozenset(seen)
+        self._sorted: List[Tuple_] = sorted(seen)
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def attrs(self) -> Tuple[str, ...]:
+        return self.schema.attrs
+
+    @property
+    def arity(self) -> int:
+        return self.schema.arity
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __contains__(self, t: Sequence[int]) -> bool:
+        return tuple(t) in self._tuples
+
+    def __iter__(self) -> Iterator[Tuple_]:
+        return iter(self._sorted)
+
+    def tuples(self) -> frozenset:
+        return self._tuples
+
+    def sorted_by(self, attr_order: Sequence[str]) -> List[Tuple_]:
+        """Tuples re-ordered and sorted by the given attribute order.
+
+        The returned tuples have their components permuted to follow
+        ``attr_order`` (which must be a permutation of the schema attrs) —
+        the layout a B-tree with that search-key order would store.
+        """
+        if sorted(attr_order) != sorted(self.schema.attrs):
+            raise ValueError(
+                f"{attr_order} is not a permutation of {self.schema.attrs}"
+            )
+        perm = [self.schema.position(a) for a in attr_order]
+        return sorted(tuple(t[i] for i in perm) for t in self._tuples)
+
+    def project(self, attrs: Sequence[str]) -> "Relation":
+        """π_attrs(R) as a fresh relation (duplicates removed)."""
+        positions = [self.schema.position(a) for a in attrs]
+        out = {tuple(t[i] for i in positions) for t in self._tuples}
+        schema = RelationSchema(f"π({self.name})", tuple(attrs))
+        return Relation(schema, out, self.domain)
+
+    def select_prefix(
+        self, attr_order: Sequence[str], prefix: Sequence[int]
+    ) -> List[Tuple_]:
+        """All tuples (in ``attr_order`` layout) extending a value prefix."""
+        rows = self.sorted_by(attr_order)
+        prefix = tuple(prefix)
+        k = len(prefix)
+        return [t for t in rows if t[:k] == prefix]
+
+    def __repr__(self) -> str:
+        return f"Relation({self.schema!r}, |{self.name}|={len(self)})"

@@ -1,0 +1,25 @@
+"""The DPLL / #SAT connection: clauses as boxes, Tetris as DPLL."""
+
+from repro.sat.clauses import (
+    CNF,
+    box_to_clause,
+    clause_to_box,
+    cnf_to_boxes,
+    random_cnf,
+)
+from repro.sat.dpll import (
+    count_models_dpll,
+    count_models_tetris,
+    enumerate_models_tetris,
+)
+
+__all__ = [
+    "CNF",
+    "box_to_clause",
+    "clause_to_box",
+    "cnf_to_boxes",
+    "count_models_dpll",
+    "count_models_tetris",
+    "enumerate_models_tetris",
+    "random_cnf",
+]

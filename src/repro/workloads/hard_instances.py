@@ -1,0 +1,170 @@
+"""Hard instances: the constructions behind the paper's lower bounds.
+
+These box families realize the separations of Figure 2:
+
+* :func:`example_f1` — Example F.1 verbatim: a 3-dimensional BCP with
+  empty output where *every* SAO forces Ω(|C|²) ordered resolutions,
+  while out-of-order (load-balanced) resolution finishes in Õ(|C|) —
+  the phenomenon behind Theorem 5.4's Ω(|C|^{n-1}) bound;
+* :func:`msb_triangle` — the Figure 5 / Figure 6 triangle instances
+  (MSB-complement relations) with empty and non-empty outputs;
+* :func:`shared_suffix_instance` — a treewidth-1 supporting hypergraph
+  where resolvent caching collapses the proof from Ω(N^{3/2}) to Õ(N)
+  (the Theorem 5.2 separation between Tree Ordered and Ordered
+  resolution, realized for the natural A-first SAO);
+* :func:`staircase_instance` — anti-diagonal slabs in n dimensions in the
+  spirit of Theorem 5.5's volume argument: every resolvent has small
+  volume, so many resolutions are unavoidable.
+
+The Appendix G gadgets for Theorems 5.2–5.5 are only sketched in our
+source text; these families reproduce the *measured* separations (see
+DESIGN.md, substitution 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.boxes import BoxTuple
+from repro.core.intervals import LAMBDA
+
+
+def example_f1(d: int) -> List[BoxTuple]:
+    """Example F.1: C = C1 ∪ C2 ∪ C3 over attributes (X, Y, W), depth d.
+
+    * C1 = {⟨0x, λ, 0⟩ : x ∈ {0,1}^{d-2}} ∪ {⟨0, y, 1⟩ : y ∈ {0,1}^{d-2}}
+    * C2 = {⟨10x, 0, λ⟩ : x}                ∪ {⟨10, 1, z⟩ : z}
+    * C3 = {⟨110, y, λ⟩ : y}                ∪ {⟨111, λ, z⟩ : z}
+
+    |C| = 6·2^{d-2}; the union covers the whole space (empty output), but
+    ordered geometric resolution needs Ω(|C|²) steps for every SAO.
+    """
+    if d < 3:
+        raise ValueError("Example F.1 needs depth at least 3")
+    half = 1 << (d - 2)
+    boxes: List[BoxTuple] = []
+    # C1: covers ⟨0, λ, λ⟩.
+    for x in range(half):
+        boxes.append(((x, d - 1), LAMBDA, (0, 1)))  # 0x has MSB 0
+    for y in range(half):
+        boxes.append(((0, 1), (y, d - 2), (1, 1)))
+    # C2: covers ⟨10, λ, λ⟩.
+    for x in range(half):
+        boxes.append((((0b10 << (d - 2)) | x, d), (0, 1), LAMBDA))
+    for z in range(half):
+        boxes.append(((0b10, 2), (1, 1), (z, d - 2)))
+    # C3: covers ⟨11, λ, λ⟩.
+    for y in range(half):
+        boxes.append(((0b110, 3), (y, d - 2), LAMBDA))
+    for z in range(half):
+        boxes.append(((0b111, 3), LAMBDA, (z, d - 2)))
+    return boxes
+
+
+def msb_triangle(d: int, nonempty: bool = False) -> List[BoxTuple]:
+    """The Figure 5 (empty) / Figure 6 (non-empty) triangle BCP instances.
+
+    Gap boxes over (A, B, C): R forbids MSB(a) = MSB(b), S forbids
+    MSB(b) = MSB(c); T forbids MSB(a) = MSB(c) (Figure 5, empty output)
+    or T' forbids MSB(a) ≠ MSB(c) (Figure 6, output non-empty).
+    """
+    if d < 1:
+        raise ValueError("depth must be at least 1")
+    boxes = [
+        ((0, 1), (0, 1), LAMBDA),  # R gap: MSBs equal (0,0)
+        ((1, 1), (1, 1), LAMBDA),  # R gap: MSBs equal (1,1)
+        (LAMBDA, (0, 1), (0, 1)),  # S gap
+        (LAMBDA, (1, 1), (1, 1)),  # S gap
+    ]
+    if nonempty:
+        boxes += [
+            ((0, 1), LAMBDA, (1, 1)),  # T' gap: MSBs differ
+            ((1, 1), LAMBDA, (0, 1)),
+        ]
+    else:
+        boxes += [
+            ((0, 1), LAMBDA, (0, 1)),  # T gap: MSBs equal
+            ((1, 1), LAMBDA, (1, 1)),
+        ]
+    return boxes
+
+
+def shared_suffix_instance(d: int) -> List[BoxTuple]:
+    """Caching separation on a treewidth-1 hypergraph (Theorem 5.2 flavor).
+
+    Over attributes (A, B, C) with depth ``d``:
+
+    * per-A boxes ⟨a, 0, λ⟩ for every value a — support {A, B};
+    * shared boxes ⟨λ, b, c⟩ for every b in the upper half and every c —
+      support {B, C}.
+
+    Supports form the path {A,B}, {B,C}: treewidth 1.  Each A-column is
+    covered by its ⟨a, 0, λ⟩ box plus the *same* (B, C) sub-proof of
+    ⟨λ, 1, λ⟩ from the 2^{2d-1} shared unit boxes:
+
+    * with resolvent caching the sub-proof is derived once and every later
+      column hits the cache — Õ(N) resolutions (N ≈ 2^{2d-1});
+    * without caching (Tree Ordered resolution) it is rebuilt for every
+      column — Ω(2^d · N) = Ω(N^{3/2}) = Ω(N^{n/2}) resolutions.
+    """
+    side = 1 << d
+    half = side >> 1
+    boxes: List[BoxTuple] = [
+        ((a, d), (0, 1), LAMBDA) for a in range(side)
+    ]
+    boxes += [
+        (LAMBDA, (b, d), (c, d))
+        for b in range(half, side)
+        for c in range(side)
+    ]
+    return boxes
+
+
+def staircase_instance(n: int, d: int) -> List[BoxTuple]:
+    """Anti-diagonal slabs: every pairwise resolvent has small volume.
+
+    For each level ``k`` of the first dimension's dyadic tree, pair the
+    two siblings with opposite halves of the second dimension, recursing
+    the pattern through the remaining dimensions.  Concretely, box ``j``
+    (for j in [2^d]) pins dimension 0 to the unit interval ``j`` and
+    dimension 1 to the *bit-reversed complement* prefix of ``j``, leaving
+    the rest λ — a staircase whose boxes only resolve into thin slabs
+    (the volume-argument flavor of Theorem 5.5).
+
+    The union does not cover the space; the instance is meant for
+    resolution-count measurements, not for cover checks.
+    """
+    if n < 2:
+        raise ValueError("staircase needs at least 2 dimensions")
+    side = 1 << d
+    boxes: List[BoxTuple] = []
+    for j in range(side):
+        complement = side - 1 - j
+        box = [(j, d), (complement, d)] + [LAMBDA] * (n - 2)
+        boxes.append(tuple(box))
+    # Add coarse slabs that interlock with the staircase in the remaining
+    # dimensions, one family per extra dimension.
+    for axis in range(2, n):
+        for j in range(side):
+            box = [LAMBDA] * n
+            box[0] = (j, d)
+            box[axis] = (j & 1, 1)
+            boxes.append(tuple(box))
+    return boxes
+
+
+def covering_pair_instance(d: int, n: int = 3) -> List[BoxTuple]:
+    """A trivially-covered instance with |C| = 2 and arbitrarily fine noise.
+
+    The two halves of dimension 0 cover everything; 2^d fine unit-column
+    boxes are redundant noise.  Certificate machinery should find |C| = 2
+    regardless of d — the "certificate much smaller than input" regime
+    (Proposition B.6).
+    """
+    boxes: List[BoxTuple] = [
+        ((0, 1),) + (LAMBDA,) * (n - 1),
+        ((1, 1),) + (LAMBDA,) * (n - 1),
+    ]
+    for v in range(1 << d):
+        boxes.append(((v, d),) + (LAMBDA,) * (n - 1))
+    return boxes

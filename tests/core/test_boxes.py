@@ -1,0 +1,163 @@
+"""Unit and property tests for dyadic boxes and spaces."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.boxes import Box, Space, box_contains, box_overlaps
+from repro.core.intervals import LAMBDA
+
+DEPTH = 4
+NDIM = 3
+
+
+def ivs(max_depth=DEPTH):
+    return st.integers(0, max_depth).flatmap(
+        lambda length: st.integers(0, (1 << length) - 1).map(
+            lambda value: (value, length)
+        )
+    )
+
+
+def boxes(ndim=NDIM, max_depth=DEPTH):
+    return st.tuples(*([ivs(max_depth)] * ndim)).map(Box)
+
+
+class TestBoxBasics:
+    def test_from_bits(self):
+        b = Box.from_bits("10", "", "0")
+        assert b.ivs == ((2, 2), LAMBDA, (0, 1))
+
+    def test_from_bits_wildcards(self):
+        assert Box.from_bits("λ", "*", "").ivs == (LAMBDA,) * 3
+
+    def test_point(self):
+        assert Box.point((1, 2), 3).ivs == ((1, 3), (2, 3))
+
+    def test_universe(self):
+        assert Box.universe(2).ivs == (LAMBDA, LAMBDA)
+
+    def test_equality_and_hash(self):
+        assert Box.from_bits("1", "0") == Box.from_bits("1", "0")
+        assert hash(Box.from_bits("1", "0")) == hash(Box.from_bits("1", "0"))
+        assert Box.from_bits("1", "0") != Box.from_bits("0", "1")
+
+    def test_repr(self):
+        assert repr(Box.from_bits("10", "")) == "⟨10, λ⟩"
+
+    def test_ndim(self):
+        assert Box.universe(4).ndim == 4
+
+
+class TestContainment:
+    def test_universe_contains_all(self):
+        u = Box.universe(2)
+        assert u.contains(Box.from_bits("101", "0"))
+
+    def test_componentwise(self):
+        outer = Box.from_bits("1", "")
+        inner = Box.from_bits("10", "11")
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    @given(boxes(), boxes())
+    def test_contains_iff_point_subset(self, a, b):
+        pa = set(a.points(DEPTH))
+        pb = set(b.points(DEPTH))
+        assert a.contains(b) == (pb <= pa)
+
+    @given(boxes(), boxes())
+    def test_overlaps_iff_points_intersect(self, a, b):
+        pa = set(a.points(DEPTH))
+        pb = set(b.points(DEPTH))
+        assert a.overlaps(b) == bool(pa & pb)
+
+    @given(boxes(), boxes())
+    def test_intersect_matches_point_intersection(self, a, b):
+        pa = set(a.points(DEPTH))
+        pb = set(b.points(DEPTH))
+        if a.overlaps(b):
+            assert set(a.intersect(b).points(DEPTH)) == pa & pb
+        else:
+            with pytest.raises(ValueError):
+                a.intersect(b)
+
+    def test_raw_tuple_helpers(self):
+        a = Box.from_bits("1", "").ivs
+        b = Box.from_bits("10", "1").ivs
+        assert box_contains(a, b)
+        assert box_overlaps(a, b)
+        assert not box_contains(b, a)
+
+
+class TestSupportAndPoints:
+    def test_support_indices(self):
+        b = Box.from_bits("1", "", "01")
+        assert b.support() == frozenset({0, 2})
+
+    def test_support_names(self):
+        b = Box.from_bits("1", "", "01")
+        assert b.support(("A", "B", "C")) == frozenset({"A", "C"})
+
+    def test_unit_box(self):
+        assert Box.point((1, 2), 3).is_unit(3)
+        assert not Box.from_bits("1", "10").is_unit(3)
+
+    def test_to_point(self):
+        assert Box.point((1, 2), 3).to_point(3) == (1, 2)
+
+    def test_to_point_non_unit_raises(self):
+        with pytest.raises(ValueError):
+            Box.from_bits("1", "10").to_point(3)
+
+    def test_covers_point(self):
+        b = Box.from_bits("1", "")
+        assert b.covers_point((5, 0), 3)
+        assert not b.covers_point((3, 0), 3)
+
+    def test_volume(self):
+        assert Box.universe(2).volume(3) == 64
+        assert Box.from_bits("1", "01").volume(3) == 4 * 2
+
+    @given(boxes())
+    def test_volume_matches_point_count(self, b):
+        assert b.volume(DEPTH) == len(list(b.points(DEPTH)))
+
+
+class TestSpace:
+    def test_basic(self):
+        sp = Space(("A", "B"), 4)
+        assert sp.ndim == 2
+        assert sp.domain_size == 16
+        assert sp.axis("B") == 1
+
+    def test_duplicate_attrs_rejected(self):
+        with pytest.raises(ValueError):
+            Space(("A", "A"), 4)
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            Space(("A",), -1)
+
+    def test_point_arity_check(self):
+        sp = Space(("A", "B"), 4)
+        with pytest.raises(ValueError):
+            sp.point((1,))
+
+    def test_box_kwargs(self):
+        sp = Space(("A", "B", "C"), 4)
+        b = sp.box(A="10", C="0")
+        assert b == Box.from_bits("10", "", "0")
+
+    def test_embed(self):
+        sp = Space(("A", "B", "C"), 4)
+        small = Box.from_bits("1", "00")  # over (C, A)
+        lifted = sp.embed(small, ("C", "A"))
+        assert lifted == Box.from_bits("00", "", "1")
+
+    def test_project(self):
+        sp = Space(("A", "B", "C"), 4)
+        b = Box.from_bits("10", "11", "0")
+        assert sp.project(b, ("A", "C")) == Box.from_bits("10", "", "0")
+
+    def test_universe(self):
+        assert Space(("A", "B"), 2).universe() == Box.universe(2)

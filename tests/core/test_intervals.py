@@ -1,0 +1,223 @@
+"""Unit and property tests for dyadic intervals."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import intervals as dy
+from repro.core.intervals import LAMBDA
+
+
+DEPTH = 6
+
+
+def ivs(max_depth=DEPTH):
+    """Hypothesis strategy for dyadic intervals up to a depth."""
+    return st.integers(0, max_depth).flatmap(
+        lambda length: st.integers(0, (1 << length) - 1).map(
+            lambda value: (value, length)
+        )
+    )
+
+
+class TestConstruction:
+    def test_make_valid(self):
+        assert dy.make(5, 3) == (5, 3)
+
+    def test_make_lambda(self):
+        assert dy.make(0, 0) == LAMBDA
+
+    def test_make_rejects_oversized_value(self):
+        with pytest.raises(ValueError):
+            dy.make(8, 3)
+
+    def test_make_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            dy.make(0, -1)
+
+    def test_make_rejects_nonzero_lambda(self):
+        with pytest.raises(ValueError):
+            dy.make(1, 0)
+
+    def test_from_bits_roundtrip(self):
+        assert dy.from_bits("101") == (5, 3)
+        assert dy.to_bits((5, 3)) == "101"
+
+    def test_from_bits_empty_is_lambda(self):
+        assert dy.from_bits("") == LAMBDA
+        assert dy.to_bits(LAMBDA) == "λ"
+
+    def test_from_bits_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            dy.from_bits("10x")
+
+    def test_from_point(self):
+        assert dy.from_point(3, 4) == (3, 4)
+
+    def test_from_point_out_of_domain(self):
+        with pytest.raises(ValueError):
+            dy.from_point(16, 4)
+
+
+class TestPrefixOrder:
+    def test_lambda_is_prefix_of_all(self):
+        assert dy.is_prefix(LAMBDA, (5, 3))
+        assert dy.is_prefix(LAMBDA, LAMBDA)
+
+    def test_prefix_basic(self):
+        assert dy.is_prefix((1, 1), (5, 3))  # '1' < '101'
+        assert not dy.is_prefix((0, 1), (5, 3))  # '0' not prefix of '101'
+
+    def test_prefix_not_symmetric(self):
+        assert not dy.is_prefix((5, 3), (1, 1))
+
+    def test_contains_alias(self):
+        assert dy.contains is dy.is_prefix
+
+    @given(ivs())
+    def test_prefix_reflexive(self, a):
+        assert dy.is_prefix(a, a)
+
+    @given(ivs(), ivs(), ivs())
+    def test_prefix_transitive(self, a, b, c):
+        if dy.is_prefix(a, b) and dy.is_prefix(b, c):
+            assert dy.is_prefix(a, c)
+
+    @given(ivs(), ivs())
+    def test_prefix_antisymmetric(self, a, b):
+        if dy.is_prefix(a, b) and dy.is_prefix(b, a):
+            assert a == b
+
+    @given(ivs(), ivs())
+    def test_overlap_iff_ranges_intersect(self, a, b):
+        ra = set(range(*_span(a)))
+        rb = set(range(*_span(b)))
+        assert dy.overlaps(a, b) == bool(ra & rb)
+
+
+def _span(iv, depth=DEPTH):
+    lo, hi = dy.to_range(iv, depth)
+    return lo, hi + 1
+
+
+class TestMeetSplit:
+    def test_meet_takes_longer(self):
+        assert dy.meet((1, 1), (5, 3)) == (5, 3)
+        assert dy.meet((5, 3), (1, 1)) == (5, 3)
+
+    def test_meet_disjoint_raises(self):
+        with pytest.raises(ValueError):
+            dy.meet((0, 1), (1, 1))
+
+    def test_split(self):
+        left, right = dy.split((1, 1))
+        assert left == (2, 2)
+        assert right == (3, 2)
+
+    def test_split_lambda(self):
+        assert dy.split(LAMBDA) == ((0, 1), (1, 1))
+
+    @given(ivs(max_depth=DEPTH - 1))
+    def test_split_partitions(self, a):
+        left, right = dy.split(a)
+        la = set(range(*_span(left)))
+        ra = set(range(*_span(right)))
+        assert la | ra == set(range(*_span(a)))
+        assert not la & ra
+
+    def test_parent_inverts_extend(self):
+        assert dy.parent(dy.extend((1, 1), 0)) == (1, 1)
+
+    def test_parent_of_lambda_raises(self):
+        with pytest.raises(ValueError):
+            dy.parent(LAMBDA)
+
+    def test_last_bit(self):
+        assert dy.last_bit((5, 3)) == 1
+        assert dy.last_bit((4, 3)) == 0
+
+    def test_last_bit_of_lambda_raises(self):
+        with pytest.raises(ValueError):
+            dy.last_bit(LAMBDA)
+
+    def test_siblings(self):
+        assert dy.are_siblings((4, 3), (5, 3))
+        assert not dy.are_siblings((4, 3), (6, 3))
+        assert not dy.are_siblings((4, 3), (5, 4))
+        assert not dy.are_siblings(LAMBDA, LAMBDA)
+
+    @given(ivs(max_depth=DEPTH - 1))
+    def test_split_makes_siblings(self, a):
+        left, right = dy.split(a)
+        assert dy.are_siblings(left, right)
+
+
+class TestPrefixEnumeration:
+    def test_prefixes_of_101(self):
+        assert list(dy.prefixes((5, 3))) == [
+            (0, 0), (1, 1), (2, 2), (5, 3)
+        ]
+
+    @given(ivs())
+    def test_prefix_count(self, a):
+        assert len(list(dy.prefixes(a))) == a[1] + 1
+
+    @given(ivs())
+    def test_all_prefixes_contain(self, a):
+        for p in dy.prefixes(a):
+            assert dy.is_prefix(p, a)
+
+
+class TestRanges:
+    def test_to_range(self):
+        assert dy.to_range((1, 1), 3) == (4, 7)
+        assert dy.to_range(LAMBDA, 3) == (0, 7)
+
+    def test_to_range_too_deep(self):
+        with pytest.raises(ValueError):
+            dy.to_range((0, 4), 3)
+
+    def test_width(self):
+        assert dy.width(LAMBDA, 5) == 32
+        assert dy.width((0, 5), 5) == 1
+
+    def test_covers_point(self):
+        assert dy.covers_point((1, 1), 5, 3)
+        assert not dy.covers_point((1, 1), 3, 3)
+
+
+class TestDecomposeRange:
+    def test_empty(self):
+        assert dy.decompose_range(5, 4, 3) == []
+
+    def test_full_domain(self):
+        assert dy.decompose_range(0, 7, 3) == [LAMBDA]
+
+    def test_single_point(self):
+        assert dy.decompose_range(5, 5, 3) == [(5, 3)]
+
+    def test_out_of_domain(self):
+        with pytest.raises(ValueError):
+            dy.decompose_range(0, 8, 3)
+
+    @given(
+        st.integers(0, (1 << DEPTH) - 1),
+        st.integers(0, (1 << DEPTH) - 1),
+    )
+    def test_decomposition_is_exact_partition(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        pieces = dy.decompose_range(lo, hi, DEPTH)
+        covered = []
+        for piece in pieces:
+            plo, phi = dy.to_range(piece, DEPTH)
+            covered.extend(range(plo, phi + 1))
+        assert sorted(covered) == list(range(lo, hi + 1))
+        assert len(covered) == len(set(covered))
+
+    @given(
+        st.integers(0, (1 << DEPTH) - 1),
+        st.integers(0, (1 << DEPTH) - 1),
+    )
+    def test_decomposition_size_bound(self, a, b):
+        # Proposition B.14: at most 2d dyadic segments per interval.
+        lo, hi = min(a, b), max(a, b)
+        assert len(dy.decompose_range(lo, hi, DEPTH)) <= 2 * DEPTH

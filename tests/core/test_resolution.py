@@ -1,0 +1,148 @@
+"""Tests for geometric resolution: soundness, completeness of the rule shape."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import resolution as res
+from repro.core.boxes import Box
+from repro.core.resolution import ResolutionStats, Resolver
+
+DEPTH = 4
+
+
+def ivs(max_depth=DEPTH):
+    return st.integers(0, max_depth).flatmap(
+        lambda length: st.integers(0, (1 << length) - 1).map(
+            lambda value: (value, length)
+        )
+    )
+
+
+def box_tuples(ndim=3):
+    return st.tuples(*([ivs()] * ndim))
+
+
+class TestPaperExamples:
+    def test_figure_7(self):
+        # Resolution between ⟨λ, 00⟩ and ⟨10, 01⟩ yields ⟨10, 0⟩.
+        w1 = Box.from_bits("", "00")
+        w2 = Box.from_bits("10", "01")
+        assert res.resolve(w1, w2) == Box.from_bits("10", "0")
+
+    def test_example_4_4_step(self):
+        # Resolving ⟨01, 10⟩ with ⟨λ, 11⟩ gives ⟨01, 1⟩.
+        w1 = Box.from_bits("01", "10")
+        w2 = Box.from_bits("", "11")
+        assert res.resolve(w1, w2) == Box.from_bits("01", "1")
+
+    def test_example_4_4_final_chain(self):
+        # ⟨λ, 0⟩ with ⟨01, 1⟩ gives ⟨01, λ⟩.
+        w1 = Box.from_bits("", "0")
+        w2 = Box.from_bits("01", "1")
+        assert res.resolve(w1, w2) == Box.from_bits("01", "")
+
+
+class TestPreconditions:
+    def test_not_resolvable_two_sibling_axes(self):
+        w1 = Box.from_bits("0", "0").ivs
+        w2 = Box.from_bits("1", "1").ivs
+        assert res.find_resolvable_dimension(w1, w2) is None
+
+    def test_not_resolvable_disjoint_axis(self):
+        w1 = Box.from_bits("00", "0").ivs
+        w2 = Box.from_bits("11", "1").ivs
+        assert res.find_resolvable_dimension(w1, w2) is None
+
+    def test_not_resolvable_identical(self):
+        w = Box.from_bits("0", "1").ivs
+        assert res.find_resolvable_dimension(w, w) is None
+
+    def test_resolve_raises_when_impossible(self):
+        with pytest.raises(ValueError):
+            res.resolve(Box.from_bits("0", "0"), Box.from_bits("1", "1"))
+
+    def test_resolvable_single_axis(self):
+        w1 = Box.from_bits("10", "0").ivs
+        w2 = Box.from_bits("11", "01").ivs
+        assert res.find_resolvable_dimension(w1, w2) == 0
+        assert res.resolvable(w1, w2)
+
+
+class TestSoundness:
+    @given(box_tuples(), box_tuples())
+    def test_resolvent_covered_by_union(self, w1, w2):
+        """Soundness: every point of the resolvent lies in w1 ∪ w2."""
+        axis = res.find_resolvable_dimension(w1, w2)
+        if axis is None:
+            return
+        w = res.resolve_tuples(w1, w2)
+        b1, b2, bw = Box(w1), Box(w2), Box(w)
+        union = set(b1.points(DEPTH)) | set(b2.points(DEPTH))
+        assert set(bw.points(DEPTH)) <= union
+
+    @given(box_tuples(), box_tuples())
+    def test_resolvent_is_maximal_box_in_union(self, w1, w2):
+        """The resolvent strictly contains both inputs' shadow on the axis."""
+        axis = res.find_resolvable_dimension(w1, w2)
+        if axis is None:
+            return
+        w = res.resolve_tuples(w1, w2)
+        # Axis component is the common parent of the two siblings.
+        assert w[axis] == (w1[axis][0] >> 1, w1[axis][1] - 1)
+        # Other components are the meet (the longer string).
+        for i, iv in enumerate(w):
+            if i != axis:
+                assert iv in (w1[i], w2[i])
+                assert iv[1] == max(w1[i][1], w2[i][1])
+
+
+class TestOrderedShape:
+    def test_ordered_pair_accepts_staircase(self):
+        w1 = Box.from_bits("1010", "0110", "00").ivs
+        w2 = Box.from_bits("1010", "01", "01").ivs
+        assert res.is_ordered_pair(w1, w2, 2)
+
+    def test_ordered_pair_rejects_tail(self):
+        # Non-λ after the resolved axis breaks the Definition 4.3 shape.
+        w1 = Box.from_bits("00", "1", "1").ivs
+        w2 = Box.from_bits("01", "1", "1").ivs
+        assert not res.is_ordered_pair(w1, w2, 0)
+
+    def test_ordered_pair_requires_siblings(self):
+        w1 = Box.from_bits("00", "", "").ivs
+        w2 = Box.from_bits("10", "", "").ivs
+        assert not res.is_ordered_pair(w1, w2, 0)
+
+
+class TestResolverStats:
+    def test_counts(self):
+        stats = ResolutionStats()
+        r = Resolver(stats)
+        w1 = Box.from_bits("0", "0").ivs
+        w2 = Box.from_bits("1", "0").ivs
+        out = r.resolve(w1, w2, 0)
+        assert out == Box.from_bits("", "0").ivs
+        assert stats.resolutions == 1
+        assert stats.by_axis == {0: 1}
+
+    def test_ordered_counted_separately(self):
+        stats = ResolutionStats()
+        r = Resolver(stats)
+        # ordered pair
+        r.resolve(Box.from_bits("0", "").ivs, Box.from_bits("1", "").ivs, 0)
+        # unordered pair (non-λ after axis)
+        r.resolve(Box.from_bits("0", "1").ivs, Box.from_bits("1", "1").ivs, 0)
+        assert stats.resolutions == 2
+        assert stats.ordered_resolutions == 1
+
+    def test_reset(self):
+        stats = ResolutionStats()
+        r = Resolver(stats)
+        r.resolve(Box.from_bits("0", "").ivs, Box.from_bits("1", "").ivs, 0)
+        stats.reset()
+        assert stats.resolutions == 0
+        assert stats.by_axis == {}
+
+    def test_summary_mentions_counts(self):
+        stats = ResolutionStats()
+        assert "resolutions=0" in stats.summary()

@@ -1,0 +1,56 @@
+"""Shared test utilities: brute-force references and random generators."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.boxes import BoxTuple
+from repro.core.intervals import Interval
+
+
+def interval_range(iv: Interval, depth: int) -> range:
+    """Integer range covered by a dyadic interval on a depth-d domain."""
+    value, length = iv
+    width = 1 << (depth - length)
+    lo = value << (depth - length)
+    return range(lo, lo + width)
+
+
+def box_covers_point(box: BoxTuple, point: Sequence[int], depth: int) -> bool:
+    for iv, coord in zip(box, point):
+        value, length = iv
+        if (coord >> (depth - length)) != value:
+            return False
+    return True
+
+
+def brute_force_uncovered(
+    boxes: Iterable[BoxTuple], ndim: int, depth: int
+) -> List[Tuple[int, ...]]:
+    """Reference BCP solver: enumerate all points, filter covered ones."""
+    boxes = list(boxes)
+    side = range(1 << depth)
+    out = []
+    for point in itertools.product(side, repeat=ndim):
+        if not any(box_covers_point(b, point, depth) for b in boxes):
+            out.append(point)
+    return out
+
+
+def random_box(rng: random.Random, ndim: int, depth: int) -> BoxTuple:
+    """A uniformly random dyadic box (components of random length)."""
+    ivs = []
+    for _ in range(ndim):
+        length = rng.randint(0, depth)
+        value = rng.getrandbits(length) if length else 0
+        ivs.append((value, length))
+    return tuple(ivs)
+
+
+def random_boxes(
+    seed: int, count: int, ndim: int, depth: int
+) -> List[BoxTuple]:
+    rng = random.Random(seed)
+    return [random_box(rng, ndim, depth) for _ in range(count)]

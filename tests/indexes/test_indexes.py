@@ -1,0 +1,189 @@
+"""Tests for B-tree, dyadic, and KD-tree indexes and their gap boxes.
+
+The central invariant for every index kind (Section 3.3): the union of an
+index's gap boxes is *exactly* the complement of the relation in its own
+attribute space.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import intervals as dy
+from repro.indexes.btree import BTreeIndex
+from repro.indexes.dyadic_index import DyadicTreeIndex, KDTreeIndex
+from repro.relational.relation import Relation
+from repro.relational.schema import Domain, RelationSchema
+
+DEPTH = 3
+DOMAIN = 1 << DEPTH
+
+
+def make_relation(tuples, arity=2, depth=DEPTH, name="R"):
+    attrs = tuple("ABCDE"[:arity])
+    return Relation(RelationSchema(name, attrs), tuples, Domain(depth))
+
+
+def covered_points(gap_boxes, arity, depth):
+    pts = set()
+    for box, _ in gap_boxes:
+        ranges = []
+        for iv in box:
+            lo, hi = dy.to_range(iv, depth)
+            ranges.append(range(lo, hi + 1))
+        pts.update(itertools.product(*ranges))
+    return pts
+
+
+def full_space(arity, depth):
+    return set(itertools.product(range(1 << depth), repeat=arity))
+
+
+pairs = st.sets(
+    st.tuples(st.integers(0, DOMAIN - 1), st.integers(0, DOMAIN - 1)),
+    max_size=10,
+)
+
+
+class TestBTreeIndex:
+    def test_bad_order(self):
+        rel = make_relation([(0, 1)])
+        with pytest.raises(ValueError):
+            BTreeIndex(rel, ("A", "C"))
+
+    def test_contains(self):
+        idx = BTreeIndex(make_relation([(1, 2), (3, 0)]), ("B", "A"))
+        assert idx.contains((1, 2))
+        assert not idx.contains((2, 1))
+
+    def test_gao_consistency_check(self):
+        idx = BTreeIndex(make_relation([(0, 0)]), ("B", "A"))
+        assert idx.is_consistent_with(("B", "A", "C"))
+        assert idx.is_consistent_with(("C", "B", "A"))
+        assert not idx.is_consistent_with(("A", "B"))
+
+    @settings(max_examples=40, deadline=None)
+    @given(pairs)
+    def test_gap_boxes_cover_exact_complement(self, tuples):
+        rel = make_relation(tuples)
+        for order in (("A", "B"), ("B", "A")):
+            idx = BTreeIndex(rel, order)
+            pts = covered_points(idx.gap_boxes(), 2, DEPTH)
+            # Boxes are in attr_order layout; translate the expected
+            # complement accordingly.
+            perm = [rel.schema.position(a) for a in order]
+            stored = {tuple(t[i] for i in perm) for t in tuples}
+            assert pts == full_space(2, DEPTH) - stored
+
+    @settings(max_examples=40, deadline=None)
+    @given(pairs, st.tuples(st.integers(0, DOMAIN - 1),
+                            st.integers(0, DOMAIN - 1)))
+    def test_lazy_probe_matches_materialized(self, tuples, probe):
+        rel = make_relation(tuples)
+        idx = BTreeIndex(rel, ("A", "B"))
+        lazy = idx.gap_boxes_containing(probe)
+        if probe in rel.tuples():
+            assert lazy == []
+        else:
+            assert len(lazy) == 1
+            box = lazy[0]
+            # The probe is inside the returned box and the box is one of
+            # the materialized gap boxes.
+            for iv, c in zip(box, probe):
+                assert dy.covers_point(iv, c, DEPTH)
+            materialized = {b for b, _ in idx.gap_boxes()}
+            assert box in materialized
+
+    def test_example_1_1_gap_shapes(self):
+        """Figure 1b: the (A,B)-ordered B-tree of the running example."""
+        tuples = (
+            [(3, b) for b in (1, 3, 5, 7)]
+            + [(a, 3) for a in (1, 3, 5, 7)]
+        )
+        rel = make_relation(tuples)
+        idx = BTreeIndex(rel, ("A", "B"))
+        boxes = [b for b, _ in idx.gap_boxes()]
+        # Gap boxes with λ on B correspond to missing A-values
+        # (A ∈ {0,2,4,6} have no tuples): e.g. the dyadic piece for A=0.
+        lambda_b = [b for b in boxes if b[1] == (0, 0)]
+        a_values = set()
+        for b in lambda_b:
+            lo, hi = dy.to_range(b[0], DEPTH)
+            a_values.update(range(lo, hi + 1))
+        assert a_values == {0, 2, 4, 6}
+
+
+class TestDyadicTreeIndex:
+    @settings(max_examples=30, deadline=None)
+    @given(pairs)
+    def test_gap_boxes_cover_exact_complement(self, tuples):
+        rel = make_relation(tuples)
+        idx = DyadicTreeIndex(rel)
+        pts = covered_points(idx.gap_boxes(), 2, DEPTH)
+        assert pts == full_space(2, DEPTH) - set(map(tuple, tuples))
+
+    @settings(max_examples=30, deadline=None)
+    @given(pairs, st.tuples(st.integers(0, DOMAIN - 1),
+                            st.integers(0, DOMAIN - 1)))
+    def test_lazy_probe(self, tuples, probe):
+        rel = make_relation(tuples)
+        idx = DyadicTreeIndex(rel)
+        lazy = idx.gap_boxes_containing(probe)
+        if probe in rel.tuples():
+            assert lazy == []
+        else:
+            assert len(lazy) == 1
+            for iv, c in zip(lazy[0], probe):
+                assert dy.covers_point(iv, c, DEPTH)
+
+    def test_quadtree_beats_btree_on_msb_relation(self):
+        """Footnote 9: the MSB-complement relation of Figure 5a needs 2 gap
+        boxes in a dyadic tree but Θ(2^{d-1}) in a B-tree."""
+        tuples = [
+            (a, b)
+            for a in range(DOMAIN)
+            for b in range(DOMAIN)
+            if (a >> (DEPTH - 1)) != (b >> (DEPTH - 1))
+        ]
+        rel = make_relation(tuples)
+        quad = DyadicTreeIndex(rel).count_gap_boxes()
+        bt_ab = BTreeIndex(rel, ("A", "B")).count_gap_boxes()
+        assert quad == 2  # ⟨0,0⟩ and ⟨1,1⟩
+        assert bt_ab >= DOMAIN  # one gap per A value at least
+
+    def test_empty_relation(self):
+        rel = make_relation([])
+        boxes = [b for b, _ in DyadicTreeIndex(rel).gap_boxes()]
+        assert boxes == [((0, 0), (0, 0))]
+
+
+class TestKDTreeIndex:
+    @settings(max_examples=30, deadline=None)
+    @given(pairs)
+    def test_gap_boxes_cover_exact_complement(self, tuples):
+        rel = make_relation(tuples)
+        idx = KDTreeIndex(rel)
+        pts = covered_points(idx.gap_boxes(), 2, DEPTH)
+        assert pts == full_space(2, DEPTH) - set(map(tuple, tuples))
+
+    @settings(max_examples=30, deadline=None)
+    @given(pairs, st.tuples(st.integers(0, DOMAIN - 1),
+                            st.integers(0, DOMAIN - 1)))
+    def test_lazy_probe(self, tuples, probe):
+        rel = make_relation(tuples)
+        idx = KDTreeIndex(rel)
+        lazy = idx.gap_boxes_containing(probe)
+        if probe in rel.tuples():
+            assert lazy == []
+        else:
+            assert len(lazy) == 1
+            for iv, c in zip(lazy[0], probe):
+                assert dy.covers_point(iv, c, DEPTH)
+
+    def test_unary_relation(self):
+        rel = make_relation([(3,)], arity=1)
+        idx = KDTreeIndex(rel)
+        pts = covered_points(idx.gap_boxes(), 1, DEPTH)
+        assert pts == {(v,) for v in range(DOMAIN) if v != 3}

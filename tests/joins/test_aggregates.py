@@ -1,0 +1,73 @@
+"""Tests for Boolean and counting joins."""
+
+import pytest
+
+from repro.core.resolution import ResolutionStats
+from repro.joins.aggregates import join_count, join_exists, triangle_count
+from repro.relational.query import evaluate_reference, triangle_query
+from repro.workloads.generators import (
+    agm_tight_triangle,
+    graph_triangle_db,
+    split_path_instance,
+)
+
+
+class TestJoinExists:
+    def test_true_on_nonempty(self):
+        query, db = agm_tight_triangle(2)
+        assert join_exists(query, db)
+
+    def test_false_on_empty(self):
+        query, db, gao = split_path_instance(40, depth=8, seed=0)
+        assert not join_exists(query, db, gao=gao)
+
+    def test_early_exit_cheaper_than_enumeration(self):
+        """The Boolean join must do less work than full enumeration."""
+        query, db = agm_tight_triangle(8)  # Z = 512
+        s_bool = ResolutionStats()
+        s_full = ResolutionStats()
+        assert join_exists(query, db, stats=s_bool)
+        assert join_count(query, db, stats=s_full) == 512
+        assert s_bool.containment_queries < s_full.containment_queries / 4
+
+
+class TestJoinCount:
+    def test_matches_reference(self):
+        query, db = agm_tight_triangle(3)
+        assert join_count(query, db) == len(evaluate_reference(query, db))
+
+    def test_zero_on_empty(self):
+        query, db, gao = split_path_instance(20, depth=6, seed=3)
+        assert join_count(query, db, gao=gao) == 0
+
+
+class TestTriangleCount:
+    def test_single_triangle(self):
+        _, db = graph_triangle_db([(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert triangle_count(db) == 1
+
+    def test_two_triangles(self):
+        _, db = graph_triangle_db(
+            [(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)]
+        )
+        assert triangle_count(db) == 2
+
+    def test_triangle_free(self):
+        _, db = graph_triangle_db([(0, 1), (1, 2), (2, 3)])
+        assert triangle_count(db) == 0
+
+    def test_rejects_asymmetric(self):
+        from repro.relational.query import triangle_query
+        from repro.relational.relation import Relation
+        from repro.relational.schema import Domain
+
+        query = triangle_query()
+        # Directed (asymmetric) edges: one directed triangle only.
+        edges = [(0, 1), (1, 2), (0, 2)]
+        db_relations = [
+            Relation(atom, edges, Domain(2)) for atom in query.atoms
+        ]
+        from repro.relational.query import Database
+
+        with pytest.raises(ValueError, match="divisible"):
+            triangle_count(Database(db_relations))

@@ -1,0 +1,122 @@
+"""Tests for AGM bounds, fractional edge covers, and fhtw."""
+
+import math
+
+import pytest
+
+from repro.relational.agm import (
+    agm_bound,
+    agm_per_bag,
+    bag_cover_number,
+    fhtw,
+    fractional_edge_cover,
+    fractional_edge_cover_number,
+)
+from repro.relational.hypergraph import Hypergraph
+from repro.relational.query import (
+    Database,
+    clique_query,
+    cycle_query,
+    path_query,
+    triangle_query,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Domain, RelationSchema
+
+
+def db_for(query, tuples_by_name, depth=4):
+    rels = []
+    for atom in query.atoms:
+        rels.append(
+            Relation(atom, tuples_by_name[atom.name], Domain(depth))
+        )
+    return Database(rels)
+
+
+class TestFractionalEdgeCover:
+    def test_triangle_rho_star(self):
+        h = Hypergraph.of_query(triangle_query())
+        assert fractional_edge_cover_number(h) == pytest.approx(1.5)
+
+    def test_path_rho_star(self):
+        # P_2: two edges sharing a vertex; each edge must get weight 1
+        # to cover its endpoint, so ρ* = 2.
+        h = Hypergraph.of_query(path_query(2))
+        assert fractional_edge_cover_number(h) == pytest.approx(2.0)
+
+    def test_clique4_rho_star(self):
+        # K_n with binary edges: ρ* = n/2.
+        h = Hypergraph.of_query(clique_query(4))
+        assert fractional_edge_cover_number(h) == pytest.approx(2.0)
+
+    def test_uncoverable_vertex(self):
+        with pytest.raises(ValueError):
+            fractional_edge_cover(("A", "B"), [frozenset({"A"})])
+
+    def test_weight_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            fractional_edge_cover(
+                ("A",), [frozenset({"A"})], weights=[1.0, 2.0]
+            )
+
+
+class TestAGMBound:
+    def test_triangle_equal_sizes(self):
+        q = triangle_query()
+        pairs = [(i, j) for i in range(4) for j in range(4)]
+        db = db_for(q, {"R": pairs, "S": pairs, "T": pairs})
+        assert agm_bound(q, db) == pytest.approx(16 ** 1.5)
+
+    def test_empty_relation_gives_zero(self):
+        q = triangle_query()
+        db = db_for(q, {"R": [], "S": [(0, 0)], "T": [(0, 0)]})
+        assert agm_bound(q, db) == 0.0
+
+    def test_skewed_sizes_pick_better_cover(self):
+        q = triangle_query()
+        # Tiny R: the integral cover {R, S} or {R, T}... the LP exploits
+        # the small relation. AGM ≤ |R| * |S| (cover x_R=1, x_S=1).
+        pairs = [(i, j) for i in range(4) for j in range(4)]
+        db = db_for(q, {"R": [(0, 0)], "S": pairs, "T": pairs})
+        assert agm_bound(q, db) <= 16.0 + 1e-6
+
+    def test_monotone_in_relation_size(self):
+        q = triangle_query()
+        small = [(i, j) for i in range(2) for j in range(2)]
+        big = [(i, j) for i in range(4) for j in range(4)]
+        db1 = db_for(q, {"R": small, "S": small, "T": small})
+        db2 = db_for(q, {"R": big, "S": big, "T": big})
+        assert agm_bound(q, db1) < agm_bound(q, db2)
+
+
+class TestFHTW:
+    def test_acyclic_fhtw_1(self):
+        h = Hypergraph.of_query(path_query(4))
+        value, order = fhtw(h)
+        assert value == pytest.approx(1.0)
+
+    def test_triangle_fhtw(self):
+        h = Hypergraph.of_query(triangle_query())
+        value, _ = fhtw(h)
+        assert value == pytest.approx(1.5)
+
+    def test_cycle4_fhtw(self):
+        # C4 has fhtw 2 with binary edges... the one-bag cover of any pair
+        # of opposite edges gives 2.
+        h = Hypergraph.of_query(cycle_query(4))
+        value, _ = fhtw(h)
+        assert 1.0 < value <= 2.0 + 1e-9
+
+    def test_bag_cover_number(self):
+        h = Hypergraph.of_query(triangle_query())
+        bag = frozenset({"A", "B", "C"})
+        assert bag_cover_number(bag, h.edges) == pytest.approx(1.5)
+
+    def test_agm_per_bag(self):
+        q = triangle_query()
+        pairs = [(i, j) for i in range(4) for j in range(4)]
+        db = db_for(q, {"R": pairs, "S": pairs, "T": pairs})
+        h = Hypergraph.of_query(q)
+        _, order = h.treewidth()
+        bags = agm_per_bag(q, db, order)
+        assert max(bags.values()) == pytest.approx(16 ** 1.5)

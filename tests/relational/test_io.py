@@ -1,0 +1,157 @@
+"""Tests for value dictionaries, CSV/edge-list/DIMACS readers, query parsing."""
+
+import pytest
+
+from repro.relational.io import (
+    ValueDictionary,
+    database_from_csvs,
+    parse_query,
+    read_csv_rows,
+    read_dimacs,
+    read_edge_list,
+    relation_from_rows,
+)
+from repro.relational.query import triangle_query
+
+
+class TestValueDictionary:
+    def test_encode_decode_roundtrip(self):
+        d = ValueDictionary()
+        assert d.encode("alice") == 0
+        assert d.encode("bob") == 1
+        assert d.encode("alice") == 0
+        assert d.decode(1) == "bob"
+        assert d.decode_row((1, 0)) == ("bob", "alice")
+        assert len(d) == 2
+
+    def test_decode_unknown_raises(self):
+        d = ValueDictionary()
+        with pytest.raises(KeyError):
+            d.decode(0)
+
+    def test_domain_sizing(self):
+        d = ValueDictionary()
+        for i in range(5):
+            d.encode(f"v{i}")
+        assert d.domain().size >= 5
+
+    def test_relation_from_rows(self):
+        d = ValueDictionary()
+        rel = relation_from_rows(
+            "R", ("A", "B"), [("x", "y"), ("y", "x")], d
+        )
+        assert len(rel) == 2
+        assert (0, 1) in rel and (1, 0) in rel
+
+
+class TestParseQuery:
+    def test_triangle(self):
+        q = parse_query("R(A,B), S(B,C), T(A,C)")
+        assert [a.name for a in q.atoms] == ["R", "S", "T"]
+        assert q.variables == ("A", "B", "C")
+
+    def test_whitespace_tolerant(self):
+        q = parse_query("  R( A , B ) ,S(B,C)")
+        assert q.atoms[0].attrs == ("A", "B")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            parse_query("")
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_query("R(A,B")
+        with pytest.raises(ValueError):
+            parse_query("R A,B)")
+        with pytest.raises(ValueError):
+            parse_query("(A,B)")
+        with pytest.raises(ValueError):
+            parse_query("R(A,,B)")
+
+
+class TestFileReaders:
+    def test_csv_roundtrip(self, tmp_path):
+        p = tmp_path / "r.csv"
+        p.write_text("a,b\nalice,bob\ncarol,dave\n\n")
+        rows = read_csv_rows(p, skip_header=True)
+        assert rows == [("alice", "bob"), ("carol", "dave")]
+
+    def test_database_from_csvs(self, tmp_path):
+        q = triangle_query()
+        (tmp_path / "r.csv").write_text("u,v\nu,w\n")
+        (tmp_path / "s.csv").write_text("v,x\n")
+        (tmp_path / "t.csv").write_text("u,x\n")
+        db, d = database_from_csvs(
+            q,
+            {
+                "R": tmp_path / "r.csv",
+                "S": tmp_path / "s.csv",
+                "T": tmp_path / "t.csv",
+            },
+        )
+        assert db.total_tuples == 4
+        from repro.joins.tetris_join import join_tetris
+
+        out = join_tetris(q, db)
+        decoded = [d.decode_row(t) for t in out.tuples]
+        assert decoded == [("u", "v", "x")]
+
+    def test_database_missing_file(self, tmp_path):
+        q = triangle_query()
+        with pytest.raises(ValueError, match="no file"):
+            database_from_csvs(q, {})
+
+    def test_database_bad_arity(self, tmp_path):
+        q = triangle_query()
+        (tmp_path / "r.csv").write_text("a,b,c\n")
+        with pytest.raises(ValueError, match="columns"):
+            database_from_csvs(
+                q,
+                {
+                    "R": tmp_path / "r.csv",
+                    "S": tmp_path / "r.csv",
+                    "T": tmp_path / "r.csv",
+                },
+            )
+
+    def test_edge_list(self, tmp_path):
+        p = tmp_path / "e.txt"
+        p.write_text("# comment\n1 2\n2 3 extra-ignored\n\n")
+        assert read_edge_list(p) == [("1", "2"), ("2", "3")]
+
+    def test_edge_list_malformed(self, tmp_path):
+        p = tmp_path / "e.txt"
+        p.write_text("justone\n")
+        with pytest.raises(ValueError):
+            read_edge_list(p)
+
+
+class TestDimacs:
+    def test_basic(self, tmp_path):
+        p = tmp_path / "f.cnf"
+        p.write_text("c comment\np cnf 3 2\n1 -2 0\n3 0\n")
+        cnf = read_dimacs(p)
+        assert cnf.num_vars == 3
+        assert len(cnf.clauses) == 2
+
+    def test_multiline_clause(self, tmp_path):
+        p = tmp_path / "f.cnf"
+        p.write_text("p cnf 4 1\n1 2\n3 4 0\n")
+        cnf = read_dimacs(p)
+        assert len(cnf.clauses) == 1
+        assert cnf.clauses[0] == frozenset({1, 2, 3, 4})
+
+    def test_missing_header(self, tmp_path):
+        p = tmp_path / "f.cnf"
+        p.write_text("1 2 0\n")
+        with pytest.raises(ValueError):
+            read_dimacs(p)
+
+    def test_counts_match(self, tmp_path):
+        from repro.sat.dpll import count_models_tetris
+
+        p = tmp_path / "f.cnf"
+        p.write_text("p cnf 3 2\n1 2 0\n-1 -2 0\n")
+        cnf = read_dimacs(p)
+        # (x1 ∨ x2) ∧ (¬x1 ∨ ¬x2): x1 ≠ x2, x3 free → 4 models.
+        assert count_models_tetris(cnf) == 4

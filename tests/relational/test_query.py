@@ -1,0 +1,124 @@
+"""Tests for join queries, databases, and the reference evaluator."""
+
+import pytest
+
+from repro.relational.query import (
+    Database,
+    JoinQuery,
+    bowtie_query,
+    clique_query,
+    cycle_query,
+    evaluate_reference,
+    path_query,
+    star_query,
+    triangle_query,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Domain, RelationSchema
+
+
+def make_db(query, tuples_by_name, depth=3):
+    return Database(
+        [
+            Relation(atom, tuples_by_name[atom.name], Domain(depth))
+            for atom in query.atoms
+        ]
+    )
+
+
+class TestDatabase:
+    def test_lookup(self):
+        q = triangle_query()
+        db = make_db(q, {"R": [(0, 1)], "S": [(1, 2)], "T": [(0, 2)]})
+        assert (0, 1) in db["R"]
+        assert "S" in db
+        assert len(db) == 3
+        assert db.total_tuples == 3
+
+    def test_duplicate_names(self):
+        r = Relation(RelationSchema("R", ("A",)), [(0,)], Domain(1))
+        with pytest.raises(ValueError):
+            Database([r, r])
+
+    def test_mixed_domains(self):
+        r1 = Relation(RelationSchema("R", ("A",)), [(0,)], Domain(1))
+        r2 = Relation(RelationSchema("S", ("A",)), [(0,)], Domain(2))
+        with pytest.raises(ValueError):
+            Database([r1, r2])
+
+    def test_empty_database(self):
+        with pytest.raises(ValueError):
+            Database([])
+
+
+class TestJoinQuery:
+    def test_variables_in_first_appearance_order(self):
+        q = triangle_query()
+        assert q.variables == ("A", "B", "C")
+
+    def test_atom_lookup(self):
+        q = triangle_query()
+        assert q.atom("S").attrs == ("B", "C")
+        with pytest.raises(KeyError):
+            q.atom("X")
+
+    def test_duplicate_atoms_rejected(self):
+        s = RelationSchema("R", ("A",))
+        with pytest.raises(ValueError):
+            JoinQuery([s, s])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            JoinQuery([])
+
+    def test_generators_shapes(self):
+        assert path_query(3).num_vars == 4
+        assert star_query(3).num_vars == 4
+        assert cycle_query(4).num_vars == 4
+        assert clique_query(4).num_vars == 4
+        assert len(clique_query(4).atoms) == 6
+        assert bowtie_query().num_vars == 2
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            path_query(0)
+        with pytest.raises(ValueError):
+            star_query(0)
+        with pytest.raises(ValueError):
+            cycle_query(2)
+        with pytest.raises(ValueError):
+            clique_query(1)
+
+
+class TestReferenceEvaluator:
+    def test_triangle(self):
+        q = triangle_query()
+        db = make_db(
+            q,
+            {
+                "R": [(0, 1), (0, 2), (3, 3)],
+                "S": [(1, 5), (2, 5)],
+                "T": [(0, 5), (3, 5)],
+            },
+        )
+        out = evaluate_reference(q, db)
+        assert out == [(0, 1, 5), (0, 2, 5)]
+
+    def test_empty_output(self):
+        q = triangle_query()
+        db = make_db(q, {"R": [(0, 1)], "S": [(1, 2)], "T": [(1, 2)]})
+        assert evaluate_reference(q, db) == []
+
+    def test_path(self):
+        q = path_query(2)
+        db = make_db(
+            q, {"R0": [(0, 1), (1, 1)], "R1": [(1, 4), (2, 4)]}
+        )
+        assert evaluate_reference(q, db) == [(0, 1, 4), (1, 1, 4)]
+
+    def test_bowtie(self):
+        q = bowtie_query()
+        db = make_db(
+            q, {"R": [(0,), (1,)], "S": [(1, 2), (5, 5)], "T": [(2,)]}
+        )
+        assert evaluate_reference(q, db) == [(1, 2)]

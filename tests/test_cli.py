@@ -1,0 +1,98 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def triangle_csvs(tmp_path):
+    (tmp_path / "r.csv").write_text("u,v\nu,w\nx,y\n")
+    (tmp_path / "s.csv").write_text("v,z\ny,q\n")
+    (tmp_path / "t.csv").write_text("u,z\n")
+    return tmp_path
+
+
+class TestJoinCommand:
+    def test_join_outputs_tuples(self, triangle_csvs, capsys):
+        rc = main([
+            "join", "R(A,B), S(B,C), T(A,C)",
+            "--csv", f"R={triangle_csvs / 'r.csv'}",
+            "--csv", f"S={triangle_csvs / 's.csv'}",
+            "--csv", f"T={triangle_csvs / 't.csv'}",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "u,v,z" in out
+
+    def test_join_reloaded_variant(self, triangle_csvs, capsys):
+        rc = main([
+            "join", "R(A,B), S(B,C), T(A,C)",
+            "--variant", "reloaded",
+            "--csv", f"R={triangle_csvs / 'r.csv'}",
+            "--csv", f"S={triangle_csvs / 's.csv'}",
+            "--csv", f"T={triangle_csvs / 't.csv'}",
+        ])
+        assert rc == 0
+        assert "u,v,z" in capsys.readouterr().out
+
+    def test_join_bad_csv_flag(self, capsys):
+        rc = main(["join", "R(A,B)", "--csv", "nopath"])
+        assert rc == 2
+
+
+class TestTrianglesCommand:
+    def test_counts_triangles(self, tmp_path, capsys):
+        edges = tmp_path / "e.txt"
+        edges.write_text("a b\nb c\na c\nc d\n")
+        rc = main(["triangles", str(edges)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "a b c" in captured.out
+        assert "1 triangles" in captured.err
+
+    @pytest.mark.parametrize("algo", ["tetris", "leapfrog", "hash"])
+    def test_algorithms_agree(self, tmp_path, capsys, algo):
+        edges = tmp_path / "e.txt"
+        edges.write_text("a b\nb c\na c\nb d\nc d\n")
+        rc = main(["triangles", str(edges), "--algorithm", algo,
+                   "--count-only"])
+        assert rc == 0
+        assert "2 triangles" in capsys.readouterr().err
+
+
+class TestSatCommand:
+    def test_count(self, tmp_path, capsys):
+        f = tmp_path / "f.cnf"
+        f.write_text("p cnf 3 2\n1 2 0\n-1 -2 0\n")
+        rc = main(["sat", str(f)])
+        assert rc == 0
+        assert capsys.readouterr().out.strip() == "4"
+
+    def test_enumerate(self, tmp_path, capsys):
+        f = tmp_path / "f.cnf"
+        f.write_text("p cnf 2 2\n1 0\n-2 0\n")
+        rc = main(["sat", str(f), "--enumerate"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 -2" in out
+        assert out.strip().endswith("1")
+
+
+class TestAnalyzeCommand:
+    def test_triangle_profile(self, capsys):
+        rc = main(["analyze", "R(A,B), S(B,C), T(A,C)"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "α-acyclic    : False" in out
+        assert "treewidth    : 2" in out
+        assert "fhtw         : 1.5" in out
+        assert "Õ(|C|^1.5 + Z)" in out
+
+    def test_acyclic_profile(self, capsys):
+        rc = main(["analyze", "R(A,B), S(B,C)"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "α-acyclic    : True" in out
+        assert "Õ(N + Z)" in out
+        assert "Õ(|C| + Z)" in out
