@@ -1,0 +1,183 @@
+"""End-to-end benchmark runner for the `bench_table1_*` workloads.
+
+Times the representative join workloads of the five Table 1 benchmark
+files end to end (database build excluded, Tetris run included) and
+writes a JSON record for the repo's perf trajectory.  Usage:
+
+    PYTHONPATH=src python benchmarks/run_packed_core.py \
+        --label packed --baseline seed_times.json \
+        --output BENCH_packed_core.json
+
+With ``--baseline`` the output embeds the baseline run and the
+per-workload + geometric-mean speedups, so a single file documents the
+before/after of a perf PR.  ``--quick`` shrinks every workload (CI smoke
+mode); ``--repeats`` controls best-of-N timing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+
+def _workloads(quick: bool) -> List[Tuple[str, Callable[[], Callable[[], object]]]]:
+    """(name, setup) pairs; setup returns the zero-arg callable to time."""
+    from repro.joins.tetris_join import join_tetris
+    from repro.workloads.generators import (
+        agm_tight_triangle,
+        chained_path_db,
+        dense_cycle_db,
+        random_path_db,
+        split_cycle_instance,
+        split_path_instance,
+    )
+
+    def acyclic_chain():
+        k = 128 if quick else 1024
+        query, db = chained_path_db(3, k, depth=12)
+        return lambda: join_tetris(query, db, variant="preloaded")
+
+    def acyclic_random():
+        n = 120 if quick else 400
+        query, db = random_path_db(3, n, seed=7, depth=8)
+        return lambda: join_tetris(query, db, variant="preloaded")
+
+    def agm_triangle():
+        m = 6 if quick else 14
+        query, db = agm_tight_triangle(m)
+        return lambda: join_tetris(query, db, variant="preloaded")
+
+    def fhtw_cycle():
+        m = 40 if quick else 160
+        query, db = dense_cycle_db(4, m, depth=7, seed=5)
+        return lambda: join_tetris(query, db, variant="preloaded")
+
+    def tw_cert_cycle():
+        m = 90 if quick else 810
+        query, db, gao = split_cycle_instance(m, depth=10, seed=2)
+        return lambda: join_tetris(query, db, variant="reloaded", gao=gao)
+
+    def tw1_split_path():
+        m = 400 if quick else 3200
+        query, db, gao = split_path_instance(m, depth=12, seed=1)
+        return lambda: join_tetris(query, db, variant="reloaded", gao=gao)
+
+    return [
+        ("table1_acyclic_chain", acyclic_chain),
+        ("table1_acyclic_random", acyclic_random),
+        ("table1_agm_triangle", agm_triangle),
+        ("table1_fhtw_cycle", fhtw_cycle),
+        ("table1_tw_cert_cycle", tw_cert_cycle),
+        ("table1_tw1_split_path", tw1_split_path),
+    ]
+
+
+def run_suite(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
+    results: Dict[str, Dict[str, float]] = {}
+    for name, setup in _workloads(quick):
+        fn = setup()
+        fn()  # warm up (fills caches, JITs nothing, but stabilizes timing)
+        times = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        results[name] = {
+            "best_s": min(times),
+            "mean_s": sum(times) / len(times),
+            "repeats": repeats,
+        }
+        print(f"  {name:28s} best {min(times) * 1e3:9.2f} ms")
+    return results
+
+
+def geometric_mean(xs: List[float]) -> float:
+    prod = 1.0
+    for x in xs:
+        prod *= x
+    return prod ** (1.0 / len(xs))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="current", help="name of this run")
+    parser.add_argument("--output", default="BENCH_packed_core.json")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="JSON file of a previous run to compute speedups against",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--quick", action="store_true", help="small sizes")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero when the geomean speedup is below this",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"[{args.label}] running bench_table1 suite "
+          f"({'quick' if args.quick else 'full'}, best of {args.repeats})")
+    results = run_suite(args.quick, args.repeats)
+
+    record = {
+        "label": args.label,
+        "quick": args.quick,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "results": results,
+    }
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            base = json.load(fh)
+        if "results" not in base and "current" in base:
+            # A combined before/after record (this script's own output
+            # with --baseline): compare against its "current" run.
+            base = base["current"]
+        base_results = base.get("results", base)
+        speedups = {}
+        for name, cur in results.items():
+            if name in base_results:
+                speedups[name] = base_results[name]["best_s"] / cur["best_s"]
+        if not speedups:
+            print(f"error: baseline {args.baseline} shares no workloads "
+                  "with this run", file=sys.stderr)
+            return 2
+        if base.get("quick") != args.quick:
+            print("warning: baseline and current runs use different "
+                  "workload sizes (quick vs full) — speedups are not "
+                  "comparable", file=sys.stderr)
+        record = {
+            "baseline": base,
+            "current": record,
+            "speedup": speedups,
+            "speedup_geomean": geometric_mean(list(speedups.values())),
+        }
+        print("speedups vs baseline "
+              f"[{base.get('label', '?')}]:")
+        for name, s in speedups.items():
+            print(f"  {name:28s} {s:6.2f}x")
+        print(f"  {'geometric mean':28s} "
+              f"{record['speedup_geomean']:6.2f}x")
+
+    with open(args.output, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.min_speedup is not None:
+        geo = record.get("speedup_geomean")
+        if geo is None or geo < args.min_speedup:
+            print(f"FAIL: geomean speedup {geo} < {args.min_speedup}")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,9 +22,9 @@ def render(rel, gap_boxes) -> str:
     """ASCII picture: '#' = tuple, digits = how many gap boxes cover."""
     grid = [["·"] * SIDE for _ in range(SIDE)]
     for box, _ in gap_boxes:
-        (av, al), (bv, bl) = box
-        alo, ahi = dy.to_range((av, al), DEPTH)
-        blo, bhi = dy.to_range((bv, bl), DEPTH)
+        pa, pb = box  # packed marker-bit intervals
+        alo, ahi = dy.pto_range(pa, DEPTH)
+        blo, bhi = dy.pto_range(pb, DEPTH)
         for a in range(alo, ahi + 1):
             for b in range(blo, bhi + 1):
                 cell = grid[SIDE - 1 - b][a]

@@ -1,4 +1,9 @@
-"""Legacy setup shim so `pip install -e .` works without the wheel package."""
+"""Legacy setup shim: all metadata lives in pyproject.toml.
+
+Kept so ``python setup.py develop`` still works on environments without
+the ``wheel`` package (PEP 660 editable installs need it); normal
+installs should use ``pip install -e .``.
+"""
 
 from setuptools import setup
 

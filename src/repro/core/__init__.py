@@ -1,7 +1,13 @@
-"""Core geometric machinery: dyadic boxes, resolution, and Tetris."""
+"""Core geometric machinery: dyadic boxes, resolution, and Tetris.
 
-from repro.core.boxes import Box, Space
+Hot paths run on the packed marker-bit interval encoding; the boundary
+converters :func:`~repro.core.intervals.pack_box` /
+:func:`~repro.core.intervals.unpack_box` are re-exported here.
+"""
+
+from repro.core.boxes import Box, Space, pbox_from_bits
 from repro.core.dyadic_tree import MultilevelDyadicTree
+from repro.core.intervals import pack_box, unpack_box
 from repro.core.resolution import ResolutionStats, Resolver, resolve
 from repro.core.tetris import (
     BoxSetOracle,
@@ -21,8 +27,11 @@ __all__ = [
     "Space",
     "TetrisEngine",
     "boolean_box_cover",
+    "pack_box",
+    "pbox_from_bits",
     "resolve",
     "solve_bcp",
+    "unpack_box",
     "tetris_preloaded",
     "tetris_reloaded",
 ]

@@ -21,15 +21,21 @@ variable-length remainder.  :class:`~repro.core.tetris.CodeDimension` and
 dimensions bottom out, and the map is exact on points (each original point
 corresponds to exactly one lifted unit box), so outputs translate back
 losslessly.
+
+The partition / lifting machinery works on **packed** marker-bit
+intervals throughout (splitting a component at a code boundary is two
+shifts); the two public solvers accept boxes in pair or packed form and
+convert once at entry.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.boxes import BoxTuple
-from repro.core.intervals import LAMBDA, Interval
+from repro.core import intervals as dy
+from repro.core.boxes import PackedBox
+from repro.core.intervals import PLAMBDA, Packed
 from repro.core.resolution import ResolutionStats
 from repro.core.tetris import (
     BoxSetOracle,
@@ -40,71 +46,74 @@ from repro.core.tetris import (
 )
 
 Point = Tuple[int, ...]
-Partition = Tuple[Interval, ...]
+Partition = Tuple[Packed, ...]
 
 
 def strictly_inside_count(
-    components: Sequence[Interval], part: Interval
+    components: Sequence[Packed], part: Packed
 ) -> int:
-    """|C_{⊂x}|: how many components have ``part`` as a *strict* prefix."""
-    pv, pl = part
+    """|C_{⊂x}|: how many packed components have ``part`` as a *strict* prefix."""
+    pl = part.bit_length()
     return sum(
         1
-        for (v, length) in components
-        if length > pl and (v >> (length - pl)) == pv
+        for c in components
+        if c.bit_length() > pl and (c >> (c.bit_length() - pl)) == part
     )
 
 
 def balanced_partition(
-    boxes: Sequence[BoxTuple], axis: int, depth: int,
+    boxes: Sequence[PackedBox], axis: int, depth: int,
     threshold: Optional[float] = None,
 ) -> Partition:
     """A balanced partition of dimension ``axis`` (Proposition F.4).
 
     Start from {λ} and split every *heavy* interval — one with more than
     ``threshold`` (default √|C|) boxes strictly inside — until none is
-    heavy.  The result is a complete prefix-free code with Õ(√|C|) parts.
+    heavy.  The result is a complete prefix-free code with Õ(√|C|) parts,
+    as packed intervals.
     """
     components = [box[axis] for box in boxes]
     if threshold is None:
         threshold = math.sqrt(len(boxes)) if boxes else 1.0
-    parts: List[Interval] = []
-    frontier: List[Interval] = [LAMBDA]
+    unit_bit = 1 << depth
+    parts: List[Packed] = []
+    frontier: List[Packed] = [PLAMBDA]
     while frontier:
         part = frontier.pop()
-        value, length = part
         if (
-            length < depth
+            part < unit_bit
             and strictly_inside_count(components, part) > threshold
         ):
-            frontier.append((value << 1, length + 1))
-            frontier.append(((value << 1) | 1, length + 1))
+            frontier.append(part << 1)
+            frontier.append((part << 1) | 1)
         else:
             parts.append(part)
     return tuple(sorted(parts))
 
 
 def split_by_partition(
-    iv: Interval, partition: Partition
-) -> Tuple[Interval, Interval]:
+    p: Packed, partition: Partition
+) -> Tuple[Packed, Packed]:
     """The (s¹(P), s²(P)) split of equations (19)–(20).
 
-    If ``iv`` is a prefix of some code element, return ``(iv, λ)``;
-    otherwise a unique code element ``p`` strictly prefixes ``iv`` and we
-    return ``(p, suffix)``.
+    If ``p`` is a prefix of some code element, return ``(p, λ)``;
+    otherwise a unique code element ``q`` strictly prefixes ``p`` and we
+    return ``(q, suffix)`` with the suffix re-packed.
     """
-    value, length = iv
-    for pv, pl in partition:
-        if pl >= length:
-            if (pv >> (pl - length)) == value:
-                return iv, LAMBDA  # iv ∈ prefixes(P)
+    pl = p.bit_length()
+    for q in partition:
+        shift = q.bit_length() - pl
+        if shift >= 0:
+            if (q >> shift) == p:
+                return p, PLAMBDA  # p ∈ prefixes(P)
         else:
-            if (value >> (length - pl)) == pv:
-                suffix_len = length - pl
-                suffix = value & ((1 << suffix_len) - 1)
-                return (pv, pl), (suffix, suffix_len)
+            if (p >> -shift) == q:
+                suffix_len = -shift
+                suffix = (1 << suffix_len) | (p & ((1 << suffix_len) - 1))
+                return q, suffix
     raise ValueError(
-        f"interval {iv} not consistent with the partition {partition}"
+        f"interval {dy.pto_bits(p)} not consistent with the partition "
+        f"{tuple(dy.pto_bits(q) for q in partition)}"
     )
 
 
@@ -118,7 +127,7 @@ class BalanceMap:
 
     def __init__(
         self,
-        boxes: Sequence[BoxTuple],
+        boxes: Sequence[PackedBox],
         ndim: int,
         depth: int,
         threshold: Optional[float] = None,
@@ -134,11 +143,11 @@ class BalanceMap:
         ]
         self.lifted_ndim = 2 * ndim - 2 if ndim > 2 else ndim
 
-    def lift_box(self, box: BoxTuple) -> BoxTuple:
-        """Map one original box into the lifted space."""
+    def lift_box(self, box: PackedBox) -> PackedBox:
+        """Map one original packed box into the lifted space."""
         k = self.num_partitioned
-        primed: List[Interval] = []
-        double_primed: List[Interval] = []
+        primed: List[Packed] = []
+        double_primed: List[Packed] = []
         for axis in range(k):
             first, second = split_by_partition(
                 box[axis], self.partitions[axis]
@@ -152,24 +161,26 @@ class BalanceMap:
             + list(reversed(double_primed))
         )
 
-    def lift_boxes(self, boxes: Iterable[BoxTuple]) -> List[BoxTuple]:
+    def lift_boxes(self, boxes: Iterable[PackedBox]) -> List[PackedBox]:
         return [self.lift_box(b) for b in boxes]
 
-    def lower_point(self, lifted_unit: BoxTuple) -> Point:
-        """Map a lifted unit box back to the original point coordinates."""
+    def lower_point(self, lifted_unit: PackedBox) -> Point:
+        """Map a lifted packed unit box back to the original coordinates."""
         k = self.num_partitioned
         coords: List[int] = [0] * self.ndim
         for axis in range(k):
-            pv, pl = lifted_unit[axis]
-            sv, sl = lifted_unit[self.lifted_ndim - 1 - axis]
+            p = lifted_unit[axis]
+            s = lifted_unit[self.lifted_ndim - 1 - axis]
+            pl = p.bit_length() - 1
+            sl = s.bit_length() - 1
             if pl + sl != self.depth:
                 raise ValueError(
                     f"lifted unit box has inconsistent lengths on axis "
                     f"{axis}: {pl} + {sl} != {self.depth}"
                 )
-            coords[axis] = (pv << sl) | sv
-        coords[self.ndim - 1] = lifted_unit[k][0]
-        coords[self.ndim - 2] = lifted_unit[k + 1][0]
+            coords[axis] = ((p ^ (1 << pl)) << sl) | (s ^ (1 << sl))
+        coords[self.ndim - 1] = dy.pvalue(lifted_unit[k])
+        coords[self.ndim - 2] = dy.pvalue(lifted_unit[k + 1])
         return tuple(coords)
 
     def dimension_specs(self):
@@ -186,7 +197,7 @@ class BalanceMap:
 
 
 def tetris_preloaded_lb(
-    boxes: Sequence[BoxTuple],
+    boxes: Sequence,
     ndim: int,
     depth: int,
     stats: Optional[ResolutionStats] = None,
@@ -196,9 +207,9 @@ def tetris_preloaded_lb(
 
     Solves BCP in Õ(|C|^{n/2} + Z) when handed a box certificate (the
     offline setting of Section 4.5.1); on arbitrary box sets the bound is
-    in terms of |input| instead.
+    in terms of |input| instead.  Accepts pair or packed boxes.
     """
-    boxes = list(boxes)
+    boxes = [dy.pack_box(b) for b in boxes]
     if ndim <= 2:
         # Nothing to balance below 3 dimensions; plain Tetris is already
         # within the bound (Theorem E.11 gives Õ(|C|^{n-1}) = Õ(|C|)).
@@ -221,7 +232,7 @@ def tetris_preloaded_lb(
 
 
 def tetris_reloaded_lb(
-    boxes: Sequence[BoxTuple],
+    boxes: Sequence,
     ndim: int,
     depth: int,
     stats: Optional[ResolutionStats] = None,
@@ -234,15 +245,17 @@ def tetris_reloaded_lb(
     balanced partitions whenever the number of *loaded* boxes grows by
     ``rebuild_factor`` — total rebalancing work stays within a log factor
     of the final run (each restart's work is dominated by the next).
+    Accepts pair or packed boxes.
     """
-    boxes = list(boxes)
+    boxes = [dy.pack_box(b) for b in boxes]
     if ndim <= 2:
         from repro.core.tetris import tetris_reloaded
 
         return tetris_reloaded(boxes, ndim, depth, stats=stats)
     stats = stats if stats is not None else ResolutionStats()
     oracle = BoxSetOracle(boxes, ndim)
-    loaded: List[BoxTuple] = []
+    unit_bit = 1 << depth
+    loaded: List[PackedBox] = []
     loaded_set = set()
     budget = 4
     while True:
@@ -261,7 +274,7 @@ def tetris_reloaded_lb(
         covered, witness = engine.skeleton(engine._universe)
         while not covered:
             lowered = mapping.lower_point(engine.to_external(witness))
-            unit = tuple((v, depth) for v in lowered)
+            unit = tuple(unit_bit | v for v in lowered)
             stats.oracle_queries += 1
             gap_boxes = oracle.containing(unit)
             if not gap_boxes:

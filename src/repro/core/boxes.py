@@ -7,8 +7,11 @@ component-wise prefix containment.
 
 ``Box`` is a thin immutable wrapper over a tuple of
 :data:`repro.core.intervals.Interval`; the hot paths of Tetris operate on
-the raw ``.ivs`` tuple.  ``Space`` pins down the ambient output space —
-the attribute names and the shared bit-depth ``d`` of every domain.
+raw **packed** tuples — one marker-bit int per attribute (see the packed
+encoding section of :mod:`repro.core.intervals`) — obtained via
+``Box.packed`` / :func:`repro.core.intervals.pack_box` at the boundary.
+``Space`` pins down the ambient output space — the attribute names and
+the shared bit-depth ``d`` of every domain.
 """
 
 from __future__ import annotations
@@ -16,10 +19,21 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Sequence, Tuple
 
 from repro.core import intervals as dy
-from repro.core.intervals import LAMBDA, Interval
+from repro.core.intervals import LAMBDA, Interval, Packed
 
-#: Raw representation of a box: one interval per attribute.
+#: Documented (pair-form) representation of a box: one interval per attribute.
 BoxTuple = Tuple[Interval, ...]
+
+#: Hot-path representation of a box: one packed marker-bit int per attribute.
+PackedBox = Tuple[Packed, ...]
+
+
+def pbox_from_bits(*components: str) -> PackedBox:
+    """Packed box from bitstring components (``''``/``'λ'``/``'*'`` = λ)."""
+    return tuple(
+        dy.PLAMBDA if comp in ("", "λ", "*") else dy.pfrom_bits(comp)
+        for comp in components
+    )
 
 
 class Box:
@@ -51,6 +65,11 @@ class Box:
         return cls(ivs)
 
     @classmethod
+    def from_packed(cls, pbox: Iterable[Packed]) -> "Box":
+        """Build a box from a packed marker-bit tuple."""
+        return cls(dy.unpack(p) for p in pbox)
+
+    @classmethod
     def point(cls, coords: Sequence[int], depth: int) -> "Box":
         """The unit box of a tuple of domain values."""
         return cls(dy.from_point(c, depth) for c in coords)
@@ -66,9 +85,16 @@ class Box:
     def ndim(self) -> int:
         return len(self.ivs)
 
+    @property
+    def packed(self) -> PackedBox:
+        """The hot-path marker-bit form of this box."""
+        return tuple((1 << length) | value for value, length in self.ivs)
+
     def contains(self, other: "Box") -> bool:
         """Component-wise prefix containment (Definition 3.3)."""
-        return box_contains(self.ivs, other.ivs)
+        return all(
+            dy.is_prefix(a, b) for a, b in zip(self.ivs, other.ivs)
+        )
 
     def overlaps(self, other: "Box") -> bool:
         """True when the two boxes share at least one point."""
@@ -137,18 +163,27 @@ class Box:
         return f"⟨{body}⟩"
 
 
-def box_contains(outer: BoxTuple, inner: BoxTuple) -> bool:
-    """Raw-tuple containment test used on the Tetris hot path."""
-    for (av, al), (bv, bl) in zip(outer, inner):
-        if al > bl or (bv >> (bl - al)) != av:
+def box_contains(outer: PackedBox, inner: PackedBox) -> bool:
+    """Packed containment test used on the Tetris hot path.
+
+    ``outer`` contains ``inner`` iff every outer component is a prefix
+    of the matching inner component — one shift + compare per axis.
+    """
+    for a, b in zip(outer, inner):
+        shift = b.bit_length() - a.bit_length()
+        if shift < 0 or (b >> shift) != a:
             return False
     return True
 
 
-def box_overlaps(a: BoxTuple, b: BoxTuple) -> bool:
-    """Raw-tuple overlap test (every pair of components comparable)."""
+def box_overlaps(a: PackedBox, b: PackedBox) -> bool:
+    """Packed overlap test (every pair of components comparable)."""
     for x, y in zip(a, b):
-        if not (dy.is_prefix(x, y) or dy.is_prefix(y, x)):
+        shift = y.bit_length() - x.bit_length()
+        if shift >= 0:
+            if (y >> shift) != x:
+                return False
+        elif (x >> -shift) != y:
             return False
     return True
 

@@ -14,16 +14,21 @@ Finding a minimum certificate is a set-cover problem; we provide
   subsets, for the small instances the experiments study;
 * :func:`complement_boxes` — the dyadic complement of a box, the gadget
   the redundancy check is built from.
+
+All entry points accept boxes in the documented ``(value, length)`` pair
+form *or* in packed marker-bit form (the form index layers emit); inputs
+are normalized to packed once and results are returned in whichever form
+the caller supplied.
 """
 
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Sequence
 
-from repro.core.boxes import BoxTuple, box_contains
-from repro.core.intervals import LAMBDA, Interval
-from repro.core.resolution import ResolutionStats
+from repro.core import intervals as dy
+from repro.core.boxes import BoxTuple, PackedBox, box_contains
+from repro.core.intervals import LAMBDA, PLAMBDA
 from repro.core.tetris import boolean_box_cover
 
 
@@ -34,86 +39,115 @@ def complement_boxes(box: BoxTuple, depth: int) -> List[BoxTuple]:
     sibling of the next bit of p spans everything that diverges from the
     component at that bit (with λ on later dimensions restricted... on all
     other dimensions the original components up to i-1 are kept so the
-    pieces are disjoint).  At most n·d boxes.
+    pieces are disjoint).  At most n·d boxes.  Pair-form public helper;
+    the packed equivalent is :func:`pcomplement_boxes`.
     """
-    out: List[BoxTuple] = []
+    return [
+        tuple(dy.unpack(p) for p in piece)
+        for piece in pcomplement_boxes(dy.pack_box(box))
+    ]
+
+
+def pcomplement_boxes(box: PackedBox) -> List[PackedBox]:
+    """Packed complement: for every proper prefix, flip its next bit.
+
+    In packed form the piece for cut ``k`` of component ``p`` is simply
+    ``(p >> k) ^ 1`` — the sibling of the length-``|p|-k`` prefix.
+    """
+    out: List[PackedBox] = []
     n = len(box)
     for i in range(n):
-        value, length = box[i]
-        for cut in range(length):
-            # prefix of length `cut`, next bit flipped
-            prefix = value >> (length - cut)
-            bit = (value >> (length - cut - 1)) & 1
-            sibling = ((prefix << 1) | (bit ^ 1), cut + 1)
-            piece = box[:i] + (sibling,) + (LAMBDA,) * (n - i - 1)
-            out.append(piece)
+        p = box[i]
+        tail = (PLAMBDA,) * (n - i - 1)
+        head = box[:i]
+        for k in range(p.bit_length() - 1):
+            out.append(head + ((p >> k) ^ 1,) + tail)
     return out
 
 
-def covers(
-    candidate: Sequence[BoxTuple],
-    target: BoxTuple,
+def _pcovers(
+    candidate: Sequence[PackedBox],
+    target: PackedBox,
     ndim: int,
     depth: int,
 ) -> bool:
-    """Does the union of ``candidate`` cover every point of ``target``?
+    """Packed-level cover check shared by every certificate routine.
 
     Reduction: ``target ⊆ ∪ candidate`` iff ``candidate ∪ complement(target)``
     covers the whole space — a Boolean BCP solved by Tetris.
     """
-    boxes = list(candidate) + complement_boxes(target, depth)
-    return boolean_box_cover(boxes, ndim, depth)
+    return boolean_box_cover(
+        list(candidate) + pcomplement_boxes(target), ndim, depth
+    )
+
+
+def covers(
+    candidate: Sequence,
+    target,
+    ndim: int,
+    depth: int,
+) -> bool:
+    """Does the union of ``candidate`` cover every point of ``target``?"""
+    packed = [dy.pack_box(b) for b in candidate]
+    return _pcovers(packed, dy.pack_box(target), ndim, depth)
 
 
 def is_redundant(
-    boxes: Sequence[BoxTuple], index: int, ndim: int, depth: int
+    boxes: Sequence, index: int, ndim: int, depth: int
 ) -> bool:
     """Is ``boxes[index]`` covered by the union of the other boxes?"""
-    target = boxes[index]
-    rest = [b for i, b in enumerate(boxes) if i != index]
+    packed = [dy.pack_box(b) for b in boxes]
+    target = packed[index]
+    rest = [b for i, b in enumerate(packed) if i != index]
     # Cheap pre-check: another box contains it outright.
     if any(box_contains(other, target) for other in rest):
         return True
-    return covers(rest, target, ndim, depth)
+    return _pcovers(rest, target, ndim, depth)
 
 
 def minimal_certificate(
-    boxes: Iterable[BoxTuple], ndim: int, depth: int
-) -> List[BoxTuple]:
+    boxes: Iterable, ndim: int, depth: int
+) -> List:
     """An irredundant certificate: greedily drop covered boxes.
 
     Scans smallest-first so big boxes survive; the result is *minimal*
     (no box can be removed) but not necessarily *minimum*.  Size is an
-    upper bound on |C|.
+    upper bound on |C|.  Returned boxes are the caller's own objects.
     """
     # Deduplicate and drop boxes strictly contained in another box.
     unique = list(dict.fromkeys(boxes))
+    packed_of = {b: dy.pack_box(b) for b in unique}
     kept = [
         b
         for b in unique
         if not any(
-            box_contains(other, b) and other != b for other in unique
+            box_contains(packed_of[other], packed_of[b]) and other != b
+            for other in unique
         )
     ]
 
     # Smallest volume first: prefer to delete little boxes.
-    def volume_key(box: BoxTuple) -> int:
-        return sum(depth - length for _, length in box)
+    def volume_key(box) -> int:
+        return sum(
+            depth - (p.bit_length() - 1) for p in packed_of[box]
+        )
 
     result = list(kept)
     for box in sorted(kept, key=volume_key):
         trial = [b for b in result if b != box]
-        if trial and covers(trial, box, ndim, depth):
+        if trial and _pcovers(
+            [packed_of[b] for b in trial], packed_of[box], ndim, depth
+        ):
             result = trial
     return result
 
 
 def minimum_certificate(
-    boxes: Sequence[BoxTuple],
+    boxes: Sequence,
     ndim: int,
     depth: int,
     limit: int = 18,
-) -> List[BoxTuple]:
+) -> List:
     """Exact minimum certificate by subset search (small instances only).
 
     Starts from the greedy minimal certificate as an upper bound and
@@ -122,11 +156,13 @@ def minimum_certificate(
     """
     upper = minimal_certificate(boxes, ndim, depth)
     unique = list(dict.fromkeys(boxes))
+    packed_of = {b: dy.pack_box(b) for b in unique}
     maximal = [
         b
         for b in unique
         if not any(
-            box_contains(other, b) and other != b for other in unique
+            box_contains(packed_of[other], packed_of[b]) and other != b
+            for other in unique
         )
     ]
     if len(maximal) > limit:
@@ -135,9 +171,11 @@ def minimum_certificate(
             f"({limit}); use minimal_certificate instead"
         )
 
-    def union_equal(subset: Sequence[BoxTuple]) -> bool:
+    def union_equal(subset: Sequence) -> bool:
+        packed_subset = [packed_of[b] for b in subset]
         return all(
-            covers(subset, b, ndim, depth) for b in maximal
+            _pcovers(packed_subset, packed_of[b], ndim, depth)
+            for b in maximal
         )
 
     best = upper
@@ -149,7 +187,7 @@ def minimum_certificate(
 
 
 def certificate_size(
-    boxes: Iterable[BoxTuple],
+    boxes: Iterable,
     ndim: int,
     depth: int,
     exact: bool = False,
@@ -161,15 +199,16 @@ def certificate_size(
     return len(minimal_certificate(boxes, ndim, depth))
 
 
-def is_gao_consistent(box: BoxTuple, sao: Sequence[int], depth: int) -> bool:
+def is_gao_consistent(box, sao: Sequence[int], depth: int) -> bool:
     """Definition 3.11: at most one non-trivial component, λ after it.
 
     ``sao`` orders the dimensions by the global attribute order.  A
     component is *non-trivial* when it is neither λ nor a unit interval.
     """
+    packed = dy.pack_box(box)
     seen_nontrivial = False
     for axis in sao:
-        _, length = box[axis]
+        length = packed[axis].bit_length() - 1
         if seen_nontrivial:
             if length != 0:
                 return False
@@ -179,11 +218,11 @@ def is_gao_consistent(box: BoxTuple, sao: Sequence[int], depth: int) -> bool:
 
 
 def gao_consistent_certificate(
-    boxes: Iterable[BoxTuple],
+    boxes: Iterable,
     sao: Sequence[int],
     ndim: int,
     depth: int,
-) -> List[BoxTuple]:
+) -> List:
     """A minimal certificate using only GAO-consistent boxes (Def B.1).
 
     Restricting to σ-consistent boxes models the Minesweeper setting of
@@ -193,8 +232,9 @@ def gao_consistent_certificate(
     """
     boxes = list(boxes)
     consistent = [b for b in boxes if is_gao_consistent(b, sao, depth)]
+    packed_consistent = [dy.pack_box(b) for b in consistent]
     for box in boxes:
-        if not covers(consistent, box, ndim, depth):
+        if not _pcovers(packed_consistent, dy.pack_box(box), ndim, depth):
             raise ValueError(
                 "the GAO-consistent boxes do not cover the union; no "
                 "σ-consistent certificate exists for this box set"

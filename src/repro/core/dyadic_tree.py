@@ -2,158 +2,158 @@
 
 The structure stores a set of dyadic boxes over ``n`` dimensions and
 answers the one query Tetris needs in Õ(1): *given a box* ``b``, *find a
-stored box that contains* ``b``.  A stored box ``a`` contains ``b`` iff each
-component of ``a`` is a prefix of the corresponding component of ``b``, so
-the query walks, level by level, the prefixes of each component of ``b``
-that are actually present in the store — at most ``(d+1)^n`` node visits,
-the paper's polylog factor (Proposition B.12), and usually far fewer.
+stored box that contains* ``b``.  A stored box ``a`` contains ``b`` iff
+each component of ``a`` is a prefix of the corresponding component of
+``b``, so the query walks, level by level, the prefixes of each component
+of ``b`` that are actually present in the store — at most ``(d+1)^n``
+node visits, the paper's polylog factor (Proposition B.12), and usually
+far fewer.
 
-One binary trie per dimension; a node that terminates a stored component
-points at the root of the next level's trie (Figure 16 of the paper).  The
-terminal of the last level records the stored box itself.
-
-Nodes are plain 3-slot lists ``[child0, child1, next_level]`` — the hot
-path avoids attribute lookups and object overhead.
+Boxes arrive in **packed** marker-bit form (see
+:mod:`repro.core.intervals`), which lets each level be a flat hash map
+keyed by the whole packed component: one dict probe replaces the
+per-bit binary-trie hops of the classical layout (Figure 16 of the
+paper), and the prefixes of a query component are enumerated by shifting
+the packed int — ``q >> k`` for ``k = 0..|q|`` — so a level consumes all
+its bits in ``|q| + 1`` O(1) probes with no per-bit node chasing or
+allocation.  A non-terminal level maps packed components to the next
+level's dict; the last level maps them to the stored box itself.
 """
 
 from __future__ import annotations
 
 from typing import Iterator, List, Optional
 
-from repro.core.boxes import BoxTuple
-
-# Node layout indices.
-_ZERO, _ONE, _NEXT = 0, 1, 2
-
-
-def _new_node() -> list:
-    return [None, None, None]
+from repro.core.boxes import PackedBox
 
 
 class MultilevelDyadicTree:
-    """A set of dyadic boxes supporting Õ(1) ``find_container`` queries."""
+    """A set of packed dyadic boxes with Õ(1) ``find_container`` queries."""
+
+    __slots__ = ("ndim", "_root", "_size")
 
     def __init__(self, ndim: int):
         if ndim < 1:
             raise ValueError("ndim must be at least 1")
         self.ndim = ndim
-        self._root = _new_node()
+        self._root: dict = {}
         self._size = 0
 
     def __len__(self) -> int:
         return self._size
 
-    def __contains__(self, box: BoxTuple) -> bool:
+    def __contains__(self, box: PackedBox) -> bool:
         node = self._root
-        for value, length in box:
-            for shift in range(length - 1, -1, -1):
-                node = node[(value >> shift) & 1]
-                if node is None:
-                    return False
-            node = node[_NEXT]
+        last = self.ndim - 1
+        for level in range(last):
+            node = node.get(box[level])
             if node is None:
                 return False
-        return True
+        return box[last] in node
 
-    def add(self, box: BoxTuple) -> bool:
-        """Insert a box; returns ``False`` when it was already present."""
+    def add(self, box: PackedBox) -> bool:
+        """Insert a packed box; returns ``False`` when already present."""
         if len(box) != self.ndim:
             raise ValueError(
                 f"box has {len(box)} components, store has {self.ndim}"
             )
         node = self._root
-        for level, (value, length) in enumerate(box):
-            for shift in range(length - 1, -1, -1):
-                bit = (value >> shift) & 1
-                child = node[bit]
-                if child is None:
-                    child = _new_node()
-                    node[bit] = child
-                node = child
-            if level < self.ndim - 1:
-                nxt = node[_NEXT]
-                if nxt is None:
-                    nxt = _new_node()
-                    node[_NEXT] = nxt
-                node = nxt
-            else:
-                if node[_NEXT] is not None:
-                    return False
-                node[_NEXT] = box
+        last = self.ndim - 1
+        for level in range(last):
+            comp = box[level]
+            child = node.get(comp)
+            if child is None:
+                child = {}
+                node[comp] = child
+            node = child
+        comp = box[last]
+        if comp in node:
+            return False
+        node[comp] = box
         self._size += 1
         return True
 
-    def find_container(self, box: BoxTuple) -> Optional[BoxTuple]:
+    def find_container(self, box: PackedBox) -> Optional[PackedBox]:
         """A stored box containing ``box``, or ``None``.
 
-        Performs a DFS over stored prefixes of each component.  The first
-        hit is returned; Tetris only needs *some* witness (Algorithm 1,
-        line 1).
+        DFS over the stored prefixes of each component: at every level
+        each packed prefix of the query component (``q >> k``) is one
+        dict probe.  The first hit is returned; Tetris only needs *some*
+        witness (Algorithm 1, line 1).
         """
         last = self.ndim - 1
-        # Stack of (level, trie_node, remaining_value, remaining_length).
-        stack = [(0, self._root, box[0][0], box[0][1])]
+        if last == 0:
+            node = self._root
+            q = box[0]
+            while True:
+                hit = node.get(q)
+                if hit is not None:
+                    return hit
+                if q == 1:
+                    return None
+                q >>= 1
+        stack = [(0, self._root)]
         push = stack.append
         pop = stack.pop
         while stack:
-            level, node, value, length = pop()
-            # A stored component may terminate at this node (it is a prefix
-            # of the query component) — descend a level.
-            nxt = node[_NEXT]
-            if nxt is not None:
-                if level == last:
-                    return nxt  # the stored box itself
-                lv, ll = box[level + 1]
-                push((level + 1, nxt, lv, ll))
-            # Or keep consuming bits of the query component.
-            if length > 0:
-                child = node[(value >> (length - 1)) & 1]
-                if child is not None:
-                    push((level, child, value & ((1 << (length - 1)) - 1),
-                          length - 1))
+            level, node = pop()
+            q = box[level]
+            if level == last:
+                get = node.get
+                while True:
+                    hit = get(q)
+                    if hit is not None:
+                        return hit
+                    if q == 1:
+                        break
+                    q >>= 1
+            else:
+                nxt = level + 1
+                get = node.get
+                while True:
+                    child = get(q)
+                    if child is not None:
+                        push((nxt, child))
+                    if q == 1:
+                        break
+                    q >>= 1
         return None
 
-    def find_all_containers(self, box: BoxTuple) -> List[BoxTuple]:
+    def find_all_containers(self, box: PackedBox) -> List[PackedBox]:
         """All stored boxes containing ``box`` (the oracle query of §3.4)."""
-        out: List[BoxTuple] = []
+        out: List[PackedBox] = []
         last = self.ndim - 1
-        stack = [(0, self._root, box[0][0], box[0][1])]
+        stack = [(0, self._root)]
         while stack:
-            level, node, value, length = stack.pop()
-            nxt = node[_NEXT]
-            if nxt is not None:
-                if level == last:
-                    out.append(nxt)
-                else:
-                    lv, ll = box[level + 1]
-                    stack.append((level + 1, nxt, lv, ll))
-            if length > 0:
-                child = node[(value >> (length - 1)) & 1]
-                if child is not None:
-                    stack.append(
-                        (level, child, value & ((1 << (length - 1)) - 1),
-                         length - 1)
-                    )
+            level, node = stack.pop()
+            q = box[level]
+            if level == last:
+                while True:
+                    hit = node.get(q)
+                    if hit is not None:
+                        out.append(hit)
+                    if q == 1:
+                        break
+                    q >>= 1
+            else:
+                nxt = level + 1
+                while True:
+                    child = node.get(q)
+                    if child is not None:
+                        stack.append((nxt, child))
+                    if q == 1:
+                        break
+                    q >>= 1
         return out
 
-    def __iter__(self) -> Iterator[BoxTuple]:
+    def __iter__(self) -> Iterator[PackedBox]:
         """Iterate over all stored boxes (test/debug helper)."""
 
-        def walk(level: int, node: list) -> Iterator[BoxTuple]:
-            stack = [(node,)]
-            # Depth-first over this level's trie; when a terminal is found,
-            # either yield (last level) or recurse into the next level.
-            frontier = [node]
-            while frontier:
-                cur = frontier.pop()
-                nxt = cur[_NEXT]
-                if nxt is not None:
-                    if level == self.ndim - 1:
-                        yield nxt
-                    else:
-                        yield from walk(level + 1, nxt)
-                for bit in (0, 1):
-                    if cur[bit] is not None:
-                        frontier.append(cur[bit])
+        def walk(level: int, node: dict) -> Iterator[PackedBox]:
+            if level == self.ndim - 1:
+                yield from node.values()
+            else:
+                for child in node.values():
+                    yield from walk(level + 1, child)
 
         yield from walk(0, self._root)

@@ -16,6 +16,31 @@ Keeping intervals as tuples (rather than a class) makes the hot loops of
 Tetris cheap: containment and prefix tests are two integer operations,
 which is exactly the paper's "string operations take time linear in the
 length of strings" claim, and hashing/equality come for free.
+
+Packed (marker-bit) encoding
+----------------------------
+
+The ``(value, length)`` pair is the *documented* form used at API
+boundaries, but the engine's hot loops run on a **packed** encoding that
+folds both fields into a single int::
+
+    packed = (1 << length) | value
+
+i.e. the bitstring with a leading marker ``1`` bit.  λ packs to ``1``,
+``'0'`` to ``0b10``, ``'101'`` to ``0b1101``.  Invariants:
+
+* every packed interval is ``>= 1``; the length is
+  ``packed.bit_length() - 1`` and the value is ``packed`` with the top
+  bit cleared;
+* appending a bit is ``(packed << 1) | bit`` — so the two dyadic halves
+  of ``p`` are ``2p`` and ``2p + 1`` and the parent is ``p >> 1``;
+* ``a`` is a prefix of ``b`` iff ``b >> (len(b) - len(a)) == a`` — one
+  shift and one compare, no tuple allocation;
+* two intervals are dyadic siblings iff ``a ^ b == 1``;
+* for *comparable* intervals the longer one is numerically larger, so
+  the meet (intersection) is ``max(a, b)``.
+
+The ``p``-prefixed functions below mirror the pair-based API one-to-one.
 """
 
 from __future__ import annotations
@@ -164,6 +189,191 @@ def width(iv: Interval, depth: int) -> int:
 def covers_point(iv: Interval, point: int, depth: int) -> bool:
     """True when the interval contains the given domain point."""
     return is_prefix(iv, (point, depth))
+
+
+# -- packed (marker-bit) encoding -------------------------------------------
+
+#: A packed dyadic interval: ``(1 << length) | value``.
+Packed = int
+
+#: λ in packed form: the lone marker bit.
+PLAMBDA: Packed = 1
+
+
+def pack(iv: Interval) -> Packed:
+    """Pack a ``(value, length)`` pair into its marker-bit int."""
+    return (1 << iv[1]) | iv[0]
+
+
+def unpack(p: Packed) -> Interval:
+    """Unpack a marker-bit int back into the ``(value, length)`` pair."""
+    length = p.bit_length() - 1
+    return (p ^ (1 << length), length)
+
+
+def pack_box(box) -> Tuple[Packed, ...]:
+    """Pack a box given in pair form; packed components pass through.
+
+    This is the tolerant boundary converter: public entry points accept
+    boxes whose components are either ``(value, length)`` pairs or
+    already-packed ints (mixing is allowed per component).
+    """
+    return tuple(
+        c if type(c) is int else (1 << c[1]) | c[0] for c in box
+    )
+
+
+def unpack_box(pbox) -> Tuple[Interval, ...]:
+    """Unpack a packed box into pair form; pair components pass through."""
+    return tuple(unpack(c) if type(c) is int else c for c in pbox)
+
+
+def pmake(value: int, length: int) -> Packed:
+    """Build a packed interval, validating ``0 <= value < 2**length``."""
+    return pack(make(value, length))
+
+
+def pfrom_bits(bits: str) -> Packed:
+    """Parse a packed interval from bitstring notation (λ is ``''``)."""
+    if bits and set(bits) - {"0", "1"}:
+        raise ValueError(f"bitstring may only contain 0/1, got {bits!r}")
+    return int("1" + bits, 2)
+
+
+def pto_bits(p: Packed) -> str:
+    """Render a packed interval as its bitstring; λ renders as ``'λ'``."""
+    if p == PLAMBDA:
+        return "λ"
+    return bin(p)[3:]  # strip '0b' and the marker bit
+
+
+def plength(p: Packed) -> int:
+    """The string length of a packed interval."""
+    return p.bit_length() - 1
+
+
+def pvalue(p: Packed) -> int:
+    """The value bits of a packed interval (marker bit cleared)."""
+    return p ^ (1 << (p.bit_length() - 1))
+
+
+def pfrom_point(point: int, depth: int) -> Packed:
+    """The packed unit interval of a domain value at the given depth."""
+    if not 0 <= point < (1 << depth):
+        raise ValueError(f"point {point} outside domain of depth {depth}")
+    return (1 << depth) | point
+
+
+def pis_unit(p: Packed, depth: int) -> bool:
+    """True when the packed interval is a single depth-``depth`` point."""
+    return p >> depth == 1
+
+
+def pis_prefix(a: Packed, b: Packed) -> bool:
+    """Packed prefix/containment test: one shift and one compare."""
+    shift = b.bit_length() - a.bit_length()
+    return shift >= 0 and (b >> shift) == a
+
+
+#: Containment of packed dyadic segments coincides with the prefix test.
+pcontains = pis_prefix
+
+
+def poverlaps(a: Packed, b: Packed) -> bool:
+    """True when two packed segments intersect (one prefixes the other)."""
+    shift = b.bit_length() - a.bit_length()
+    if shift >= 0:
+        return (b >> shift) == a
+    return (a >> -shift) == b
+
+
+def pmeet(a: Packed, b: Packed) -> Packed:
+    """Intersection of two comparable packed intervals: the longer one.
+
+    For comparable packed intervals the longer is numerically larger,
+    so the meet is simply ``max``.  Raises when disjoint.
+    """
+    if poverlaps(a, b):
+        return a if a >= b else b
+    raise ValueError(
+        f"intervals {pto_bits(a)} and {pto_bits(b)} are disjoint"
+    )
+
+
+def psplit(p: Packed) -> Tuple[Packed, Packed]:
+    """The two dyadic halves of a packed interval: ``2p`` and ``2p + 1``."""
+    q = p << 1
+    return q, q | 1
+
+
+def pextend(p: Packed, bit: int) -> Packed:
+    """Append one bit (string concatenation ``x·b``) in packed form."""
+    return (p << 1) | (bit & 1)
+
+
+def pparent(p: Packed) -> Packed:
+    """Drop the last bit; λ has no parent."""
+    if p <= PLAMBDA:
+        raise ValueError("λ has no parent")
+    return p >> 1
+
+
+def plast_bit(p: Packed) -> int:
+    """The final bit of a non-λ packed interval."""
+    if p <= PLAMBDA:
+        raise ValueError("λ has no last bit")
+    return p & 1
+
+
+def pare_siblings(a: Packed, b: Packed) -> bool:
+    """True when the packed intervals are ``x·0`` and ``x·1``: one XOR."""
+    return (a ^ b) == 1 and a > 1 and b > 1
+
+
+def pprefixes(p: Packed) -> Iterator[Packed]:
+    """All packed prefixes from λ down to ``p`` itself (inclusive)."""
+    for shift in range(p.bit_length() - 1, -1, -1):
+        yield p >> shift
+
+
+def pto_range(p: Packed, depth: int) -> Tuple[int, int]:
+    """Inclusive integer range ``[lo, hi]`` covered on a depth-d domain."""
+    length = p.bit_length() - 1
+    if length > depth:
+        raise ValueError(f"interval deeper ({length}) than domain ({depth})")
+    width = depth - length
+    lo = (p ^ (1 << length)) << width
+    return lo, lo + (1 << width) - 1
+
+
+def pwidth(p: Packed, depth: int) -> int:
+    """Number of domain points covered on a depth-``depth`` domain."""
+    return 1 << (depth - p.bit_length() + 1)
+
+
+def pcovers_point(p: Packed, point: int, depth: int) -> bool:
+    """True when the packed interval contains the given domain point."""
+    shift = depth + 1 - p.bit_length()
+    return shift >= 0 and ((1 << depth) | point) >> shift == p
+
+
+def pdecompose_range(lo: int, hi: int, depth: int) -> List[Packed]:
+    """Packed variant of :func:`decompose_range` (no pair round-trip)."""
+    if lo > hi:
+        return []
+    if lo < 0 or hi >= (1 << depth):
+        raise ValueError(f"range [{lo}, {hi}] outside domain of depth {depth}")
+    pieces: List[Packed] = []
+    cursor = lo
+    remaining = hi - lo + 1
+    while remaining > 0:
+        align = cursor & -cursor if cursor else 1 << depth
+        size = min(align, 1 << remaining.bit_length() - 1)
+        length = depth - size.bit_length() + 1
+        pieces.append((1 << length) | (cursor >> (depth - length)))
+        cursor += size
+        remaining -= size
+    return pieces
 
 
 def decompose_range(lo: int, hi: int, depth: int) -> List[Interval]:

@@ -25,6 +25,15 @@ Three nested classes of resolution appear in the paper:
 
 The :class:`Resolver` wrapper counts resolutions so that Lemma 4.5
 ("runtime is bounded by #resolutions") is observable in tests and benches.
+
+All functions below operate on **packed** boxes (tuples of marker-bit
+ints, see :mod:`repro.core.intervals`); the packed encoding makes each
+rule check one or two int operations per dimension:
+
+* siblings ``x·0`` / ``x·1`` pack to ``2x`` / ``2x+1``, so the sibling
+  test is ``y ^ z == 1`` and the shared parent is ``y >> 1``;
+* for comparable components the longer (the meet) is numerically larger,
+  so the meet is ``max``.
 """
 
 from __future__ import annotations
@@ -32,11 +41,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-from repro.core.boxes import Box, BoxTuple
-from repro.core.intervals import Interval
+from repro.core.boxes import Box, PackedBox
 
 
-def find_resolvable_dimension(w1: BoxTuple, w2: BoxTuple) -> Optional[int]:
+def find_resolvable_dimension(w1: PackedBox, w2: PackedBox) -> Optional[int]:
     """The unique dimension on which the two boxes can resolve, or ``None``.
 
     There can be at most one sibling dimension if all other dimensions are
@@ -44,34 +52,37 @@ def find_resolvable_dimension(w1: BoxTuple, w2: BoxTuple) -> Optional[int]:
     not resolvable (their union is not a box) and we return ``None``.
     """
     axis = None
-    for i, ((yv, yl), (zv, zl)) in enumerate(zip(w1, w2)):
-        if yl == zl and yl > 0 and (yv ^ zv) == 1:
+    for i, (y, z) in enumerate(zip(w1, w2)):
+        if (y ^ z) == 1:
+            # Dyadic siblings: same length, last bit differs (packed ints
+            # are >= 1, so the only xor-1 pairs are 2x vs 2x+1).
             if axis is not None:
                 return None
             axis = i
-        elif yl <= zl and (zv >> (zl - yl)) == yv:
-            continue
-        elif zl <= yl and (yv >> (yl - zl)) == zv:
-            continue
         else:
-            return None
+            shift = z.bit_length() - y.bit_length()
+            if shift >= 0:
+                if (z >> shift) != y:
+                    return None
+            elif (y >> -shift) != z:
+                return None
     return axis
 
 
-def resolvable(w1: BoxTuple, w2: BoxTuple) -> bool:
+def resolvable(w1: PackedBox, w2: PackedBox) -> bool:
     """True when the two boxes satisfy the geometric-resolution preconditions."""
     return find_resolvable_dimension(w1, w2) is not None
 
 
-def resolve_tuples(w1: BoxTuple, w2: BoxTuple) -> BoxTuple:
-    """Resolvent of two raw box tuples; raises ``ValueError`` when impossible."""
+def resolve_tuples(w1: PackedBox, w2: PackedBox) -> PackedBox:
+    """Resolvent of two packed boxes; raises ``ValueError`` when impossible."""
     axis = find_resolvable_dimension(w1, w2)
     if axis is None:
         raise ValueError(f"boxes {w1} and {w2} are not resolvable")
     return resolve_on_axis(w1, w2, axis)
 
 
-def resolve_on_axis(w1: BoxTuple, w2: BoxTuple, axis: int) -> BoxTuple:
+def resolve_on_axis(w1: PackedBox, w2: PackedBox, axis: int) -> PackedBox:
     """Resolvent on a known sibling dimension (no precondition re-checking).
 
     On ``axis`` the output is the shared parent ``x``; elsewhere it is the
@@ -80,15 +91,15 @@ def resolve_on_axis(w1: BoxTuple, w2: BoxTuple, axis: int) -> BoxTuple:
     out = []
     for i, (a, b) in enumerate(zip(w1, w2)):
         if i == axis:
-            out.append((a[0] >> 1, a[1] - 1))
-        elif a[1] >= b[1]:
+            out.append(a >> 1)
+        elif a >= b:
             out.append(a)
         else:
             out.append(b)
     return tuple(out)
 
 
-def is_ordered_pair(w1: BoxTuple, w2: BoxTuple, axis: int) -> bool:
+def is_ordered_pair(w1: PackedBox, w2: PackedBox, axis: int) -> bool:
     """Check the Definition 4.3 shape: λ on every dimension after ``axis``.
 
     Ordered geometric resolution additionally requires the inputs to look
@@ -96,11 +107,9 @@ def is_ordered_pair(w1: BoxTuple, w2: BoxTuple, axis: int) -> bool:
     sibling pair and all later dimensions are λ.
     """
     for j in range(axis + 1, len(w1)):
-        if w1[j][1] != 0 or w2[j][1] != 0:
+        if w1[j] != 1 or w2[j] != 1:
             return False
-    yv, yl = w1[axis]
-    zv, zl = w2[axis]
-    return yl == zl and yl > 0 and (yv ^ zv) == 1
+    return (w1[axis] ^ w2[axis]) == 1
 
 
 @dataclass
@@ -152,7 +161,7 @@ class Resolver:
     def __init__(self, stats: Optional[ResolutionStats] = None):
         self.stats = stats if stats is not None else ResolutionStats()
 
-    def resolve(self, w1: BoxTuple, w2: BoxTuple, axis: int) -> BoxTuple:
+    def resolve(self, w1: PackedBox, w2: PackedBox, axis: int) -> PackedBox:
         """Resolve two witnesses on a known axis, recording the step."""
         self.stats.record(axis, ordered=is_ordered_pair(w1, w2, axis))
         return resolve_on_axis(w1, w2, axis)
@@ -160,7 +169,7 @@ class Resolver:
 
 def resolve(w1: Box, w2: Box) -> Box:
     """Public, Box-typed geometric resolution (validating preconditions)."""
-    return Box(resolve_tuples(w1.ivs, w2.ivs))
+    return Box.from_packed(resolve_tuples(w1.packed, w2.packed))
 
 
 def resolvent_covers(w1: Box, w2: Box, target: Box) -> bool:

@@ -1,5 +1,8 @@
 """Alternative knowledge-base stores, for ablating Appendix C.1.
 
+Stores operate on **packed** boxes (tuples of marker-bit ints); see
+:mod:`repro.core.intervals` for the encoding.
+
 The paper stores the knowledge base in a multilevel dyadic tree so the
 "find a stored box containing b" query costs Õ(1) (Proposition B.12).
 ``ListStore`` is the naive alternative — a flat list with O(|A|) linear
@@ -12,7 +15,7 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Set
 
-from repro.core.boxes import BoxTuple, box_contains
+from repro.core.boxes import PackedBox, box_contains
 
 
 class ListStore:
@@ -22,19 +25,19 @@ class ListStore:
         if ndim < 1:
             raise ValueError("ndim must be at least 1")
         self.ndim = ndim
-        self._boxes: List[BoxTuple] = []
-        self._seen: Set[BoxTuple] = set()
+        self._boxes: List[PackedBox] = []
+        self._seen: Set[PackedBox] = set()
 
     def __len__(self) -> int:
         return len(self._boxes)
 
-    def __contains__(self, box: BoxTuple) -> bool:
+    def __contains__(self, box: PackedBox) -> bool:
         return box in self._seen
 
-    def __iter__(self) -> Iterator[BoxTuple]:
+    def __iter__(self) -> Iterator[PackedBox]:
         return iter(self._boxes)
 
-    def add(self, box: BoxTuple) -> bool:
+    def add(self, box: PackedBox) -> bool:
         if len(box) != self.ndim:
             raise ValueError(
                 f"box has {len(box)} components, store has {self.ndim}"
@@ -45,11 +48,11 @@ class ListStore:
         self._boxes.append(box)
         return True
 
-    def find_container(self, box: BoxTuple) -> Optional[BoxTuple]:
+    def find_container(self, box: PackedBox) -> Optional[PackedBox]:
         for stored in self._boxes:
             if box_contains(stored, box):
                 return stored
         return None
 
-    def find_all_containers(self, box: BoxTuple) -> List[BoxTuple]:
+    def find_all_containers(self, box: PackedBox) -> List[PackedBox]:
         return [s for s in self._boxes if box_contains(s, box)]

@@ -28,13 +28,25 @@ Variants, selected by flags (Sections 4.3–4.4, 5.1):
 
 The engine is written iteratively (explicit stack) so deep recursions
 (depth ``n·d``) never hit the interpreter recursion limit.
+
+Internally every box is a **packed** tuple — one marker-bit int
+``(1 << length) | value`` per dimension (see
+:mod:`repro.core.intervals`).  The encoding makes the hot-loop
+primitives single int operations: splitting a component is ``2p`` /
+``2p + 1``, the unit test for a uniform depth-``d`` space is
+``min(box) >= 2**d`` (every component carries its marker bit at or above
+position ``d``), and containment is a shift + compare per dimension.
+Public entry points (:func:`solve_bcp` and friends) keep accepting the
+documented ``(value, length)`` pair form — conversion happens once at
+the boundary, never inside the loops.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.boxes import BoxTuple, box_contains
+from repro.core import intervals as dy
+from repro.core.boxes import PackedBox, box_contains
 from repro.core.dyadic_tree import MultilevelDyadicTree
 from repro.core.resolution import ResolutionStats, Resolver
 
@@ -53,31 +65,32 @@ class DimensionSpec:
     * its remainder dimension ``A''`` holds the suffix, whose unit length
       depends on the P element chosen on ``A'``.
 
-    Implementations answer, for a box in SAO order, whether an axis is at
-    its unit (unsplittable) level.
+    Implementations answer, for a packed box in SAO order, whether an axis
+    is at its unit (unsplittable) level.
     """
 
-    def is_unit(self, box: BoxTuple, axis: int) -> bool:
+    def is_unit(self, box: PackedBox, axis: int) -> bool:
         raise NotImplementedError
 
 
 class FixedDepth(DimensionSpec):
     """Ordinary dimension over ``{0,1}^depth``."""
 
-    __slots__ = ("depth",)
+    __slots__ = ("depth", "_unit")
 
     def __init__(self, depth: int):
         self.depth = depth
+        self._unit = 1 << depth
 
-    def is_unit(self, box: BoxTuple, axis: int) -> bool:
-        return box[axis][1] == self.depth
+    def is_unit(self, box: PackedBox, axis: int) -> bool:
+        return box[axis] >= self._unit
 
 
 class CodeDimension(DimensionSpec):
     """Dimension whose unit values form a complete prefix-free code.
 
-    ``code`` is the set of intervals of a balanced partition P; any strict
-    prefix of a code element is splittable, any code element is unit.
+    ``code`` is the set of packed intervals of a balanced partition P; any
+    strict prefix of a code element is splittable, any code element is unit.
     """
 
     __slots__ = ("code",)
@@ -85,7 +98,7 @@ class CodeDimension(DimensionSpec):
     def __init__(self, code):
         self.code = frozenset(code)
 
-    def is_unit(self, box: BoxTuple, axis: int) -> bool:
+    def is_unit(self, box: PackedBox, axis: int) -> bool:
         return box[axis] in self.code
 
 
@@ -103,8 +116,12 @@ class RemainderDimension(DimensionSpec):
         self.partner_axis = partner_axis
         self.total_depth = total_depth
 
-    def is_unit(self, box: BoxTuple, axis: int) -> bool:
-        return box[axis][1] == self.total_depth - box[self.partner_axis][1]
+    def is_unit(self, box: PackedBox, axis: int) -> bool:
+        # len(axis) == total_depth - len(partner), via bit_length = len + 1.
+        return (
+            box[axis].bit_length() + box[self.partner_axis].bit_length()
+            == self.total_depth + 2
+        )
 
 
 class BoxSetOracle:
@@ -113,24 +130,28 @@ class BoxSetOracle:
     Given a unit box (a point of the output space), returns all boxes of
     ``B`` containing it in Õ(1) via a multilevel dyadic tree.  This models
     "the pre-built database indices of the input relations".
+
+    Input boxes may be in pair or packed form (packed once here, at the
+    boundary); all queries and results are packed.
     """
 
-    def __init__(self, boxes: Iterable[BoxTuple], ndim: int):
+    def __init__(self, boxes: Iterable, ndim: int):
         self.ndim = ndim
         self._tree = MultilevelDyadicTree(ndim)
-        self._boxes: List[BoxTuple] = []
+        self._boxes: List[PackedBox] = []
         for box in boxes:
-            if self._tree.add(box):
-                self._boxes.append(box)
+            packed = dy.pack_box(box)
+            if self._tree.add(packed):
+                self._boxes.append(packed)
 
     def __len__(self) -> int:
         return len(self._boxes)
 
-    def containing(self, unit_box: BoxTuple) -> List[BoxTuple]:
+    def containing(self, unit_box: PackedBox) -> List[PackedBox]:
         """All gap boxes containing the given point (Algorithm 2, line 4)."""
         return self._tree.find_all_containers(unit_box)
 
-    def boxes(self) -> Sequence[BoxTuple]:
+    def boxes(self) -> Sequence[PackedBox]:
         """The full box set (used by Tetris-Preloaded initialization)."""
         return self._boxes
 
@@ -140,7 +161,9 @@ class TetrisEngine:
 
     ``sao`` is the splitting attribute order as a permutation of dimension
     indices; boxes are stored and split internally in SAO order and
-    translated back at the API boundary.
+    translated back at the API boundary.  All engine-level box arguments
+    and results (``skeleton``, ``add_box``, ``return_boxes`` outputs) are
+    **packed**.
     """
 
     def __init__(
@@ -166,9 +189,10 @@ class TetrisEngine:
             raise ValueError(
                 f"sao must be a permutation of 0..{ndim - 1}, got {self.sao}"
             )
-        self._inv_sao = tuple(
-            self.sao.index(i) for i in range(ndim)
-        )
+        inv = [0] * ndim
+        for pos, dim in enumerate(self.sao):
+            inv[dim] = pos
+        self._inv_sao = tuple(inv)
         self.cache_resolvents = cache_resolvents
         self.stats = stats if stats is not None else ResolutionStats()
         # The store behind Algorithm 1's A; any object with
@@ -180,7 +204,8 @@ class TetrisEngine:
             else MultilevelDyadicTree(ndim)
         )
         self._resolver = Resolver(self.stats)
-        self._universe: BoxTuple = ((0, 0),) * ndim
+        self._universe: PackedBox = (dy.PLAMBDA,) * ndim
+        self._unit_marker = 1 << depth
         self._return_boxes = False
         # Dimension specs are given in *internal (SAO) order*; None means
         # every dimension is a plain {0,1}^depth domain (the fast path).
@@ -200,14 +225,14 @@ class TetrisEngine:
                         "dimension in SAO order"
                     )
 
-    def _is_unit_box(self, box: BoxTuple) -> bool:
+    def _is_unit_box(self, box: PackedBox) -> bool:
         """Unit test under dimension specs (generalized spaces only)."""
         dims = self.dims
         return all(
             dims[i].is_unit(box, i) for i in range(self.ndim)
         )
 
-    def _first_thick_generalized(self, box: BoxTuple) -> int:
+    def _first_thick_generalized(self, box: PackedBox) -> int:
         dims = self.dims
         for i in range(self.ndim):
             if not dims[i].is_unit(box, i):
@@ -216,37 +241,30 @@ class TetrisEngine:
 
     # -- SAO translation -----------------------------------------------------
 
-    def to_internal(self, box: BoxTuple) -> BoxTuple:
+    def to_internal(self, box: PackedBox) -> PackedBox:
         """Permute a space-order box into SAO order."""
         sao = self.sao
         return tuple(box[sao[i]] for i in range(self.ndim))
 
-    def to_external(self, box: BoxTuple) -> BoxTuple:
+    def to_external(self, box: PackedBox) -> PackedBox:
         """Permute an SAO-order box back into space order."""
         inv = self._inv_sao
         return tuple(box[inv[i]] for i in range(self.ndim))
 
-    def add_box(self, box: BoxTuple) -> bool:
-        """Amend the knowledge base with a space-order box."""
-        added = self.knowledge_base.add(self.to_internal(box))
+    def add_box(self, box) -> bool:
+        """Amend the knowledge base with a space-order box.
+
+        Accepts pair or packed form (tolerant boundary conversion).
+        """
+        added = self.knowledge_base.add(self.to_internal(dy.pack_box(box)))
         if added:
             self.stats.boxes_loaded += 1
         return added
 
     # -- Algorithm 1: TetrisSkeleton ------------------------------------------
 
-    def _first_thick_dimension(self, box: BoxTuple) -> int:
-        """Smallest SAO dimension that is not yet at its unit level."""
-        if self.dims is not None:
-            return self._first_thick_generalized(box)
-        depth = self.depth
-        for i, (_, length) in enumerate(box):
-            if length < depth:
-                return i
-        raise ValueError("unit boxes cannot be split")
-
-    def skeleton(self, target: BoxTuple) -> Tuple[bool, BoxTuple]:
-        """Algorithm 1 on an SAO-order target box.
+    def skeleton(self, target: PackedBox) -> Tuple[bool, PackedBox]:
+        """Algorithm 1 on an SAO-order packed target box.
 
         Returns ``(True, w)`` with ``w ⊇ target`` covered by the knowledge
         base, or ``(False, p)`` with ``p`` an uncovered unit box inside
@@ -254,22 +272,24 @@ class TetrisEngine:
         ``[b, second_half, axis, w1, stage]``.
         """
         kb = self.knowledge_base
+        find_container = kb.find_container
+        kb_add = kb.add
         stats = self.stats
-        depth = self.depth
+        unit = self._unit_marker
         cache = self.cache_resolvents
         resolver = self._resolver
         uniform = self.dims is None
         stats.skeleton_calls += 1
 
         stack: list = []
-        current: Optional[BoxTuple] = target
-        result: Tuple[bool, BoxTuple] = (False, target)
+        current: Optional[PackedBox] = target
+        result: Tuple[bool, PackedBox] = (False, target)
 
         while True:
             if current is not None:
                 b = current
                 stats.containment_queries += 1
-                witness = kb.find_container(b)
+                witness = find_container(b)
                 if witness is not None:
                     stats.cache_hits += 1
                     result = (True, witness)
@@ -277,21 +297,22 @@ class TetrisEngine:
                     continue
                 # Unit box check: every component at its unit level.
                 if (
-                    all(length == depth for _, length in b)
-                    if uniform
-                    else self._is_unit_box(b)
+                    min(b) >= unit if uniform else self._is_unit_box(b)
                 ):
                     result = (False, b)
                     current = None
                     continue
-                axis = self._first_thick_dimension(b)
-                value, length = b[axis]
-                b1 = b[:axis] + ((value << 1, length + 1),) + b[axis + 1:]
-                b2 = (
-                    b[:axis]
-                    + (((value << 1) | 1, length + 1),)
-                    + b[axis + 1:]
-                )
+                if uniform:
+                    axis = 0
+                    while b[axis] >= unit:
+                        axis += 1
+                else:
+                    axis = self._first_thick_generalized(b)
+                head = b[:axis]
+                tail = b[axis + 1:]
+                half = b[axis] << 1
+                b1 = head + (half,) + tail
+                b2 = head + (half | 1,) + tail
                 stack.append([b, b2, axis, None, 0])
                 current = b1
                 continue
@@ -319,7 +340,7 @@ class TetrisEngine:
             # Both halves covered but neither witness covers b: resolve.
             resolvent = resolver.resolve(w1, witness, axis)
             if cache:
-                kb.add(resolvent)
+                kb_add(resolvent)
             stack.pop()
             result = (True, resolvent)
 
@@ -341,28 +362,36 @@ class TetrisEngine:
         (Tetris-Reloaded).  ``one_pass`` switches to the TetrisSkeleton2
         traversal that reports outputs without restarting.
 
-        ``return_boxes=True`` yields each output as a full unit BoxTuple
-        (space order) rather than a tuple of values — required for
+        ``return_boxes=True`` yields each output as a full packed unit
+        box (space order) rather than a tuple of values — required for
         generalized spaces where components have varying lengths.
         """
         if oracle is not None and preload:
+            to_internal = self.to_internal
+            kb_add = self.knowledge_base.add
+            loaded = 0
             for box in oracle.boxes():
-                self.add_box(box)
+                if kb_add(to_internal(box)):
+                    loaded += 1
+            self.stats.boxes_loaded += loaded
         self._return_boxes = return_boxes
         if one_pass:
             return self._run_one_pass(oracle, max_outputs)
         return self._run_restarting(oracle, max_outputs)
 
-    def _emit(self, unit_internal: BoxTuple):
+    def _emit(self, unit_internal: PackedBox):
         """Convert an internal unit box to the configured output form."""
         external = self.to_external(unit_internal)
         if self._return_boxes:
             return external
-        return tuple(v for v, _ in external)
+        if self.dims is None:
+            unit = self._unit_marker
+            return tuple(p ^ unit for p in external)
+        return tuple(dy.pvalue(p) for p in external)
 
     def _oracle_lookup(
-        self, oracle: Optional[BoxSetOracle], point_internal: BoxTuple
-    ) -> List[BoxTuple]:
+        self, oracle: Optional[BoxSetOracle], point_internal: PackedBox
+    ) -> List[PackedBox]:
         """Query the oracle with an internal (SAO-order) unit box."""
         if oracle is None:
             return []
@@ -396,8 +425,10 @@ class TetrisEngine:
     ) -> List[Point]:
         """TetrisSkeleton2: handle uncovered points in place, never restart."""
         kb = self.knowledge_base
+        find_container = kb.find_container
+        kb_add = kb.add
         stats = self.stats
-        depth = self.depth
+        unit = self._unit_marker
         cache = self.cache_resolvents
         resolver = self._resolver
         uniform = self.dims is None
@@ -405,28 +436,26 @@ class TetrisEngine:
         stats.skeleton_calls += 1
 
         stack: list = []
-        current: Optional[BoxTuple] = self._universe
-        result: Tuple[bool, BoxTuple] = (True, self._universe)
+        current: Optional[PackedBox] = self._universe
+        result: Tuple[bool, PackedBox] = (True, self._universe)
 
         while True:
             if current is not None:
                 b = current
                 stats.containment_queries += 1
-                witness = kb.find_container(b)
+                witness = find_container(b)
                 if witness is not None:
                     stats.cache_hits += 1
                     result = (True, witness)
                     current = None
                     continue
                 if (
-                    all(length == depth for _, length in b)
-                    if uniform
-                    else self._is_unit_box(b)
+                    min(b) >= unit if uniform else self._is_unit_box(b)
                 ):
                     gap_boxes = self._oracle_lookup(oracle, b)
                     if gap_boxes:
                         for box in gap_boxes:
-                            if kb.add(box):
+                            if kb_add(box):
                                 stats.boxes_loaded += 1
                         result = (True, gap_boxes[0])
                     else:
@@ -436,19 +465,22 @@ class TetrisEngine:
                             and len(outputs) >= max_outputs
                         ):
                             return outputs
-                        kb.add(b)
+                        kb_add(b)
                         stats.boxes_loaded += 1
                         result = (True, b)
                     current = None
                     continue
-                axis = self._first_thick_dimension(b)
-                value, length = b[axis]
-                b1 = b[:axis] + ((value << 1, length + 1),) + b[axis + 1:]
-                b2 = (
-                    b[:axis]
-                    + (((value << 1) | 1, length + 1),)
-                    + b[axis + 1:]
-                )
+                if uniform:
+                    axis = 0
+                    while b[axis] >= unit:
+                        axis += 1
+                else:
+                    axis = self._first_thick_generalized(b)
+                head = b[:axis]
+                tail = b[axis + 1:]
+                half = b[axis] << 1
+                b1 = head + (half,) + tail
+                b2 = head + (half | 1,) + tail
                 stack.append([b, b2, axis, None, 0])
                 current = b1
                 continue
@@ -469,7 +501,7 @@ class TetrisEngine:
                 continue
             resolvent = resolver.resolve(w1, witness, axis)
             if cache:
-                kb.add(resolvent)
+                kb_add(resolvent)
             stack.pop()
             result = (True, resolvent)
 
@@ -478,7 +510,7 @@ class TetrisEngine:
 
 
 def solve_bcp(
-    boxes: Iterable[BoxTuple],
+    boxes: Iterable,
     ndim: int,
     depth: int,
     sao: Optional[Sequence[int]] = None,
@@ -489,7 +521,9 @@ def solve_bcp(
 ) -> List[Point]:
     """Solve a Box Cover Problem instance: list points not covered by ``boxes``.
 
-    Defaults to the fast one-pass preloaded configuration; pass
+    ``boxes`` may use the documented ``(value, length)`` pair components
+    or packed ints (converted once at this boundary).  Defaults to the
+    fast one-pass preloaded configuration; pass
     ``preload=False, one_pass=False`` for the faithful Tetris-Reloaded.
     """
     oracle = BoxSetOracle(boxes, ndim)
@@ -500,7 +534,7 @@ def solve_bcp(
 
 
 def tetris_preloaded(
-    boxes: Iterable[BoxTuple],
+    boxes: Iterable,
     ndim: int,
     depth: int,
     sao: Optional[Sequence[int]] = None,
@@ -515,7 +549,7 @@ def tetris_preloaded(
 
 
 def tetris_reloaded(
-    boxes: Iterable[BoxTuple],
+    boxes: Iterable,
     ndim: int,
     depth: int,
     sao: Optional[Sequence[int]] = None,
@@ -530,7 +564,7 @@ def tetris_reloaded(
 
 
 def boolean_box_cover(
-    boxes: Iterable[BoxTuple],
+    boxes: Iterable,
     ndim: int,
     depth: int,
     sao: Optional[Sequence[int]] = None,

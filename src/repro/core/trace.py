@@ -12,6 +12,9 @@ structural properties of this DAG:
 * **Tree Ordered Geometric Resolution** — additionally, every resolvent
   is used at most once (the DAG is a forest).
 
+Proof boxes are recorded in the engine's internal **packed** form
+(tuples of marker-bit ints; see :mod:`repro.core.intervals`).
+
 ``TracingResolver`` is a drop-in resolver that records the proof;
 ``ResolutionProof`` verifies every step (soundness) and classifies the
 proof.  Used by tests to certify that Tetris's internal reasoning really
@@ -23,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.core.boxes import BoxTuple
+from repro.core.boxes import PackedBox
 from repro.core.resolution import (
     ResolutionStats,
     Resolver,
@@ -37,10 +40,10 @@ from repro.core.resolution import (
 class ProofStep:
     """One resolution: two premise boxes, the resolved axis, the resolvent."""
 
-    left: BoxTuple
-    right: BoxTuple
+    left: PackedBox
+    right: PackedBox
     axis: int
-    resolvent: BoxTuple
+    resolvent: PackedBox
     ordered: bool
 
 
@@ -54,7 +57,7 @@ class ResolutionProof:
         return len(self.steps)
 
     @property
-    def resolvents(self) -> Set[BoxTuple]:
+    def resolvents(self) -> Set[PackedBox]:
         return {s.resolvent for s in self.steps}
 
     def verify(self) -> None:
@@ -88,12 +91,12 @@ class ResolutionProof:
         (Section 5.1, footnote 10).  Since boxes are recorded by value,
         a box derived k times may appear as a premise up to k times.
         """
-        derivations: Dict[BoxTuple, int] = {}
+        derivations: Dict[PackedBox, int] = {}
         for step in self.steps:
             derivations[step.resolvent] = (
                 derivations.get(step.resolvent, 0) + 1
             )
-        used: Dict[BoxTuple, int] = {}
+        used: Dict[PackedBox, int] = {}
         for step in self.steps:
             for premise in (step.left, step.right):
                 if premise in derivations:
@@ -111,7 +114,7 @@ class ResolutionProof:
             return "ordered"
         return "tree-ordered"
 
-    def derives(self, goal: BoxTuple) -> bool:
+    def derives(self, goal: PackedBox) -> bool:
         """Does some resolvent contain the goal box?"""
         from repro.core.boxes import box_contains
 
@@ -119,10 +122,10 @@ class ResolutionProof:
             box_contains(s.resolvent, goal) for s in self.steps
         )
 
-    def leaves(self) -> Set[BoxTuple]:
+    def leaves(self) -> Set[PackedBox]:
         """Premises that are never themselves derived (inputs + outputs)."""
         derived = self.resolvents
-        out: Set[BoxTuple] = set()
+        out: Set[PackedBox] = set()
         for step in self.steps:
             for premise in (step.left, step.right):
                 if premise not in derived:
@@ -133,8 +136,8 @@ class ResolutionProof:
         """Render the proof DAG in Graphviz DOT (for small proofs)."""
         from repro.core import intervals as dy
 
-        def label(box: BoxTuple) -> str:
-            return "⟨" + ",".join(dy.to_bits(iv) for iv in box) + "⟩"
+        def label(box: PackedBox) -> str:
+            return "⟨" + ",".join(dy.pto_bits(p) for p in box) + "⟩"
 
         lines = ["digraph proof {", "  rankdir=BT;"]
         for step in self.steps[:max_steps]:
@@ -153,7 +156,7 @@ class TracingResolver(Resolver):
         super().__init__(stats)
         self.proof = ResolutionProof()
 
-    def resolve(self, w1: BoxTuple, w2: BoxTuple, axis: int) -> BoxTuple:
+    def resolve(self, w1: PackedBox, w2: PackedBox, axis: int) -> PackedBox:
         resolvent = super().resolve(w1, w2, axis)
         self.proof.steps.append(
             ProofStep(
@@ -168,7 +171,7 @@ class TracingResolver(Resolver):
 
 
 def traced_solve_bcp(
-    boxes: Sequence[BoxTuple],
+    boxes: Sequence[PackedBox],
     ndim: int,
     depth: int,
     sao: Optional[Sequence[int]] = None,

@@ -12,6 +12,10 @@ with unit components pinning the path, one (possibly non-trivial) dyadic
 gap interval ``g``, and wildcards after — exactly the σ-consistent shape of
 Definition 3.11 (Figures 1b and 3a show the two sort orders of the running
 example).
+
+Gap boxes are emitted directly in **packed** marker-bit form (see
+:mod:`repro.core.intervals`): the Tetris oracle consumes them without a
+pair-tuple round-trip.
 """
 
 from __future__ import annotations
@@ -20,9 +24,9 @@ import bisect
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core import intervals as dy
-from repro.core.boxes import BoxTuple
-from repro.core.intervals import LAMBDA, Interval
-from repro.indexes.gaps import dyadic_gaps, gap_piece_containing
+from repro.core.boxes import PackedBox
+from repro.core.intervals import PLAMBDA, Packed
+from repro.indexes.gaps import pdyadic_gaps, pgap_piece_containing
 from repro.relational.relation import Relation
 
 
@@ -41,15 +45,10 @@ class _TrieNode:
             return self.children[i]
         return None
 
-    def insert(self, value: int) -> "_TrieNode":
-        i = bisect.bisect_left(self.keys, value)
-        if i < len(self.keys) and self.keys[i] == value:
-            node = self.children[i]
-        else:
-            node = _TrieNode()
-            self.keys.insert(i, value)
-            self.children.insert(i, node)
-        return node
+
+#: Shared terminal for the deepest trie level: its subtree is never
+#: descended into, so every leaf can point at one sentinel node.
+_LEAF = _TrieNode()
 
 
 class BTreeIndex:
@@ -70,11 +69,38 @@ class BTreeIndex:
         self.attr_order: Tuple[str, ...] = tuple(attr_order)
         self.depth = relation.domain.depth
         self._perm = [relation.schema.position(a) for a in self.attr_order]
+        # Build from rows sorted in attr_order: each trie node's keys then
+        # arrive in increasing order, so construction is append-only —
+        # O(N · arity) after the O(N log N) sort, with no per-tuple
+        # bisect/insert churn.  attr_order is a full permutation, so the
+        # projection is injective and needs no dedup.
+        from operator import itemgetter
+
+        perm = self._perm
+        arity = len(perm)
+        if arity == 1:
+            rows = sorted((t[perm[0]],) for t in relation)
+        else:
+            rows = sorted(map(itemgetter(*perm), relation))
         self._root = _TrieNode()
-        for t in relation:
-            node = self._root
-            for pos in self._perm:
-                node = node.insert(t[pos])
+        path: List[_TrieNode] = [self._root] + [None] * arity
+        last = arity - 1
+        prev: Optional[Tuple[int, ...]] = None
+        for row in rows:
+            level = 0
+            if prev is not None:
+                while row[level] == prev[level]:
+                    level += 1
+            for lv in range(level, last):
+                node = path[lv]
+                child = _TrieNode()
+                node.keys.append(row[lv])
+                node.children.append(child)
+                path[lv + 1] = child
+            node = path[last]
+            node.keys.append(row[last])
+            node.children.append(_LEAF)
+            prev = row
 
     @property
     def arity(self) -> int:
@@ -96,25 +122,26 @@ class BTreeIndex:
 
     # -- gap boxes -------------------------------------------------------------
 
-    def gap_boxes(self) -> Iterator[Tuple[Tuple[Interval, ...], Tuple[str, ...]]]:
-        """All dyadic gap boxes, as (interval tuple in attr_order, attrs).
+    def gap_boxes(self) -> Iterator[Tuple[PackedBox, Tuple[str, ...]]]:
+        """All dyadic gap boxes, as (packed box in attr_order, attrs).
 
-        Yields boxes over the *relation's* attributes (in ``attr_order``);
-        callers lift them into the query space.  The union of the yielded
-        boxes is exactly the complement of the relation in its own space —
-        the B(R) property of Section 3.3.
+        Yields packed boxes over the *relation's* attributes (in
+        ``attr_order``); callers lift them into the query space.  The
+        union of the yielded boxes is exactly the complement of the
+        relation in its own space — the B(R) property of Section 3.3.
         """
         depth = self.depth
         arity = self.arity
+        unit = 1 << depth
 
-        def walk(node: _TrieNode, prefix: Tuple[Interval, ...], level: int):
-            tail = (LAMBDA,) * (arity - level - 1)
-            for gap in dyadic_gaps(node.keys, depth):
+        def walk(node: _TrieNode, prefix: PackedBox, level: int):
+            tail = (PLAMBDA,) * (arity - level - 1)
+            for gap in pdyadic_gaps(node.keys, depth):
                 yield prefix + (gap,) + tail
             if level + 1 < arity:
                 for key, child in zip(node.keys, node.children):
                     yield from walk(
-                        child, prefix + ((key, depth),), level + 1
+                        child, prefix + (unit | key,), level + 1
                     )
 
         for box in walk(self._root, (), 0):
@@ -122,7 +149,7 @@ class BTreeIndex:
 
     def gap_boxes_containing(
         self, point_in_order: Sequence[int]
-    ) -> List[Tuple[Interval, ...]]:
+    ) -> List[PackedBox]:
         """The maximal dyadic gap box around a probe point, lazily.
 
         ``point_in_order`` gives values in ``attr_order``.  Returns ``[]``
@@ -130,17 +157,18 @@ class BTreeIndex:
         index there is exactly one maximal gap box containing any non-tuple
         (Appendix B.3); we return the dyadic piece of it that contains the
         probe, computed in O(arity · (log N + d)) without materializing
-        anything.
+        anything.  Boxes are packed.
         """
         depth = self.depth
+        unit = 1 << depth
         node = self._root
         for level, value in enumerate(point_in_order):
-            piece = gap_piece_containing(node.keys, value, depth)
+            piece = pgap_piece_containing(node.keys, value, depth)
             if piece is not None:
                 prefix = tuple(
-                    (v, depth) for v in point_in_order[:level]
+                    unit | v for v in point_in_order[:level]
                 )
-                tail = (LAMBDA,) * (self.arity - level - 1)
+                tail = (PLAMBDA,) * (self.arity - level - 1)
                 return [prefix + (piece,) + tail]
             node = node.child(value)
         return []

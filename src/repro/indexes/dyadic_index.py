@@ -9,14 +9,20 @@ boxes" arise.
 
 The index also answers lazy probes: the gap box containing a non-tuple
 point is the *largest* empty cell on the point's root-to-leaf path.
+
+Cells and gap boxes are **packed** marker-bit tuples (see
+:mod:`repro.core.intervals`): descending into a child cell is one shift
+per component, and membership of a tuple in a cell is a shift + compare
+against the point's packed form — no pair tuples anywhere on the path to
+the Tetris oracle.
 """
 
 from __future__ import annotations
 
 from typing import Iterator, List, Sequence, Tuple
 
-from repro.core.boxes import BoxTuple
-from repro.core.intervals import Interval
+from repro.core.boxes import PackedBox
+from repro.core.intervals import PLAMBDA
 from repro.relational.relation import Relation
 
 
@@ -30,25 +36,27 @@ class DyadicTreeIndex:
         self._tuples = sorted(relation.tuples())
 
     def _cell_tuples(
-        self, cell: Tuple[Interval, ...], tuples: Sequence[Tuple[int, ...]]
+        self, cell: PackedBox, level: int, tuples: Sequence[Tuple[int, ...]]
     ) -> List[Tuple[int, ...]]:
-        depth = self.depth
+        # Every component of a lock-step cell has length == level.
+        unit = 1 << self.depth
+        shift = self.depth - level
         out = []
         for t in tuples:
-            for (value, length), coord in zip(cell, t):
-                if (coord >> (depth - length)) != value:
+            for p, coord in zip(cell, t):
+                if (unit | coord) >> shift != p:
                     break
             else:
                 out.append(t)
         return out
 
-    def gap_boxes(self) -> Iterator[Tuple[Tuple[Interval, ...], Tuple[str, ...]]]:
+    def gap_boxes(self) -> Iterator[Tuple[PackedBox, Tuple[str, ...]]]:
         """Empty cells of the recursive 2^k-ary subdivision, maximal first."""
         depth = self.depth
         arity = self.arity
         attrs = self.relation.attrs
 
-        def walk(cell: Tuple[Interval, ...], level: int, tuples):
+        def walk(cell: PackedBox, level: int, tuples):
             if not tuples:
                 yield cell
                 return
@@ -57,13 +65,13 @@ class DyadicTreeIndex:
             children_count = 1 << arity
             for mask in range(children_count):
                 child = tuple(
-                    ((value << 1) | ((mask >> i) & 1), length + 1)
-                    for i, (value, length) in enumerate(cell)
+                    (p << 1) | ((mask >> i) & 1)
+                    for i, p in enumerate(cell)
                 )
-                sub = self._cell_tuples(child, tuples)
+                sub = self._cell_tuples(child, level + 1, tuples)
                 yield from walk(child, level + 1, sub)
 
-        root = ((0, 0),) * arity
+        root = (PLAMBDA,) * arity
         if not self._tuples and depth == 0:
             yield root, attrs
             return
@@ -72,24 +80,21 @@ class DyadicTreeIndex:
 
     def gap_boxes_containing(
         self, point: Sequence[int]
-    ) -> List[Tuple[Interval, ...]]:
+    ) -> List[PackedBox]:
         """The maximal empty cell containing the probe point, or ``[]``."""
         depth = self.depth
-        cell: Tuple[Interval, ...] = ((0, 0),) * self.arity
+        cell: PackedBox = (PLAMBDA,) * self.arity
         tuples = self._tuples
         for level in range(depth + 1):
-            tuples = self._cell_tuples(cell, tuples)
+            tuples = self._cell_tuples(cell, level, tuples)
             if not tuples:
                 return [cell]
             if level == depth:
                 return []
+            shift = depth - level - 1
             cell = tuple(
-                (
-                    (value << 1)
-                    | ((point[i] >> (depth - length - 1)) & 1),
-                    length + 1,
-                )
-                for i, (value, length) in enumerate(cell)
+                (p << 1) | ((point[i] >> shift) & 1)
+                for i, p in enumerate(cell)
             )
         return []
 
@@ -112,14 +117,15 @@ class KDTreeIndex:
         self.arity = relation.arity
         self._tuples = sorted(relation.tuples())
 
-    def _in_cell(self, cell, t) -> bool:
+    def _in_cell(self, cell: PackedBox, t) -> bool:
         depth = self.depth
-        for (value, length), coord in zip(cell, t):
-            if (coord >> (depth - length)) != value:
+        unit = 1 << depth
+        for p, coord in zip(cell, t):
+            if (unit | coord) >> (depth + 1 - p.bit_length()) != p:
                 return False
         return True
 
-    def gap_boxes(self) -> Iterator[Tuple[Tuple[Interval, ...], Tuple[str, ...]]]:
+    def gap_boxes(self) -> Iterator[Tuple[PackedBox, Tuple[str, ...]]]:
         attrs = self.relation.attrs
         depth = self.depth
         arity = self.arity
@@ -132,27 +138,25 @@ class KDTreeIndex:
             if level == total:
                 return
             axis = level % arity
-            value, length = cell[axis]
+            half = cell[axis] << 1
             for bit in (0, 1):
                 child = (
-                    cell[:axis]
-                    + (((value << 1) | bit, length + 1),)
-                    + cell[axis + 1:]
+                    cell[:axis] + (half | bit,) + cell[axis + 1:]
                 )
                 sub = [t for t in tuples if self._in_cell(child, t)]
                 yield from walk(child, level + 1, sub)
 
-        root = ((0, 0),) * arity
+        root = (PLAMBDA,) * arity
         for box in walk(root, 0, self._tuples):
             yield box, attrs
 
     def gap_boxes_containing(
         self, point: Sequence[int]
-    ) -> List[Tuple[Interval, ...]]:
+    ) -> List[PackedBox]:
         depth = self.depth
         arity = self.arity
-        cell: Tuple[Interval, ...] = ((0, 0),) * arity
-        tuples = [t for t in self._tuples]
+        cell: PackedBox = (PLAMBDA,) * arity
+        tuples = list(self._tuples)
         for level in range(depth * arity + 1):
             tuples = [t for t in tuples if self._in_cell(cell, t)]
             if not tuples:
@@ -160,11 +164,11 @@ class KDTreeIndex:
             if level == depth * arity:
                 return []
             axis = level % arity
-            value, length = cell[axis]
+            length = cell[axis].bit_length() - 1
             bit = (point[axis] >> (depth - length - 1)) & 1
             cell = (
                 cell[:axis]
-                + (((value << 1) | bit, length + 1),)
+                + ((cell[axis] << 1) | bit,)
                 + cell[axis + 1:]
             )
         return []

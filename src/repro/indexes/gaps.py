@@ -4,14 +4,23 @@ An index over an ordered domain exposes, for free, the *gaps* between the
 values it stores (Section 3.2).  These helpers turn sorted value lists into
 the dyadic intervals covering their complement — the raw material every
 index in :mod:`repro.indexes` feeds into gap boxes.
+
+The ``p``-prefixed variants emit **packed** marker-bit intervals (see
+:mod:`repro.core.intervals`) and are what the indexes use on the hot
+path, so gap boxes reach the Tetris engine without a pair-tuple
+round-trip.  The pair-based helpers remain as the documented public form
+(:func:`dyadic_boxes_from_ranges` is how a user hands arbitrary integer
+ranges to the BCP machinery).
 """
 
 from __future__ import annotations
 
+import bisect
+
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core import intervals as dy
-from repro.core.intervals import Interval
+from repro.core.intervals import Interval, Packed
 
 
 def complement_ranges(
@@ -72,14 +81,32 @@ def gap_piece_containing(
     index oracles use: binary-search the neighbours of ``point``, decompose
     the single surrounding gap, and pick the piece containing the point.
     """
-    import bisect
+    p = pgap_piece_containing(values, point, depth)
+    return None if p is None else dy.unpack(p)
 
+
+# -- packed emission (hot path) ----------------------------------------------
+
+
+def pdyadic_gaps(values: Iterable[int], depth: int) -> List[Packed]:
+    """Packed dyadic intervals covering everything *not* in ``values``."""
+    ordered = sorted(set(values))
+    pieces: List[Packed] = []
+    for lo, hi in complement_ranges(ordered, depth):
+        pieces.extend(dy.pdecompose_range(lo, hi, depth))
+    return pieces
+
+
+def pgap_piece_containing(
+    values: Sequence[int], point: int, depth: int
+) -> Optional[Packed]:
+    """Packed variant of :func:`gap_piece_containing` (sorted ``values``)."""
     i = bisect.bisect_left(values, point)
     if i < len(values) and values[i] == point:
         return None
     lo = values[i - 1] + 1 if i > 0 else 0
     hi = values[i] - 1 if i < len(values) else (1 << depth) - 1
-    for piece in dy.decompose_range(lo, hi, depth):
-        if dy.covers_point(piece, point, depth):
+    for piece in dy.pdecompose_range(lo, hi, depth):
+        if dy.pcovers_point(piece, point, depth):
             return piece
     raise AssertionError("gap decomposition must cover the probe point")

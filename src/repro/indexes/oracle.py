@@ -9,14 +9,19 @@ the query's output space with λ wildcards on the missing attributes
 * ``containing(unit_box)`` — all gap boxes containing a probe point,
   answered *lazily* by the underlying indexes in Õ(1) per index;
 * ``boxes()`` — the full materialized set B(Q), used by Tetris-Preloaded.
+
+Everything is **packed** end to end: the indexes emit packed gap boxes,
+lifting pads with the packed λ (``1``), and probe coordinates are read
+straight off the packed unit components — no pair tuples between the
+index layer and the Tetris engine.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.boxes import BoxTuple
-from repro.core.intervals import LAMBDA
+from repro.core.boxes import PackedBox
+from repro.core.intervals import PLAMBDA
 from repro.indexes.btree import BTreeIndex
 from repro.indexes.dyadic_index import DyadicTreeIndex, KDTreeIndex
 from repro.relational.hypergraph import Hypergraph, gao_for_acyclic
@@ -40,7 +45,7 @@ class QueryGapOracle:
         self.indexes: List[object] = list(indexes)
         if not self.indexes:
             raise ValueError("at least one index is required")
-        self._materialized: Optional[List[BoxTuple]] = None
+        self._materialized: Optional[List[PackedBox]] = None
         # Pre-compute per-index lifting info.
         self._lift_axes: List[Tuple[int, ...]] = []
         for idx in self.indexes:
@@ -57,26 +62,33 @@ class QueryGapOracle:
     def ndim(self) -> int:
         return len(self.attrs)
 
-    def _lift(self, box, axes) -> BoxTuple:
-        lifted = [LAMBDA] * len(self.attrs)
-        for iv, axis in zip(box, axes):
-            lifted[axis] = iv
+    def _lift(self, box, axes) -> PackedBox:
+        lifted = [PLAMBDA] * len(self.attrs)
+        for p, axis in zip(box, axes):
+            lifted[axis] = p
         return tuple(lifted)
 
-    def containing(self, unit_box: BoxTuple) -> List[BoxTuple]:
-        """All gap boxes containing the probe point, straight off the indexes."""
-        out: List[BoxTuple] = []
+    def containing(self, unit_box: PackedBox) -> List[PackedBox]:
+        """All gap boxes containing the probe point, straight off the indexes.
+
+        ``unit_box`` is packed; each probe coordinate is the packed unit
+        component with its marker bit cleared.
+        """
+        out: List[PackedBox] = []
         for idx, axes in zip(self.indexes, self._lift_axes):
-            point = tuple(unit_box[axis][0] for axis in axes)
+            point = tuple(
+                [p ^ (1 << (p.bit_length() - 1))
+                 for p in [unit_box[a] for a in axes]]
+            )
             for box in idx.gap_boxes_containing(point):
                 out.append(self._lift(box, axes))
         return out
 
-    def boxes(self) -> List[BoxTuple]:
+    def boxes(self) -> List[PackedBox]:
         """Materialize the full lifted gap-box set (cached)."""
         if self._materialized is None:
             seen = set()
-            out: List[BoxTuple] = []
+            out: List[PackedBox] = []
             for idx, axes in zip(self.indexes, self._lift_axes):
                 for box, _ in idx.gap_boxes():
                     lifted = self._lift(box, axes)

@@ -4,7 +4,8 @@
 running Tetris with an output cap of one — the engine stops at the first
 uncovered point, so an early witness exits without enumerating Z tuples.
 ``join_count`` counts output tuples; with Tetris this is free model
-counting (the same mechanism as #SAT in :mod:`repro.sat`).
+counting (the same mechanism as #SAT in :mod:`repro.sat`).  Both ride
+the packed gap-box pipeline of :mod:`repro.joins.tetris_join` end to end.
 """
 
 from __future__ import annotations

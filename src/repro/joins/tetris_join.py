@@ -8,6 +8,11 @@ output.
 The splitting attribute order defaults to the theorem-appropriate choice:
 reverse GYO elimination for α-acyclic queries (Theorem D.8), a minimum
 induced-width elimination order otherwise (Theorems 4.6 / 4.9).
+
+The whole pipeline below the :class:`JoinResult` boundary is packed:
+indexes emit packed gap boxes, :class:`QueryGapOracle` lifts them packed,
+and the engine resolves packed — output tuples of domain values are the
+only unpacked artifact.
 """
 
 from __future__ import annotations

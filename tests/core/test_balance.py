@@ -17,7 +17,11 @@ from repro.core.balance import (
 from repro.core.boxes import Box
 from repro.core.resolution import ResolutionStats
 from repro.core.tetris import solve_bcp
-from tests.helpers import brute_force_uncovered, random_boxes
+from tests.helpers import (
+    brute_force_uncovered,
+    random_boxes,
+    random_packed_boxes,
+)
 
 DEPTH = 3
 
@@ -36,31 +40,31 @@ def box_tuples(ndim=3):
 
 class TestBalancedPartition:
     def test_empty_boxes(self):
-        assert balanced_partition([], 0, DEPTH) == ((0, 0),)
+        assert balanced_partition([], 0, DEPTH) == (dy.PLAMBDA,)
 
     def test_is_complete_prefix_free_code(self):
-        boxes = random_boxes(0, 40, 3, DEPTH)
+        boxes = random_packed_boxes(0, 40, 3, DEPTH)
         parts = balanced_partition(boxes, 0, DEPTH)
         # Prefix-free.
         for a in parts:
             for b in parts:
                 if a != b:
-                    assert not dy.is_prefix(a, b)
+                    assert not dy.pis_prefix(a, b)
         # Complete: every point has a part prefixing it.
         for point in range(1 << DEPTH):
             assert any(
-                dy.covers_point(p, point, DEPTH) for p in parts
+                dy.pcovers_point(p, point, DEPTH) for p in parts
             )
 
     def test_no_heavy_part(self):
         """Definition 4.13: every part has ≤ √|C| boxes strictly inside
         (unless the part is already a unit interval)."""
-        boxes = random_boxes(1, 50, 3, DEPTH)
+        boxes = random_packed_boxes(1, 50, 3, DEPTH)
         threshold = len(boxes) ** 0.5
         parts = balanced_partition(boxes, 0, DEPTH)
         components = [b[0] for b in boxes]
         for p in parts:
-            if p[1] < DEPTH:
+            if dy.plength(p) < DEPTH:
                 assert strictly_inside_count(components, p) <= threshold
 
     def test_example_f1_shape(self):
@@ -70,39 +74,54 @@ class TestBalancedPartition:
         boxes = []
         # C1: ⟨0x, λ, 0⟩ for x ∈ {0,1}^{d-2} plus ⟨0, y, 1⟩.
         for x in range(1 << (d - 2)):
-            boxes.append(((x | (0 << (d - 2)), d - 1), (0, 0), (0, 1)))
+            boxes.append(
+                (dy.pmake(x, d - 1), dy.PLAMBDA, dy.pmake(0, 1))
+            )
         for y in range(1 << (d - 2)):
-            boxes.append(((0, 1), (y, d - 2), (1, 1)))
+            boxes.append(
+                (dy.pmake(0, 1), dy.pmake(y, d - 2), dy.pmake(1, 1))
+            )
         parts = balanced_partition(boxes, 0, d)
         # Parts under '0' must be fine; '1' stays one part.
-        assert (1, 1) in parts
-        assert all(p == (1, 1) or p[1] > 1 for p in parts)
+        one = dy.pmake(1, 1)
+        assert one in parts
+        assert all(p == one or dy.plength(p) > 1 for p in parts)
 
 
 class TestSplitByPartition:
+    # Code {'0', '10', '11'} in packed form.
+    PARTS = (dy.pfrom_bits("0"), dy.pfrom_bits("10"), dy.pfrom_bits("11"))
+
     def test_prefix_of_code(self):
-        parts = ((0, 1), (2, 2), (3, 2))
-        assert split_by_partition((0, 0), parts) == ((0, 0), (0, 0))
-        assert split_by_partition((1, 1), parts) == ((1, 1), (0, 0))
+        parts = self.PARTS
+        assert split_by_partition(dy.PLAMBDA, parts) == \
+            (dy.PLAMBDA, dy.PLAMBDA)
+        assert split_by_partition(dy.pfrom_bits("1"), parts) == \
+            (dy.pfrom_bits("1"), dy.PLAMBDA)
 
     def test_extension_of_code(self):
-        parts = ((0, 1), (2, 2), (3, 2))
-        # '011' = (3,3): code element '0'=(0,1) prefixes it; suffix '11'.
-        assert split_by_partition((3, 3), parts) == ((0, 1), (3, 2))
+        parts = self.PARTS
+        # '011': code element '0' prefixes it; suffix '11'.
+        assert split_by_partition(dy.pfrom_bits("011"), parts) == \
+            (dy.pfrom_bits("0"), dy.pfrom_bits("11"))
 
     def test_code_element_itself(self):
-        parts = ((0, 1), (2, 2), (3, 2))
-        assert split_by_partition((2, 2), parts) == ((2, 2), (0, 0))
+        parts = self.PARTS
+        assert split_by_partition(dy.pfrom_bits("10"), parts) == \
+            (dy.pfrom_bits("10"), dy.PLAMBDA)
 
     def test_inconsistent_raises(self):
         with pytest.raises(ValueError):
-            split_by_partition((1, 1), ((0, 1),))
+            split_by_partition(
+                dy.pfrom_bits("1"), (dy.pfrom_bits("0"),)
+            )
 
 
 class TestBalanceMapRoundtrip:
     @settings(max_examples=50, deadline=None)
     @given(st.lists(box_tuples(), min_size=1, max_size=12))
     def test_lift_preserves_point_coverage(self, boxes):
+        boxes = [dy.pack_box(b) for b in boxes]
         mapping = BalanceMap(boxes, 3, DEPTH)
         for box in boxes:
             lifted = mapping.lift_box(box)
@@ -120,9 +139,10 @@ class TestBalanceMapRoundtrip:
     def test_point_roundtrip(self, boxes, point):
         """A point is covered by a box iff its lift is covered by the
         lifted box — and lowering the lifted unit recovers the point."""
+        boxes = [dy.pack_box(b) for b in boxes]
         mapping = BalanceMap(boxes, 3, DEPTH)
         # Lift the point as a (degenerate) box of unit components.
-        unit = tuple((v, DEPTH) for v in point)
+        unit = tuple((1 << DEPTH) | v for v in point)
         lifted_unit = mapping.lift_box(unit)
         assert mapping.lower_point(lifted_unit) == point
         from repro.core.boxes import box_contains

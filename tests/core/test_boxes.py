@@ -82,11 +82,17 @@ class TestContainment:
                 a.intersect(b)
 
     def test_raw_tuple_helpers(self):
-        a = Box.from_bits("1", "").ivs
-        b = Box.from_bits("10", "1").ivs
+        # The raw helpers run on the packed marker-bit form.
+        a = Box.from_bits("1", "").packed
+        b = Box.from_bits("10", "1").packed
         assert box_contains(a, b)
         assert box_overlaps(a, b)
         assert not box_contains(b, a)
+
+    def test_packed_roundtrip(self):
+        b = Box.from_bits("10", "", "0")
+        assert b.packed == (0b110, 0b1, 0b10)
+        assert Box.from_packed(b.packed) == b
 
 
 class TestSupportAndPoints:

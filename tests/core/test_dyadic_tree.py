@@ -1,4 +1,4 @@
-"""Tests for the multilevel dyadic tree knowledge-base store."""
+"""Tests for the multilevel dyadic tree knowledge-base store (packed)."""
 
 import random
 
@@ -7,17 +7,14 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.boxes import Box, box_contains
 from repro.core.dyadic_tree import MultilevelDyadicTree
-from tests.helpers import random_boxes
+from tests.helpers import random_packed_boxes
 
 DEPTH = 4
 
 
 def ivs(max_depth=DEPTH):
-    return st.integers(0, max_depth).flatmap(
-        lambda length: st.integers(0, (1 << length) - 1).map(
-            lambda value: (value, length)
-        )
-    )
+    # All packed marker-bit intervals of length <= max_depth.
+    return st.integers(1, (1 << (max_depth + 1)) - 1)
 
 
 def box_tuples(ndim=2):
@@ -28,7 +25,7 @@ class TestBasics:
     def test_empty(self):
         tree = MultilevelDyadicTree(2)
         assert len(tree) == 0
-        assert tree.find_container(Box.universe(2).ivs) is None
+        assert tree.find_container(Box.universe(2).packed) is None
 
     def test_bad_ndim(self):
         with pytest.raises(ValueError):
@@ -36,14 +33,14 @@ class TestBasics:
 
     def test_add_and_contains(self):
         tree = MultilevelDyadicTree(2)
-        b = Box.from_bits("10", "0").ivs
+        b = Box.from_bits("10", "0").packed
         assert tree.add(b)
         assert b in tree
         assert len(tree) == 1
 
     def test_duplicate_add(self):
         tree = MultilevelDyadicTree(2)
-        b = Box.from_bits("10", "0").ivs
+        b = Box.from_bits("10", "0").packed
         assert tree.add(b)
         assert not tree.add(b)
         assert len(tree) == 1
@@ -51,19 +48,19 @@ class TestBasics:
     def test_arity_mismatch(self):
         tree = MultilevelDyadicTree(2)
         with pytest.raises(ValueError):
-            tree.add(Box.from_bits("1").ivs)
+            tree.add(Box.from_bits("1").packed)
 
     def test_not_contains_prefix(self):
         tree = MultilevelDyadicTree(1)
-        tree.add(Box.from_bits("10").ivs)
-        assert Box.from_bits("1").ivs not in tree
+        tree.add(Box.from_bits("10").packed)
+        assert Box.from_bits("1").packed not in tree
 
     def test_iteration(self):
         tree = MultilevelDyadicTree(2)
         items = {
-            Box.from_bits("10", "0").ivs,
-            Box.from_bits("", "11").ivs,
-            Box.from_bits("10", "").ivs,
+            Box.from_bits("10", "0").packed,
+            Box.from_bits("", "11").packed,
+            Box.from_bits("10", "").packed,
         }
         for b in items:
             tree.add(b)
@@ -73,38 +70,38 @@ class TestBasics:
 class TestFindContainer:
     def test_finds_exact(self):
         tree = MultilevelDyadicTree(2)
-        b = Box.from_bits("10", "0").ivs
+        b = Box.from_bits("10", "0").packed
         tree.add(b)
         assert tree.find_container(b) == b
 
     def test_finds_strict_container(self):
         tree = MultilevelDyadicTree(2)
-        big = Box.from_bits("1", "").ivs
+        big = Box.from_bits("1", "").packed
         tree.add(big)
-        small = Box.from_bits("101", "0011").ivs
+        small = Box.from_bits("101", "0011").packed
         assert tree.find_container(small) == big
 
     def test_lambda_component_matches_everything(self):
         tree = MultilevelDyadicTree(3)
-        b = Box.from_bits("", "01", "").ivs
+        b = Box.from_bits("", "01", "").packed
         tree.add(b)
-        q = Box.from_bits("1111", "0110", "0000").ivs
+        q = Box.from_bits("1111", "0110", "0000").packed
         assert tree.find_container(q) == b
 
     def test_no_false_positive(self):
         tree = MultilevelDyadicTree(2)
-        tree.add(Box.from_bits("10", "0").ivs)
-        assert tree.find_container(Box.from_bits("11", "0").ivs) is None
-        assert tree.find_container(Box.from_bits("1", "0").ivs) is None
+        tree.add(Box.from_bits("10", "0").packed)
+        assert tree.find_container(Box.from_bits("11", "0").packed) is None
+        assert tree.find_container(Box.from_bits("1", "0").packed) is None
 
     def test_find_all_containers(self):
         tree = MultilevelDyadicTree(2)
-        a = Box.from_bits("1", "").ivs
-        b = Box.from_bits("", "0").ivs
-        c = Box.from_bits("0", "0").ivs
+        a = Box.from_bits("1", "").packed
+        b = Box.from_bits("", "0").packed
+        c = Box.from_bits("0", "0").packed
         for x in (a, b, c):
             tree.add(x)
-        point = Box.from_bits("1111", "0000").ivs
+        point = Box.from_bits("1111", "0000").packed
         found = set(map(tuple, tree.find_all_containers(point)))
         assert found == {a, b}
 
@@ -124,13 +121,13 @@ class TestFindContainer:
 
     def test_randomized_bulk(self):
         rng = random.Random(7)
-        stored = random_boxes(1, 200, 3, 5)
+        stored = random_packed_boxes(1, 200, 3, 5)
         tree = MultilevelDyadicTree(3)
         for b in stored:
             tree.add(b)
         for _ in range(100):
             q = tuple(
-                (rng.getrandbits(5), 5) for _ in range(3)
+                (1 << 5) | rng.getrandbits(5) for _ in range(3)
             )
             expected = {b for b in stored if box_contains(b, q)}
             assert set(tree.find_all_containers(q)) == expected

@@ -1,0 +1,189 @@
+"""Unit and property tests for the packed marker-bit interval encoding.
+
+Covers the edge cases the encoding must get right — λ (packed ``1``),
+unit-depth intervals, and the degenerate depth-0 domain — plus
+hypothesis-driven parity with the documented pair-based API.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import intervals as dy
+from repro.core.boxes import Box, pbox_from_bits
+from repro.core.intervals import LAMBDA, PLAMBDA
+
+DEPTH = 6
+
+
+def pair_ivs(max_depth=DEPTH):
+    return st.integers(0, max_depth).flatmap(
+        lambda length: st.integers(0, (1 << length) - 1).map(
+            lambda value: (value, length)
+        )
+    )
+
+
+class TestPackUnpack:
+    @given(pair_ivs())
+    def test_roundtrip(self, iv):
+        assert dy.unpack(dy.pack(iv)) == iv
+
+    @given(pair_ivs())
+    def test_value_length_accessors(self, iv):
+        p = dy.pack(iv)
+        assert dy.pvalue(p) == iv[0]
+        assert dy.plength(p) == iv[1]
+
+    def test_lambda(self):
+        assert dy.pack(LAMBDA) == PLAMBDA
+        assert dy.unpack(PLAMBDA) == LAMBDA
+        assert dy.plength(PLAMBDA) == 0
+        assert dy.pvalue(PLAMBDA) == 0
+
+    def test_examples(self):
+        assert dy.pack((5, 3)) == 0b1101
+        assert dy.pack((0, 1)) == 0b10
+        assert dy.pack((1, 1)) == 0b11
+
+    def test_pack_box_tolerant(self):
+        mixed = ((2, 2), 0b10, LAMBDA)
+        assert dy.pack_box(mixed) == (0b110, 0b10, PLAMBDA)
+        assert dy.unpack_box(dy.pack_box(mixed)) == ((2, 2), (0, 1), (0, 0))
+
+    def test_bits_roundtrip(self):
+        assert dy.pfrom_bits("101") == 0b1101
+        assert dy.pto_bits(0b1101) == "101"
+        assert dy.pto_bits(PLAMBDA) == "λ"
+        assert dy.pfrom_bits("") == PLAMBDA
+        with pytest.raises(ValueError):
+            dy.pfrom_bits("10x")
+
+    def test_pmake_validates(self):
+        assert dy.pmake(5, 3) == 0b1101
+        with pytest.raises(ValueError):
+            dy.pmake(8, 3)
+        with pytest.raises(ValueError):
+            dy.pmake(0, -1)
+
+
+class TestPackedOrder:
+    @given(pair_ivs(), pair_ivs())
+    def test_prefix_parity(self, a, b):
+        assert dy.pis_prefix(dy.pack(a), dy.pack(b)) == dy.is_prefix(a, b)
+
+    @given(pair_ivs(), pair_ivs())
+    def test_overlap_parity(self, a, b):
+        assert dy.poverlaps(dy.pack(a), dy.pack(b)) == dy.overlaps(a, b)
+
+    @given(pair_ivs(), pair_ivs())
+    def test_meet_parity(self, a, b):
+        pa, pb = dy.pack(a), dy.pack(b)
+        if dy.overlaps(a, b):
+            assert dy.pmeet(pa, pb) == dy.pack(dy.meet(a, b))
+        else:
+            with pytest.raises(ValueError):
+                dy.pmeet(pa, pb)
+
+    @given(pair_ivs(), pair_ivs())
+    def test_sibling_parity(self, a, b):
+        assert dy.pare_siblings(dy.pack(a), dy.pack(b)) == \
+            dy.are_siblings(a, b)
+
+    def test_lambda_is_prefix_of_all(self):
+        assert dy.pis_prefix(PLAMBDA, 0b1101)
+        assert dy.pis_prefix(PLAMBDA, PLAMBDA)
+        assert not dy.pis_prefix(0b10, PLAMBDA)
+
+
+class TestPackedStructure:
+    @given(pair_ivs(max_depth=DEPTH - 1))
+    def test_split_parity(self, a):
+        left, right = dy.split(a)
+        assert dy.psplit(dy.pack(a)) == (dy.pack(left), dy.pack(right))
+
+    def test_split_lambda(self):
+        assert dy.psplit(PLAMBDA) == (0b10, 0b11)
+
+    @given(pair_ivs(max_depth=DEPTH - 1), st.integers(0, 1))
+    def test_extend_parent_roundtrip(self, a, bit):
+        p = dy.pack(a)
+        child = dy.pextend(p, bit)
+        assert dy.pparent(child) == p
+        assert dy.plast_bit(child) == bit
+
+    def test_parent_of_lambda_raises(self):
+        with pytest.raises(ValueError):
+            dy.pparent(PLAMBDA)
+        with pytest.raises(ValueError):
+            dy.plast_bit(PLAMBDA)
+
+    @given(pair_ivs())
+    def test_prefixes_parity(self, a):
+        assert list(dy.pprefixes(dy.pack(a))) == [
+            dy.pack(x) for x in dy.prefixes(a)
+        ]
+
+
+class TestPackedGeometry:
+    @given(pair_ivs())
+    def test_to_range_parity(self, a):
+        assert dy.pto_range(dy.pack(a), DEPTH) == dy.to_range(a, DEPTH)
+
+    @given(pair_ivs())
+    def test_width_parity(self, a):
+        assert dy.pwidth(dy.pack(a), DEPTH) == dy.width(a, DEPTH)
+
+    @given(pair_ivs(), st.integers(0, (1 << DEPTH) - 1))
+    def test_covers_point_parity(self, a, point):
+        assert dy.pcovers_point(dy.pack(a), point, DEPTH) == \
+            dy.covers_point(a, point, DEPTH)
+
+    @given(
+        st.integers(0, (1 << DEPTH) - 1),
+        st.integers(0, (1 << DEPTH) - 1),
+    )
+    def test_decompose_parity(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert dy.pdecompose_range(lo, hi, DEPTH) == [
+            dy.pack(x) for x in dy.decompose_range(lo, hi, DEPTH)
+        ]
+
+
+class TestUnitAndDepthEdges:
+    def test_unit_at_depth(self):
+        p = dy.pfrom_point(5, 3)
+        assert p == 0b1101
+        assert dy.pis_unit(p, 3)
+        assert not dy.pis_unit(p >> 1, 3)
+
+    def test_unit_out_of_domain(self):
+        with pytest.raises(ValueError):
+            dy.pfrom_point(16, 4)
+
+    def test_depth_zero_domain(self):
+        # On a depth-0 domain λ IS the unit interval of the only point.
+        assert dy.pis_unit(PLAMBDA, 0)
+        assert dy.pfrom_point(0, 0) == PLAMBDA
+        assert dy.pto_range(PLAMBDA, 0) == (0, 0)
+        assert dy.pcovers_point(PLAMBDA, 0, 0)
+        assert dy.pdecompose_range(0, 0, 0) == [PLAMBDA]
+
+    def test_unit_depth_split_is_below_domain(self):
+        # Splitting a unit interval leaves the domain; pis_unit must not
+        # confuse the child with a unit of the same depth.
+        p = dy.pfrom_point(2, 2)
+        child = dy.pextend(p, 1)
+        assert not dy.pis_unit(child, 2)
+        assert dy.pis_unit(child, 3)
+
+
+class TestBoxHelpers:
+    def test_pbox_from_bits(self):
+        assert pbox_from_bits("10", "", "0") == (0b110, 1, 0b10)
+        assert pbox_from_bits("λ", "*") == (1, 1)
+
+    @given(st.lists(pair_ivs(), min_size=1, max_size=4))
+    def test_box_packed_roundtrip(self, ivs):
+        box = Box(ivs)
+        assert Box.from_packed(box.packed) == box
+        assert dy.pack_box(box.ivs) == box.packed

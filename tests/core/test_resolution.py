@@ -11,11 +11,8 @@ DEPTH = 4
 
 
 def ivs(max_depth=DEPTH):
-    return st.integers(0, max_depth).flatmap(
-        lambda length: st.integers(0, (1 << length) - 1).map(
-            lambda value: (value, length)
-        )
-    )
+    # All packed marker-bit intervals of length <= max_depth.
+    return st.integers(1, (1 << (max_depth + 1)) - 1)
 
 
 def box_tuples(ndim=3):
@@ -44,17 +41,17 @@ class TestPaperExamples:
 
 class TestPreconditions:
     def test_not_resolvable_two_sibling_axes(self):
-        w1 = Box.from_bits("0", "0").ivs
-        w2 = Box.from_bits("1", "1").ivs
+        w1 = Box.from_bits("0", "0").packed
+        w2 = Box.from_bits("1", "1").packed
         assert res.find_resolvable_dimension(w1, w2) is None
 
     def test_not_resolvable_disjoint_axis(self):
-        w1 = Box.from_bits("00", "0").ivs
-        w2 = Box.from_bits("11", "1").ivs
+        w1 = Box.from_bits("00", "0").packed
+        w2 = Box.from_bits("11", "1").packed
         assert res.find_resolvable_dimension(w1, w2) is None
 
     def test_not_resolvable_identical(self):
-        w = Box.from_bits("0", "1").ivs
+        w = Box.from_bits("0", "1").packed
         assert res.find_resolvable_dimension(w, w) is None
 
     def test_resolve_raises_when_impossible(self):
@@ -62,8 +59,8 @@ class TestPreconditions:
             res.resolve(Box.from_bits("0", "0"), Box.from_bits("1", "1"))
 
     def test_resolvable_single_axis(self):
-        w1 = Box.from_bits("10", "0").ivs
-        w2 = Box.from_bits("11", "01").ivs
+        w1 = Box.from_bits("10", "0").packed
+        w2 = Box.from_bits("11", "01").packed
         assert res.find_resolvable_dimension(w1, w2) == 0
         assert res.resolvable(w1, w2)
 
@@ -76,7 +73,9 @@ class TestSoundness:
         if axis is None:
             return
         w = res.resolve_tuples(w1, w2)
-        b1, b2, bw = Box(w1), Box(w2), Box(w)
+        b1 = Box.from_packed(w1)
+        b2 = Box.from_packed(w2)
+        bw = Box.from_packed(w)
         union = set(b1.points(DEPTH)) | set(b2.points(DEPTH))
         assert set(bw.points(DEPTH)) <= union
 
@@ -88,29 +87,31 @@ class TestSoundness:
             return
         w = res.resolve_tuples(w1, w2)
         # Axis component is the common parent of the two siblings.
-        assert w[axis] == (w1[axis][0] >> 1, w1[axis][1] - 1)
+        assert w[axis] == w1[axis] >> 1
         # Other components are the meet (the longer string).
-        for i, iv in enumerate(w):
+        for i, p in enumerate(w):
             if i != axis:
-                assert iv in (w1[i], w2[i])
-                assert iv[1] == max(w1[i][1], w2[i][1])
+                assert p in (w1[i], w2[i])
+                assert p.bit_length() == max(
+                    w1[i].bit_length(), w2[i].bit_length()
+                )
 
 
 class TestOrderedShape:
     def test_ordered_pair_accepts_staircase(self):
-        w1 = Box.from_bits("1010", "0110", "00").ivs
-        w2 = Box.from_bits("1010", "01", "01").ivs
+        w1 = Box.from_bits("1010", "0110", "00").packed
+        w2 = Box.from_bits("1010", "01", "01").packed
         assert res.is_ordered_pair(w1, w2, 2)
 
     def test_ordered_pair_rejects_tail(self):
         # Non-λ after the resolved axis breaks the Definition 4.3 shape.
-        w1 = Box.from_bits("00", "1", "1").ivs
-        w2 = Box.from_bits("01", "1", "1").ivs
+        w1 = Box.from_bits("00", "1", "1").packed
+        w2 = Box.from_bits("01", "1", "1").packed
         assert not res.is_ordered_pair(w1, w2, 0)
 
     def test_ordered_pair_requires_siblings(self):
-        w1 = Box.from_bits("00", "", "").ivs
-        w2 = Box.from_bits("10", "", "").ivs
+        w1 = Box.from_bits("00", "", "").packed
+        w2 = Box.from_bits("10", "", "").packed
         assert not res.is_ordered_pair(w1, w2, 0)
 
 
@@ -118,10 +119,10 @@ class TestResolverStats:
     def test_counts(self):
         stats = ResolutionStats()
         r = Resolver(stats)
-        w1 = Box.from_bits("0", "0").ivs
-        w2 = Box.from_bits("1", "0").ivs
+        w1 = Box.from_bits("0", "0").packed
+        w2 = Box.from_bits("1", "0").packed
         out = r.resolve(w1, w2, 0)
-        assert out == Box.from_bits("", "0").ivs
+        assert out == Box.from_bits("", "0").packed
         assert stats.resolutions == 1
         assert stats.by_axis == {0: 1}
 
@@ -129,16 +130,16 @@ class TestResolverStats:
         stats = ResolutionStats()
         r = Resolver(stats)
         # ordered pair
-        r.resolve(Box.from_bits("0", "").ivs, Box.from_bits("1", "").ivs, 0)
+        r.resolve(Box.from_bits("0", "").packed, Box.from_bits("1", "").packed, 0)
         # unordered pair (non-λ after axis)
-        r.resolve(Box.from_bits("0", "1").ivs, Box.from_bits("1", "1").ivs, 0)
+        r.resolve(Box.from_bits("0", "1").packed, Box.from_bits("1", "1").packed, 0)
         assert stats.resolutions == 2
         assert stats.ordered_resolutions == 1
 
     def test_reset(self):
         stats = ResolutionStats()
         r = Resolver(stats)
-        r.resolve(Box.from_bits("0", "").ivs, Box.from_bits("1", "").ivs, 0)
+        r.resolve(Box.from_bits("0", "").packed, Box.from_bits("1", "").packed, 0)
         stats.reset()
         assert stats.resolutions == 0
         assert stats.by_axis == {}

@@ -3,7 +3,8 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.boxes import Box, box_contains
+from repro.core import intervals as dy
+from repro.core.boxes import Box, box_contains, pbox_from_bits
 from repro.core.tetris import (
     BoxSetOracle,
     CodeDimension,
@@ -39,7 +40,9 @@ class TestSkeletonPostconditions:
         engine = TetrisEngine(NDIM, DEPTH)
         for b in boxes:
             engine.add_box(b)
-        covered, witness = engine.skeleton(engine.to_internal(target))
+        covered, witness = engine.skeleton(
+            engine.to_internal(dy.pack_box(target))
+        )
         target_points = set(Box(target).points(DEPTH))
         covered_points = {
             p
@@ -51,12 +54,12 @@ class TestSkeletonPostconditions:
         if covered:
             # Witness covers the whole target.
             assert box_contains(
-                engine.to_external(witness), Box(target).ivs
+                engine.to_external(witness), Box(target).packed
             )
         else:
             # Witness is an uncovered unit point inside the target.
             ext = engine.to_external(witness)
-            point = tuple(v for v, _ in ext)
+            point = tuple(dy.pvalue(p) for p in ext)
             assert point in target_points
             assert point not in covered_points
 
@@ -91,26 +94,31 @@ class TestEngineReuse:
             BoxSetOracle(boxes, 2), preload=True, one_pass=True,
             return_boxes=True,
         )
-        assert sorted(out) == [((1, 1), (0, 1)), ((1, 1), (1, 1))]
+        # Packed unit boxes: '1','0' and '1','1'.
+        assert sorted(out) == [
+            pbox_from_bits("1", "0"), pbox_from_bits("1", "1")
+        ]
 
 
 class TestDimensionSpecs:
     def test_fixed_depth(self):
         spec = FixedDepth(3)
-        assert spec.is_unit(((5, 3),), 0)
-        assert not spec.is_unit(((1, 2),), 0)
+        assert spec.is_unit((dy.pmake(5, 3),), 0)
+        assert not spec.is_unit((dy.pmake(1, 2),), 0)
 
     def test_code_dimension(self):
-        spec = CodeDimension({(0, 1), (2, 2), (3, 2)})
-        assert spec.is_unit(((0, 1),), 0)
-        assert not spec.is_unit(((1, 1),), 0)
-        assert not spec.is_unit(((0, 0),), 0)
+        spec = CodeDimension(
+            {dy.pmake(0, 1), dy.pmake(2, 2), dy.pmake(3, 2)}
+        )
+        assert spec.is_unit((dy.pmake(0, 1),), 0)
+        assert not spec.is_unit((dy.pmake(1, 1),), 0)
+        assert not spec.is_unit((dy.PLAMBDA,), 0)
 
     def test_remainder_dimension(self):
         spec = RemainderDimension(partner_axis=0, total_depth=4)
         # Partner has length 1, so the remainder is unit at length 3.
-        assert spec.is_unit(((0, 1), (5, 3)), 1)
-        assert not spec.is_unit(((0, 1), (1, 2)), 1)
+        assert spec.is_unit((dy.pmake(0, 1), dy.pmake(5, 3)), 1)
+        assert not spec.is_unit((dy.pmake(0, 1), dy.pmake(1, 2)), 1)
 
     def test_remainder_must_follow_partner(self):
         with pytest.raises(ValueError, match="must follow"):
@@ -125,7 +133,9 @@ class TestDimensionSpecs:
 
     def test_generalized_engine_runs(self):
         """A code/remainder pair behaves like one depth-3 dimension."""
-        code = CodeDimension({(0, 1), (2, 2), (3, 2)})
+        code = CodeDimension(
+            {dy.pmake(0, 1), dy.pmake(2, 2), dy.pmake(3, 2)}
+        )
         engine = TetrisEngine(
             2, 3,
             dims=[code, RemainderDimension(0, 3)],
@@ -135,7 +145,8 @@ class TestDimensionSpecs:
         engine.add_box(((0, 1), (0, 0)))
         out = engine.run(return_boxes=True)
         lowered = sorted(
-            (pv << sl) | sv for ((pv, _), (sv, sl)) in out
+            (dy.pvalue(p) << (s.bit_length() - 1)) | dy.pvalue(s)
+            for (p, s) in out
         )
         assert lowered == [4, 5, 6, 7]
 
@@ -160,7 +171,7 @@ class TestExample44Trace:
         for expected in ("01,1", "01,λ", "0,λ", "10,λ", "11,1",
                          "11,λ", "1,λ", "λ,λ"):
             x, y = expected.split(",")
-            box = Box.from_bits(
+            box = pbox_from_bits(
                 "" if x == "λ" else x, "" if y == "λ" else y
-            ).ivs
+            )
             assert box in resolvents, f"missing resolvent ⟨{expected}⟩"

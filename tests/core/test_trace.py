@@ -22,8 +22,8 @@ DEPTH = 3
 class TestTracingResolver:
     def test_records_steps(self):
         tracer = TracingResolver()
-        w1 = Box.from_bits("0", "").ivs
-        w2 = Box.from_bits("1", "").ivs
+        w1 = Box.from_bits("0", "").packed
+        w2 = Box.from_bits("1", "").packed
         out = tracer.resolve(w1, w2, 0)
         assert len(tracer.proof) == 1
         step = tracer.proof.steps[0]
@@ -42,10 +42,10 @@ class TestProofVerification:
         proof = ResolutionProof(
             [
                 ProofStep(
-                    left=Box.from_bits("0", "").ivs,
-                    right=Box.from_bits("1", "").ivs,
+                    left=Box.from_bits("0", "").packed,
+                    right=Box.from_bits("1", "").packed,
                     axis=0,
-                    resolvent=Box.from_bits("1", "").ivs,  # wrong
+                    resolvent=Box.from_bits("1", "").packed,  # wrong
                     ordered=True,
                 )
             ]
@@ -57,10 +57,10 @@ class TestProofVerification:
         proof = ResolutionProof(
             [
                 ProofStep(
-                    left=Box.from_bits("0", "0").ivs,
-                    right=Box.from_bits("1", "1").ivs,
+                    left=Box.from_bits("0", "0").packed,
+                    right=Box.from_bits("1", "1").packed,
                     axis=0,
-                    resolvent=Box.from_bits("", "").ivs,
+                    resolvent=Box.from_bits("", "").packed,
                     ordered=False,
                 )
             ]
@@ -72,10 +72,10 @@ class TestProofVerification:
         proof = ResolutionProof(
             [
                 ProofStep(
-                    left=Box.from_bits("0", "1").ivs,
-                    right=Box.from_bits("1", "1").ivs,
+                    left=Box.from_bits("0", "1").packed,
+                    right=Box.from_bits("1", "1").packed,
                     axis=1,
-                    resolvent=Box.from_bits("", "1").ivs,
+                    resolvent=Box.from_bits("", "1").packed,
                     ordered=False,
                 )
             ]
@@ -119,7 +119,7 @@ class TestProofStructure:
             outputs, proof = traced_solve_bcp(boxes, 3, d)
             assert outputs == []
             proof.verify()
-            universe = ((0, 0),) * 3
+            universe = (1,) * 3  # packed ⟨λ,λ,λ⟩
             assert proof.derives(universe)
 
     def test_leaves_are_inputs_or_outputs(self):
@@ -133,7 +133,7 @@ class TestProofStructure:
             assert leaf in box_set or leaf in output_units
 
     def test_dot_export(self):
-        boxes = [Box.from_bits("0", "").ivs, Box.from_bits("1", "").ivs]
+        boxes = [Box.from_bits("0", "").packed, Box.from_bits("1", "").packed]
         _, proof = traced_solve_bcp(boxes, 2, 1)
         dot = proof.to_dot()
         assert dot.startswith("digraph proof {")

@@ -54,3 +54,11 @@ def random_boxes(
 ) -> List[BoxTuple]:
     rng = random.Random(seed)
     return [random_box(rng, ndim, depth) for _ in range(count)]
+
+
+def random_packed_boxes(seed: int, count: int, ndim: int, depth: int):
+    """Random boxes in the engine's packed marker-bit form."""
+    return [
+        tuple((1 << length) | value for value, length in box)
+        for box in random_boxes(seed, count, ndim, depth)
+    ]

@@ -27,11 +27,12 @@ def make_relation(tuples, arity=2, depth=DEPTH, name="R"):
 
 
 def covered_points(gap_boxes, arity, depth):
+    # Gap boxes come out of the indexes in packed marker-bit form.
     pts = set()
     for box, _ in gap_boxes:
         ranges = []
-        for iv in box:
-            lo, hi = dy.to_range(iv, depth)
+        for p in box:
+            lo, hi = dy.pto_range(p, depth)
             ranges.append(range(lo, hi + 1))
         pts.update(itertools.product(*ranges))
     return pts
@@ -91,8 +92,8 @@ class TestBTreeIndex:
             box = lazy[0]
             # The probe is inside the returned box and the box is one of
             # the materialized gap boxes.
-            for iv, c in zip(box, probe):
-                assert dy.covers_point(iv, c, DEPTH)
+            for p, c in zip(box, probe):
+                assert dy.pcovers_point(p, c, DEPTH)
             materialized = {b for b, _ in idx.gap_boxes()}
             assert box in materialized
 
@@ -107,10 +108,10 @@ class TestBTreeIndex:
         boxes = [b for b, _ in idx.gap_boxes()]
         # Gap boxes with λ on B correspond to missing A-values
         # (A ∈ {0,2,4,6} have no tuples): e.g. the dyadic piece for A=0.
-        lambda_b = [b for b in boxes if b[1] == (0, 0)]
+        lambda_b = [b for b in boxes if b[1] == dy.PLAMBDA]
         a_values = set()
         for b in lambda_b:
-            lo, hi = dy.to_range(b[0], DEPTH)
+            lo, hi = dy.pto_range(b[0], DEPTH)
             a_values.update(range(lo, hi + 1))
         assert a_values == {0, 2, 4, 6}
 
@@ -135,8 +136,8 @@ class TestDyadicTreeIndex:
             assert lazy == []
         else:
             assert len(lazy) == 1
-            for iv, c in zip(lazy[0], probe):
-                assert dy.covers_point(iv, c, DEPTH)
+            for p, c in zip(lazy[0], probe):
+                assert dy.pcovers_point(p, c, DEPTH)
 
     def test_quadtree_beats_btree_on_msb_relation(self):
         """Footnote 9: the MSB-complement relation of Figure 5a needs 2 gap
@@ -156,7 +157,7 @@ class TestDyadicTreeIndex:
     def test_empty_relation(self):
         rel = make_relation([])
         boxes = [b for b, _ in DyadicTreeIndex(rel).gap_boxes()]
-        assert boxes == [((0, 0), (0, 0))]
+        assert boxes == [(dy.PLAMBDA, dy.PLAMBDA)]
 
 
 class TestKDTreeIndex:
@@ -179,8 +180,8 @@ class TestKDTreeIndex:
             assert lazy == []
         else:
             assert len(lazy) == 1
-            for iv, c in zip(lazy[0], probe):
-                assert dy.covers_point(iv, c, DEPTH)
+            for p, c in zip(lazy[0], probe):
+                assert dy.pcovers_point(p, c, DEPTH)
 
     def test_unary_relation(self):
         rel = make_relation([(3,)], arity=1)
