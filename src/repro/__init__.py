@@ -11,6 +11,9 @@ resolution framework end to end:
   expose their gaps as dyadic boxes;
 * :mod:`repro.joins` — join evaluation via Tetris plus the classical
   baselines (Yannakakis, Leapfrog/worst-case-optimal, hash, nested loop);
+* :mod:`repro.engine` — the adaptive planner and unified execution
+  engine: ``execute(query, db)`` picks the cost-optimal backend, with
+  plan caching and EXPLAIN;
 * :mod:`repro.sat` — the DPLL/#SAT connection;
 * :mod:`repro.klee` — Klee's measure problem over the Boolean semiring;
 * :mod:`repro.workloads` — generators incl. the paper's hard instances.
@@ -46,6 +49,13 @@ from repro.core.certificates import (
     minimal_certificate,
     minimum_certificate,
 )
+from repro.engine import (
+    ExecutionResult,
+    Plan,
+    execute,
+    explain_text,
+    plan_query,
+)
 from repro.joins import (
     join_hash,
     join_leapfrog,
@@ -72,8 +82,10 @@ __all__ = [
     "BoxSetOracle",
     "Database",
     "Domain",
+    "ExecutionResult",
     "Hypergraph",
     "JoinQuery",
+    "Plan",
     "Relation",
     "RelationSchema",
     "ResolutionStats",
@@ -82,6 +94,8 @@ __all__ = [
     "agm_bound",
     "boolean_box_cover",
     "certificate_size",
+    "execute",
+    "explain_text",
     "fhtw",
     "join_hash",
     "join_leapfrog",
@@ -90,6 +104,7 @@ __all__ = [
     "join_yannakakis",
     "minimal_certificate",
     "minimum_certificate",
+    "plan_query",
     "solve_bcp",
     "tetris_preloaded",
     "tetris_preloaded_lb",

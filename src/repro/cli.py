@@ -3,13 +3,17 @@
 Subcommands::
 
     python -m repro join "R(A,B), S(B,C)" --csv R=r.csv --csv S=s.csv
-    python -m repro triangles edges.txt [--algorithm tetris|leapfrog|hash]
+    python -m repro explain "R(A,B), S(B,C)" [--csv ...] [--execute]
+    python -m repro triangles edges.txt [--algorithm auto|tetris|...]
     python -m repro sat formula.cnf [--enumerate]
     python -m repro analyze "R(A,B), S(B,C), T(A,C)"
 
-``join`` evaluates an arbitrary natural join over CSV files; ``triangles``
-lists/counts triangles in an edge list; ``sat`` counts models of a DIMACS
-CNF via Tetris-as-DPLL; ``analyze`` prints a query's structural profile
+``join`` evaluates an arbitrary natural join over CSV files through the
+adaptive engine (``--algorithm auto`` picks the cost-optimal backend;
+naming one forces it); ``explain`` prints the planner's decision tree
+for a query, with or without data; ``triangles`` lists/counts triangles
+in an edge list; ``sat`` counts models of a DIMACS CNF via
+Tetris-as-DPLL; ``analyze`` prints a query's structural profile
 (acyclicity, treewidth, fhtw, recommended GAO) and which Table 1 runtime
 row applies.
 """
@@ -19,11 +23,23 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Algorithm names the engine-backed subcommands accept.
+_ALGORITHMS = (
+    "auto", "tetris", "tetris-preloaded", "tetris-reloaded",
+    "leapfrog", "yannakakis", "hash", "nested-loop",
+)
 
 
-def _cmd_join(args: argparse.Namespace) -> int:
-    from repro.joins.tetris_join import join_tetris
+def _parse_gao(spec: Optional[str]) -> Optional[Tuple[str, ...]]:
+    if spec is None:
+        return None
+    return tuple(a.strip() for a in spec.split(",") if a.strip())
+
+
+def _load_join_db(args: argparse.Namespace):
+    """(query, db, dictionary) from a join/explain namespace, or an error."""
     from repro.relational.io import database_from_csvs, parse_query
 
     query = parse_query(args.query)
@@ -31,16 +47,42 @@ def _cmd_join(args: argparse.Namespace) -> int:
     for item in args.csv:
         name, _, path = item.partition("=")
         if not path:
-            print(f"error: --csv expects NAME=PATH, got {item!r}",
-                  file=sys.stderr)
-            return 2
+            raise ValueError(f"--csv expects NAME=PATH, got {item!r}")
         paths[name] = path
+    if not paths:
+        return query, None, None
     db, dictionary = database_from_csvs(
         query, paths, delimiter=args.delimiter,
         skip_header=args.skip_header,
     )
+    return query, db, dictionary
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    from repro.engine import execute
+
+    try:
+        query, db, dictionary = _load_join_db(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if db is None:
+        print("error: join needs --csv NAME=PATH for every relation",
+              file=sys.stderr)
+        return 2
+    algorithm = args.algorithm
+    if args.variant is not None and algorithm in ("auto", "tetris"):
+        # Backwards-compatible alias for the pre-engine interface.
+        algorithm = f"tetris-{args.variant}"
     t0 = time.perf_counter()
-    result = join_tetris(query, db, variant=args.variant)
+    try:
+        result = execute(
+            query, db, algorithm=algorithm,
+            index_kind=args.index_kind, gao=_parse_gao(args.gao),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     elapsed = time.perf_counter() - t0
     print(f"# query: {query}")
     print(f"# variables: {', '.join(result.variables)}")
@@ -50,16 +92,43 @@ def _cmd_join(args: argparse.Namespace) -> int:
         ))
     print(
         f"# {len(result)} tuples in {elapsed:.3f}s "
-        f"({result.stats.summary()})",
+        f"via {result.backend} ({result.stats.summary()})",
         file=sys.stderr,
     )
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.engine import execute, explain_text, plan_query
+
+    try:
+        query, db, _ = _load_join_db(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        plan = plan_query(
+            query, db, algorithm=args.algorithm,
+            index_kind=args.index_kind, gao=_parse_gao(args.gao),
+            probe_certificate=args.probe_certificate and db is not None,
+            assumed_rows=args.assume_rows,
+        )
+        result = None
+        if args.execute:
+            if db is None:
+                print("error: --execute needs --csv data", file=sys.stderr)
+                return 2
+            result = execute(query, db, plan=plan)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"# query: {query}")
+    print(explain_text(plan, result))
+    return 0
+
+
 def _cmd_triangles(args: argparse.Namespace) -> int:
-    from repro.joins.hashjoin import join_hash
-    from repro.joins.leapfrog import join_leapfrog
-    from repro.joins.tetris_join import join_tetris
+    from repro.engine import execute
     from repro.relational.io import ValueDictionary, read_edge_list
     from repro.workloads.generators import graph_triangle_db
 
@@ -68,12 +137,12 @@ def _cmd_triangles(args: argparse.Namespace) -> int:
     edges = [dictionary.encode_row(e) for e in raw_edges]
     query, db = graph_triangle_db(edges)
     t0 = time.perf_counter()
-    if args.algorithm == "tetris":
-        tuples = join_tetris(query, db).tuples
-    elif args.algorithm == "leapfrog":
-        tuples = join_leapfrog(query, db)
-    else:
-        tuples = join_hash(query, db)
+    try:
+        result = execute(query, db, algorithm=args.algorithm)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    tuples = result.tuples
     elapsed = time.perf_counter() - t0
     # Each undirected triangle appears as 6 ordered tuples.
     unique = {tuple(sorted(t)) for t in tuples}
@@ -83,7 +152,7 @@ def _cmd_triangles(args: argparse.Namespace) -> int:
                   dictionary.decode(c))
     print(
         f"# {len(unique)} triangles ({len(tuples)} ordered embeddings) "
-        f"in {elapsed:.3f}s via {args.algorithm}",
+        f"in {elapsed:.3f}s via {result.backend}",
         file=sys.stderr,
     )
     return 0
@@ -98,7 +167,7 @@ def _cmd_sat(args: argparse.Namespace) -> int:
     stats = ResolutionStats()
     t0 = time.perf_counter()
     if args.enumerate:
-        models = enumerate_models_tetris(cnf)
+        models = enumerate_models_tetris(cnf, stats=stats)
         count = len(models)
         for model in models:
             print(" ".join(
@@ -164,22 +233,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_query_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("query", help='e.g. "R(A,B), S(B,C)"')
+        p.add_argument(
+            "--csv", action="append", default=[], metavar="NAME=PATH",
+            help="CSV file for a relation (repeatable)",
+        )
+        p.add_argument(
+            "--algorithm", default="auto", choices=_ALGORITHMS,
+            help="backend to run ('auto' lets the planner choose)",
+        )
+        p.add_argument(
+            "--index-kind", default=None,
+            choices=("btree", "dyadic", "kdtree"),
+            help="index family for the Tetris backends (default btree)",
+        )
+        p.add_argument(
+            "--gao", default=None, metavar="A,B,C",
+            help="comma-separated global attribute order override",
+        )
+        p.add_argument("--delimiter", default=",")
+        p.add_argument("--skip-header", action="store_true")
+
     p_join = sub.add_parser("join", help="evaluate a natural join on CSVs")
-    p_join.add_argument("query", help='e.g. "R(A,B), S(B,C)"')
+    add_query_options(p_join)
     p_join.add_argument(
-        "--csv", action="append", default=[], metavar="NAME=PATH",
-        help="CSV file for a relation (repeatable)",
+        "--variant", default=None, choices=("preloaded", "reloaded"),
+        help="deprecated alias for --algorithm tetris-{preloaded,reloaded}",
     )
-    p_join.add_argument("--variant", default="preloaded",
-                        choices=("preloaded", "reloaded"))
-    p_join.add_argument("--delimiter", default=",")
-    p_join.add_argument("--skip-header", action="store_true")
     p_join.set_defaults(func=_cmd_join)
+
+    p_explain = sub.add_parser(
+        "explain", help="show the planner's decision tree for a query"
+    )
+    add_query_options(p_explain)
+    p_explain.add_argument(
+        "--assume-rows", type=int, default=1000,
+        help="per-relation cardinality assumed when no --csv data is given",
+    )
+    p_explain.add_argument(
+        "--probe-certificate", action="store_true",
+        help="run the bounded Tetris-Reloaded certificate probe (needs data)",
+    )
+    p_explain.add_argument(
+        "--execute", action="store_true",
+        help="run the plan and append predicted-vs-actual stats",
+    )
+    p_explain.set_defaults(func=_cmd_explain)
 
     p_tri = sub.add_parser("triangles", help="list triangles in a graph")
     p_tri.add_argument("edges", help="edge-list file (u v per line)")
-    p_tri.add_argument("--algorithm", default="tetris",
-                       choices=("tetris", "leapfrog", "hash"))
+    p_tri.add_argument(
+        "--algorithm", default="auto",
+        choices=_ALGORITHMS,
+        help="backend to run ('auto' lets the planner choose)",
+    )
     p_tri.add_argument("--count-only", action="store_true")
     p_tri.set_defaults(func=_cmd_triangles)
 

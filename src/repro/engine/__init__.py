@@ -1,0 +1,79 @@
+"""repro.engine — the adaptive query planner and unified execution engine.
+
+Turns the paper's Table 1 into code: :func:`plan_query` inspects a
+query's structure (acyclicity, treewidth, fhtw) and data statistics
+(cardinalities, distinct counts, AGM bound, optional certificate probe),
+prices every backend with a calibrated cost model, and
+:func:`execute` dispatches the winner over a registry wrapping all of
+:mod:`repro.joins` behind one result shape.
+
+    from repro.engine import execute
+
+    result = execute(query, db)            # algorithm="auto"
+    print(result.backend, len(result))
+    print(explain_text(result.plan, result))
+"""
+
+from repro.engine.cost import (
+    BACKENDS,
+    CostEstimate,
+    CostModel,
+    DEFAULT_CALIBRATION,
+    StructureProfile,
+    structure_of,
+)
+from repro.engine.executor import (
+    BackendSpec,
+    ExecutionResult,
+    execute,
+    register_backend,
+    registered_backends,
+)
+from repro.engine.explain import explain_text, render_execution, render_plan
+from repro.engine.planner import (
+    ALGORITHM_ALIASES,
+    Plan,
+    clear_plan_cache,
+    normalize_algorithm,
+    plan_cache_info,
+    plan_query,
+)
+from repro.engine.stats import (
+    CertificateProbe,
+    QueryStats,
+    RelationProfile,
+    assumed_stats,
+    clear_stats_cache,
+    collect_stats,
+    probe_certificate,
+)
+
+__all__ = [
+    "ALGORITHM_ALIASES",
+    "BACKENDS",
+    "BackendSpec",
+    "CertificateProbe",
+    "CostEstimate",
+    "CostModel",
+    "DEFAULT_CALIBRATION",
+    "ExecutionResult",
+    "Plan",
+    "QueryStats",
+    "RelationProfile",
+    "StructureProfile",
+    "assumed_stats",
+    "clear_plan_cache",
+    "clear_stats_cache",
+    "collect_stats",
+    "execute",
+    "explain_text",
+    "normalize_algorithm",
+    "plan_cache_info",
+    "plan_query",
+    "probe_certificate",
+    "register_backend",
+    "registered_backends",
+    "render_execution",
+    "render_plan",
+    "structure_of",
+]

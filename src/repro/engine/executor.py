@@ -1,0 +1,180 @@
+"""The unified execution engine: one entry point over every join backend.
+
+``execute(query, db, algorithm="auto")`` plans (or honors a forced
+backend), dispatches over the backend registry, and returns an
+:class:`ExecutionResult` — the same shape as
+:class:`repro.joins.tetris_join.JoinResult` (``tuples`` / ``variables`` /
+``stats`` / ``gao``) plus the :class:`~repro.engine.planner.Plan` and the
+measured wall time, so EXPLAIN can show predicted vs. actual.
+
+The registry wraps all six existing join implementations; new backends
+register with :func:`register_backend` and become visible to forced
+dispatch immediately (the cost model prices only the built-ins it knows).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.resolution import ResolutionStats
+from repro.engine.planner import Plan, plan_query
+from repro.relational.query import Database, JoinQuery
+
+#: A backend runner: (query, db, plan) → (tuples, stats, gao).
+BackendRunner = Callable[
+    [JoinQuery, Database, Plan],
+    Tuple[List[Tuple[int, ...]], ResolutionStats, Tuple[str, ...]],
+]
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """A registered execution backend."""
+
+    name: str
+    runner: BackendRunner
+    description: str
+    requires_acyclic: bool = False
+
+
+@dataclass
+class ExecutionResult:
+    """Join output plus the plan that produced it — JoinResult-shaped."""
+
+    tuples: List[Tuple[int, ...]]
+    variables: Tuple[str, ...]
+    stats: ResolutionStats
+    gao: Tuple[str, ...]
+    backend: str
+    plan: Plan
+    elapsed: float
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self):
+        return iter(self.tuples)
+
+
+# -- the built-in backends -----------------------------------------------------
+
+
+def _run_tetris(variant: str) -> BackendRunner:
+    def runner(query, db, plan):
+        from repro.joins.tetris_join import join_tetris
+
+        result = join_tetris(
+            query, db, variant=variant,
+            index_kind=plan.index_kind, gao=plan.gao,
+        )
+        return result.tuples, result.stats, result.gao
+
+    return runner
+
+
+def _run_leapfrog(query, db, plan):
+    from repro.joins.leapfrog import join_leapfrog
+
+    return join_leapfrog(query, db, gao=plan.gao), ResolutionStats(), plan.gao
+
+
+def _run_yannakakis(query, db, plan):
+    from repro.joins.yannakakis import join_yannakakis
+
+    return join_yannakakis(query, db), ResolutionStats(), plan.gao
+
+
+def _run_hash(query, db, plan):
+    from repro.joins.hashjoin import join_hash
+
+    return join_hash(query, db), ResolutionStats(), plan.gao
+
+
+def _run_nested_loop(query, db, plan):
+    from repro.joins.nested_loop import join_nested_loop
+
+    return join_nested_loop(query, db), ResolutionStats(), plan.gao
+
+
+_REGISTRY: Dict[str, BackendSpec] = {}
+
+
+def register_backend(spec: BackendSpec) -> None:
+    """Add (or replace) a backend in the dispatch registry."""
+    _REGISTRY[spec.name] = spec
+
+
+def registered_backends() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+for _spec in (
+    BackendSpec(
+        "tetris-preloaded", _run_tetris("preloaded"),
+        "Tetris, gap boxes preloaded (worst-case-optimal, Thm D.8/D.9)",
+    ),
+    BackendSpec(
+        "tetris-reloaded", _run_tetris("reloaded"),
+        "Tetris, gap boxes on demand (certificate-based, Thm 4.7/4.9)",
+    ),
+    BackendSpec(
+        "leapfrog", _run_leapfrog,
+        "generic worst-case-optimal join (Leapfrog/NPRR, AGM bound)",
+    ),
+    BackendSpec(
+        "yannakakis", _run_yannakakis,
+        "Yannakakis semijoin reduction (α-acyclic only, Õ(N + Z))",
+        requires_acyclic=True,
+    ),
+    BackendSpec(
+        "hash", _run_hash,
+        "left-deep binary hash-join plan (size-ascending order)",
+    ),
+    BackendSpec(
+        "nested-loop", _run_nested_loop,
+        "block nested loops (baseline floor)",
+    ),
+):
+    register_backend(_spec)
+
+
+def execute(
+    query: JoinQuery,
+    db: Database,
+    algorithm: str = "auto",
+    index_kind: Optional[str] = None,
+    gao: Optional[Sequence[str]] = None,
+    plan: Optional[Plan] = None,
+    probe_certificate: bool = False,
+    use_cache: bool = True,
+    **plan_kwargs,
+) -> ExecutionResult:
+    """Plan (unless a plan is supplied) and run a join query.
+
+    The single entry point the CLI and benchmarks dispatch through;
+    ``algorithm="auto"`` selects the cost-optimal backend, any registered
+    backend name forces it.
+    """
+    if plan is None:
+        plan = plan_query(
+            query, db, algorithm=algorithm, index_kind=index_kind,
+            gao=gao, probe_certificate=probe_certificate,
+            use_cache=use_cache, **plan_kwargs,
+        )
+    spec = _REGISTRY.get(plan.backend)
+    if spec is None:
+        raise ValueError(f"no registered backend named {plan.backend!r}")
+    t0 = time.perf_counter()
+    tuples, stats, ran_gao = spec.runner(query, db, plan)
+    elapsed = time.perf_counter() - t0
+    return ExecutionResult(
+        tuples=tuples,
+        variables=query.variables,
+        stats=stats,
+        gao=ran_gao,
+        backend=plan.backend,
+        plan=plan,
+        elapsed=elapsed,
+    )

@@ -1,0 +1,109 @@
+"""EXPLAIN rendering: a Plan as a human-readable decision tree.
+
+``render_plan`` shows the structural evidence, the statistics, every
+candidate's instantiated Table 1 formula with its calibrated cost, and
+the chosen backend; ``render_execution`` appends the predicted-vs-actual
+section after a run.  Output is deterministic for fixed inputs (timings
+are confined to the execution section), which the golden CLI test relies
+on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.engine.executor import ExecutionResult
+from repro.engine.planner import Plan
+
+
+def _fmt(x: float) -> str:
+    """Stable short formatting for costs/estimates (no platform drift)."""
+    if x != x or x in (float("inf"), float("-inf")):
+        return "∞"
+    if x == int(x) and abs(x) < 1e15:
+        return str(int(x))
+    return f"{x:.4g}"
+
+
+def render_plan(plan: Plan) -> str:
+    """The EXPLAIN tree of a plan."""
+    s = plan.structure
+    st = plan.stats
+    lines: List[str] = []
+    lines.append("EXPLAIN")
+    lines.append("├─ structure")
+    lines.append(f"│   ├─ α-acyclic   : {s.acyclic}")
+    lines.append(f"│   ├─ treewidth   : {s.treewidth}")
+    lines.append(f"│   ├─ fhtw ≤      : {_fmt(s.fhtw_upper)}")
+    lines.append(f"│   ├─ GAO         : {', '.join(plan.gao)}")
+    lines.append(f"│   └─ Table 1 row : {s.table1_row}")
+    source = "assumed (no data)" if st.assumed else "measured"
+    lines.append(f"├─ statistics [{source}]")
+    lines.append(
+        f"│   ├─ N = {st.total_tuples} tuples over "
+        f"{len(st.relations)} relations, domain depth {st.domain_depth}"
+    )
+    for p in st.relations:
+        distinct = ", ".join(
+            f"d({a})={p.distinct_of(a)}" for a in p.attrs
+        )
+        lines.append(f"│   ├─ {p.name}: |{p.name}|={p.cardinality}  {distinct}")
+    if st.probe is not None:
+        probe = st.probe
+        status = "complete" if probe.complete else "budget exceeded"
+        lines.append(
+            f"│   ├─ certificate probe: {probe.boxes_loaded} boxes loaded, "
+            f"{probe.outputs_found} outputs ({status}, "
+            f"budget {probe.budget})"
+        )
+    lines.append(
+        f"│   └─ Ẑ ≈ {_fmt(st.output_estimate)}  "
+        f"(AGM {_fmt(st.agm)}, independence "
+        f"{_fmt(st.independence_estimate)})"
+    )
+    lines.append("├─ candidates")
+    width = max(len(c.backend) for c in plan.candidates)
+    ordered = sorted(plan.candidates, key=lambda c: c.cost)
+    for i, c in enumerate(ordered):
+        branch = "└─" if i == len(ordered) - 1 else "├─"
+        marker = " ◀" if c.backend == plan.backend else ""
+        if c.applicable:
+            lines.append(
+                f"│   {branch} {c.backend:<{width}}  "
+                f"cost≈{_fmt(c.cost):>10}  {c.formula}{marker}"
+            )
+        else:
+            lines.append(
+                f"│   {branch} {c.backend:<{width}}  "
+                f"{'—':>15}  not applicable: {c.reason}"
+            )
+    cached = ", cached plan" if plan.cache_hit else ""
+    lines.append(
+        f"└─ plan: {plan.backend}  (index {plan.index_kind}; "
+        f"predicted cost {_fmt(plan.predicted_cost)}{cached})"
+    )
+    return "\n".join(lines)
+
+
+def render_execution(result: ExecutionResult) -> str:
+    """Predicted-vs-actual postscript for an executed plan."""
+    plan = result.plan
+    lines = [
+        "execution",
+        f"├─ backend     : {result.backend}",
+        f"├─ tuples      : {len(result.tuples)} "
+        f"(predicted Ẑ ≈ {_fmt(plan.stats.output_estimate)})",
+        f"├─ wall time   : {result.elapsed:.4f}s",
+        f"└─ engine work : {result.stats.summary()}",
+    ]
+    return "\n".join(lines)
+
+
+def explain_text(
+    plan: Plan, result: "ExecutionResult | None" = None
+) -> str:
+    """Full EXPLAIN output: the plan tree plus execution stats if run."""
+    text = render_plan(plan)
+    if result is not None:
+        text = f"{text}\n{render_execution(result)}"
+    return text

@@ -1,0 +1,223 @@
+"""The adaptive query planner: Table 1 as a decision procedure.
+
+``plan_query`` inspects a query's structure (:func:`structure_of`) and
+data statistics (:func:`collect_stats`), prices every registered backend
+with the calibrated cost model, and returns a :class:`Plan` naming the
+chosen backend, index kind and GAO together with the evidence behind the
+choice — the full candidate table and the structural profile.
+
+Plans are cached on ``(query signature ∘ hypergraph, stats fingerprint)``
+so repeated executions of the same workload skip the width/LP analysis;
+the cache is content-keyed, so reloading identical data hits it too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.engine.cost import (
+    CostEstimate,
+    CostModel,
+    StructureProfile,
+    structure_of,
+)
+from repro.engine.stats import QueryStats, assumed_stats, collect_stats
+from repro.relational.query import Database, JoinQuery
+
+#: Aliases accepted wherever an algorithm name is expected.
+ALGORITHM_ALIASES: Dict[str, str] = {
+    "auto": "auto",
+    "tetris": "tetris-preloaded",
+    "tetris-preloaded": "tetris-preloaded",
+    "tetris_preloaded": "tetris-preloaded",
+    "preloaded": "tetris-preloaded",
+    "tetris-reloaded": "tetris-reloaded",
+    "tetris_reloaded": "tetris-reloaded",
+    "reloaded": "tetris-reloaded",
+    "leapfrog": "leapfrog",
+    "yannakakis": "yannakakis",
+    "hash": "hash",
+    "nested-loop": "nested-loop",
+    "nested_loop": "nested-loop",
+}
+
+
+def normalize_algorithm(name: str) -> str:
+    """Resolve an algorithm alias to a backend name (or ``"auto"``)."""
+    try:
+        return ALGORITHM_ALIASES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {name!r}; expected one of "
+            f"{sorted(set(ALGORITHM_ALIASES))}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An executable decision: backend + physical knobs + the evidence."""
+
+    backend: str
+    index_kind: str
+    gao: Tuple[str, ...]
+    predicted_cost: float
+    chosen: CostEstimate
+    candidates: Tuple[CostEstimate, ...]
+    structure: StructureProfile
+    stats: QueryStats
+    algorithm: str
+    cache_hit: bool = False
+
+    @property
+    def variant(self) -> Optional[str]:
+        """The Tetris variant this plan runs, if a Tetris backend."""
+        if self.backend == "tetris-preloaded":
+            return "preloaded"
+        if self.backend == "tetris-reloaded":
+            return "reloaded"
+        return None
+
+
+class _PlanCache:
+    """A small content-keyed LRU for plans."""
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple, Plan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Tuple) -> Optional[Plan]:
+        plan = self._entries.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return plan
+
+    def put(self, key: Tuple, plan: Plan) -> None:
+        self._entries[key] = plan
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_PLAN_CACHE = _PlanCache()
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan and the stats behind them."""
+    from repro.engine.stats import clear_stats_cache
+
+    _PLAN_CACHE.clear()
+    clear_stats_cache()
+
+
+def plan_cache_info() -> Dict[str, int]:
+    return {
+        "entries": len(_PLAN_CACHE),
+        "hits": _PLAN_CACHE.hits,
+        "misses": _PLAN_CACHE.misses,
+        "capacity": _PLAN_CACHE.capacity,
+    }
+
+
+def _choose(
+    candidates: Sequence[CostEstimate],
+) -> CostEstimate:
+    applicable = [c for c in candidates if c.applicable]
+    if not applicable:
+        raise ValueError("no applicable backend for this query")
+    # min() is stable, so BACKENDS order breaks exact ties.
+    return min(applicable, key=lambda c: c.cost)
+
+
+def plan_query(
+    query: JoinQuery,
+    db: Optional[Database] = None,
+    stats: Optional[QueryStats] = None,
+    algorithm: str = "auto",
+    index_kind: Optional[str] = None,
+    gao: Optional[Sequence[str]] = None,
+    cost_model: Optional[CostModel] = None,
+    probe_certificate: bool = False,
+    probe_budget: int = 256,
+    use_cache: bool = True,
+    assumed_rows: int = 1000,
+) -> Plan:
+    """Produce a :class:`Plan` for a query.
+
+    With ``algorithm="auto"`` every backend is priced and the cheapest
+    wins; naming a backend forces it but still records its estimate.
+    Statistics come from ``stats`` if given, else are collected from
+    ``db``, else assumed uniform (``assumed_rows`` tuples per relation) —
+    the no-data mode ``repro explain`` uses.  ``probe_certificate`` adds
+    the bounded Tetris-Reloaded prefix run to the collected stats.
+    """
+    algorithm = normalize_algorithm(algorithm)
+    if gao is not None and sorted(gao) != sorted(query.variables):
+        raise ValueError(
+            f"GAO {tuple(gao)} is not a permutation of {query.variables}"
+        )
+    if stats is None:
+        if db is not None:
+            stats = collect_stats(
+                query, db, probe=probe_certificate,
+                probe_budget=probe_budget, probe_gao=gao,
+            )
+        else:
+            stats = assumed_stats(query, rows=assumed_rows)
+    key = (
+        stats.fingerprint,
+        algorithm,
+        index_kind,
+        tuple(gao) if gao is not None else None,
+        probe_certificate,
+        # Calibration content, not object identity: a recycled id must
+        # never resurrect a plan priced under different constants.
+        tuple(sorted(cost_model.calibration.items()))
+        if cost_model is not None else None,
+    )
+    if use_cache:
+        cached = _PLAN_CACHE.get(key)
+        if cached is not None:
+            return dataclasses.replace(cached, cache_hit=True)
+
+    profile = structure_of(query)
+    model = cost_model if cost_model is not None else CostModel()
+    candidates = model.estimate_all(query, profile, stats)
+    if algorithm == "auto":
+        chosen = _choose(candidates)
+    else:
+        by_name = {c.backend: c for c in candidates}
+        chosen = by_name[algorithm]
+        if not chosen.applicable:
+            raise ValueError(
+                f"backend {algorithm!r} is not applicable: {chosen.reason}"
+            )
+    plan = Plan(
+        backend=chosen.backend,
+        index_kind=index_kind if index_kind is not None else "btree",
+        gao=tuple(gao) if gao is not None else profile.gao,
+        predicted_cost=chosen.cost,
+        chosen=chosen,
+        candidates=candidates,
+        structure=profile,
+        stats=stats,
+        algorithm=algorithm,
+    )
+    if use_cache:
+        _PLAN_CACHE.put(key, plan)
+    return plan

@@ -1,0 +1,342 @@
+"""Statistics collection feeding the adaptive planner.
+
+The planner's data signals, gathered once per (query, database) pair:
+
+* **per-relation profiles** — cardinality and per-attribute distinct
+  counts, read off the :meth:`Relation.distinct_counts` hook (cached on
+  the immutable relation);
+* **output estimates** — the instance AGM bound (the provable upper
+  bound of Table 1 row 2) and a System-R-style independence estimate,
+  whose minimum is the planner's working Ẑ;
+* an optional **certificate-size probe**: a budget-bounded prefix run of
+  Tetris-Reloaded whose loaded-box count estimates the paper's |C| — the
+  quantity that decides whether the beyond-worst-case row of Table 1
+  (Õ(|C| + Z), Theorem 4.7) beats the Õ(N + Z) classics on an instance.
+
+Every stats object carries a :attr:`fingerprint` so plans can be cached
+and invalidated purely by content, never by object identity.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.relational.query import Database, JoinQuery
+
+
+@dataclass(frozen=True)
+class RelationProfile:
+    """Statistics of one input relation."""
+
+    name: str
+    attrs: Tuple[str, ...]
+    cardinality: int
+    distinct: Mapping[str, int]
+
+    def distinct_of(self, attr: str) -> int:
+        return self.distinct.get(attr, 1)
+
+
+@dataclass(frozen=True)
+class CertificateProbe:
+    """Outcome of the bounded Tetris-Reloaded prefix run.
+
+    ``boxes_loaded`` counts knowledge-base loads during the prefix (gap
+    boxes plus output witnesses — the certificate-plus-output work the
+    Õ(|C| + Z) bound charges for).  ``complete`` means the run finished
+    inside the budget, so ``boxes_loaded`` is the exact cost of a full
+    Tetris-Reloaded evaluation rather than a lower bound.
+    """
+
+    boxes_loaded: int
+    outputs_found: int
+    complete: bool
+    budget: int
+
+    @property
+    def certificate_estimate(self) -> int:
+        return max(self.boxes_loaded - self.outputs_found, 1)
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """Everything the cost model reads about a (query, database) pair."""
+
+    relations: Tuple[RelationProfile, ...]
+    total_tuples: int
+    domain_depth: int
+    agm: float
+    independence_estimate: float
+    fingerprint: Tuple
+    assumed: bool = False
+    probe: Optional[CertificateProbe] = None
+    _by_name: Dict[str, RelationProfile] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self):
+        self._by_name.update({p.name: p for p in self.relations})
+
+    def relation(self, name: str) -> RelationProfile:
+        return self._by_name[name]
+
+    @property
+    def output_estimate(self) -> float:
+        """Ẑ: the smaller of the AGM bound and the independence estimate."""
+        return min(self.agm, self.independence_estimate)
+
+    def distinct_bound(self, attr: str) -> int:
+        """Tightest distinct-count bound on an attribute across relations."""
+        counts = [
+            p.distinct_of(attr) for p in self.relations if attr in p.attrs
+        ]
+        return min(counts) if counts else 1
+
+
+class ProbeBudgetExceeded(Exception):
+    """Raised internally when the certificate probe runs out of budget."""
+
+
+class _BudgetedOracle:
+    """Wraps a QueryGapOracle, aborting once it has served ``budget`` boxes."""
+
+    def __init__(self, oracle, budget: int):
+        self._oracle = oracle
+        self._budget = budget
+        self.served = 0
+
+    @property
+    def attrs(self):
+        return self._oracle.attrs
+
+    def containing(self, unit_box):
+        boxes = self._oracle.containing(unit_box)
+        # Every probe costs at least one unit even when it finds nothing
+        # (those misses are exactly the output tuples).
+        self.served += max(len(boxes), 1)
+        if self.served > self._budget:
+            raise ProbeBudgetExceeded()
+        return boxes
+
+    def boxes(self):
+        return self._oracle.boxes()
+
+
+def probe_certificate(
+    query: JoinQuery,
+    db: Database,
+    gao: Optional[Sequence[str]] = None,
+    budget: int = 256,
+) -> CertificateProbe:
+    """Estimate |C| with a budget-bounded Tetris-Reloaded prefix run.
+
+    Runs the on-demand (Reloaded) configuration against an oracle that
+    aborts after serving ``budget`` gap boxes; instances whose certificate
+    is small — the Theorem 4.7 regime — complete outright and return an
+    exact cost, everything else reports the bound was exceeded.
+    """
+    from repro.core.resolution import ResolutionStats
+    from repro.core.tetris import TetrisEngine
+    from repro.joins.tetris_join import make_oracle
+
+    oracle, gao = make_oracle(query, db, index_kind="btree", gao=gao)
+    budgeted = _BudgetedOracle(oracle, budget)
+    run_stats = ResolutionStats()
+    attrs = oracle.attrs
+    sao = tuple(attrs.index(a) for a in gao)
+    engine = TetrisEngine(
+        len(attrs), db.domain.depth, sao=sao, stats=run_stats
+    )
+    try:
+        outputs = engine.run(
+            budgeted, preload=False, one_pass=False, max_outputs=budget
+        )
+    except ProbeBudgetExceeded:
+        return CertificateProbe(
+            boxes_loaded=run_stats.boxes_loaded,
+            outputs_found=0,
+            complete=False,
+            budget=budget,
+        )
+    complete = len(outputs) < budget
+    return CertificateProbe(
+        boxes_loaded=run_stats.boxes_loaded,
+        outputs_found=len(outputs),
+        complete=complete,
+        budget=budget,
+    )
+
+
+def _agm_from_sizes(
+    query: JoinQuery, sizes: Mapping[str, int]
+) -> float:
+    """Instance AGM bound 2^{ρ*} from per-relation cardinalities."""
+    from repro.relational.agm import fractional_edge_cover
+
+    if any(sizes[a.name] == 0 for a in query.atoms):
+        return 0.0
+    weights = [
+        math.log2(sizes[a.name]) if sizes[a.name] > 1 else 0.0
+        for a in query.atoms
+    ]
+    edges = [frozenset(a.attrs) for a in query.atoms]
+    value, _ = fractional_edge_cover(query.variables, edges, weights)
+    return 2.0 ** value
+
+
+def apply_matching_selectivities(
+    estimate: float, occurrences: Mapping[str, Sequence[int]]
+) -> float:
+    """Divide a cross-product estimate by per-variable join selectivities.
+
+    ``occurrences`` maps each variable to the distinct counts it has in
+    every relation mentioning it; under independence each repeated
+    occurrence contributes a ``1 / max distinct`` matching factor — the
+    System-R rule the cost model's quantity estimates share.
+    """
+    for counts in occurrences.values():
+        top = max(counts)
+        for _ in range(len(counts) - 1):
+            estimate /= max(top, 1)
+    return estimate
+
+
+def _independence_estimate(
+    query: JoinQuery, profiles: Sequence[RelationProfile]
+) -> float:
+    """System-R style output estimate under attribute independence."""
+    estimate = 1.0
+    for p in profiles:
+        estimate *= p.cardinality
+    if estimate == 0.0:
+        return 0.0
+    occurrences: Dict[str, list] = {}
+    for p in profiles:
+        for a in p.attrs:
+            occurrences.setdefault(a, []).append(p.distinct_of(a))
+    return apply_matching_selectivities(estimate, occurrences)
+
+
+class _StatsCache:
+    """Content-keyed LRU so repeated executions skip the AGM LP."""
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple, QueryStats]" = OrderedDict()
+
+    def get(self, key: Tuple) -> Optional[QueryStats]:
+        stats = self._entries.get(key)
+        if stats is not None:
+            self._entries.move_to_end(key)
+        return stats
+
+    def put(self, key: Tuple, stats: QueryStats) -> None:
+        self._entries[key] = stats
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+_STATS_CACHE = _StatsCache()
+
+
+def clear_stats_cache() -> None:
+    _STATS_CACHE.clear()
+
+
+def collect_stats(
+    query: JoinQuery,
+    db: Database,
+    probe: bool = False,
+    probe_budget: int = 256,
+    probe_gao: Optional[Sequence[str]] = None,
+) -> QueryStats:
+    """Gather the planner's statistics for a query over a database.
+
+    Results are cached on content (query signature + per-relation
+    fingerprints + probe configuration): relations are immutable, so
+    identical fingerprints guarantee identical statistics.
+    """
+    key = (
+        tuple((a.name, a.attrs) for a in query.atoms),
+        db.stats_fingerprint(),
+        probe,
+        probe_budget if probe else None,
+        tuple(probe_gao) if probe and probe_gao is not None else None,
+    )
+    cached = _STATS_CACHE.get(key)
+    if cached is not None:
+        return cached
+    profiles = []
+    for atom in query.atoms:
+        rel = db[atom.name]
+        profiles.append(
+            RelationProfile(
+                name=atom.name,
+                attrs=atom.attrs,
+                cardinality=len(rel),
+                distinct=dict(rel.distinct_counts()),
+            )
+        )
+    probe_result = None
+    if probe:
+        probe_result = probe_certificate(
+            query, db, gao=probe_gao, budget=probe_budget
+        )
+    sizes = {p.name: p.cardinality for p in profiles}
+    stats = QueryStats(
+        relations=tuple(profiles),
+        total_tuples=db.total_tuples,
+        domain_depth=db.domain.depth,
+        agm=_agm_from_sizes(query, sizes),
+        independence_estimate=_independence_estimate(query, profiles),
+        fingerprint=key,
+        probe=probe_result,
+    )
+    _STATS_CACHE.put(key, stats)
+    return stats
+
+
+def assumed_stats(
+    query: JoinQuery, rows: int = 1000, depth: Optional[int] = None
+) -> QueryStats:
+    """Synthetic statistics for planning without data (``repro explain``).
+
+    Every relation is assumed to hold ``rows`` tuples with all-distinct
+    attribute values — the uniform no-information default.  The resulting
+    stats are flagged :attr:`QueryStats.assumed` so EXPLAIN output and the
+    plan cache can tell them apart from measured ones.
+    """
+    from repro.relational.schema import Domain
+
+    if depth is None:
+        depth = Domain.for_values(max(rows - 1, 1)).depth
+    profiles = tuple(
+        RelationProfile(
+            name=atom.name,
+            attrs=atom.attrs,
+            cardinality=rows,
+            distinct={a: rows for a in atom.attrs},
+        )
+        for atom in query.atoms
+    )
+    sizes = {p.name: p.cardinality for p in profiles}
+    fingerprint = (
+        tuple((a.name, a.attrs) for a in query.atoms),
+        ("assumed", rows, depth),
+    )
+    return QueryStats(
+        relations=profiles,
+        total_tuples=rows * len(profiles),
+        domain_depth=depth,
+        agm=_agm_from_sizes(query, sizes),
+        independence_estimate=_independence_estimate(query, profiles),
+        fingerprint=fingerprint,
+        assumed=True,
+    )

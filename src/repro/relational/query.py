@@ -10,7 +10,7 @@ join algorithms in tests.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.relational.relation import Relation
 from repro.relational.schema import Domain, RelationSchema
@@ -20,20 +20,19 @@ class Database:
     """A collection of relation instances sharing one domain."""
 
     def __init__(self, relations: Iterable[Relation]):
+        rels = list(relations)
+        if not rels:
+            raise ValueError("a database needs at least one relation")
         self._relations: Dict[str, Relation] = {}
-        self.domain: Optional[Domain] = None
-        for rel in relations:
+        self.domain: Domain = rels[0].domain
+        for rel in rels:
             if rel.name in self._relations:
                 raise ValueError(f"duplicate relation name {rel.name}")
-            if self.domain is None:
-                self.domain = rel.domain
-            elif rel.domain != self.domain:
+            if rel.domain != self.domain:
                 raise ValueError(
                     "all relations in a database must share a domain"
                 )
             self._relations[rel.name] = rel
-        if self.domain is None:
-            raise ValueError("a database needs at least one relation")
 
     def __getitem__(self, name: str) -> Relation:
         return self._relations[name]
@@ -51,6 +50,13 @@ class Database:
     def total_tuples(self) -> int:
         """The paper's N: total number of input tuples."""
         return sum(len(r) for r in self._relations.values())
+
+    def stats_fingerprint(self) -> Tuple:
+        """Signature of every relation's statistics, for plan-cache keys."""
+        return tuple(
+            self._relations[name].stats_fingerprint()
+            for name in sorted(self._relations)
+        )
 
 
 class JoinQuery:
@@ -93,32 +99,38 @@ def evaluate_reference(
 ) -> List[Tuple[int, ...]]:
     """Slow but obviously-correct join evaluation used as a test oracle.
 
-    Iterates candidate assignments relation-by-relation (a left-deep
-    nested-loop over the atom tuples with hash-based compatibility checks),
-    which is far better than enumerating the cross product of domains but
-    still only meant for tests and tiny examples.
+    Extends partial assignments atom by atom.  Each atom's rows are
+    bucketed once on the attributes shared with the variables already
+    bound, so extending costs O(|partials| + |rows| + |matches|) per atom
+    instead of the O(|partials| · |rows|) all-pairs scan — the difference
+    between toy-only and usable on cross-validation-sized instances.
     """
     variables = query.variables
     # Start with the tuples of the first atom as partial assignments.
     first = query.atoms[0]
-    rel = db[first.name]
     partials: List[Dict[str, int]] = [
-        dict(zip(first.attrs, t)) for t in rel
+        dict(zip(first.attrs, t)) for t in db[first.name]
     ]
+    bound = set(first.attrs)
     for atom in query.atoms[1:]:
-        rel = db[atom.name]
-        rows = list(rel)
+        shared = tuple(a for a in dict.fromkeys(atom.attrs) if a in bound)
+        # Bucket the atom's rows by their shared-attribute key.  dict(zip)
+        # collapses repeated attributes (last occurrence wins), matching
+        # how a row constrains an assignment.
+        buckets: Dict[Tuple[int, ...], List[Dict[str, int]]] = {}
+        for row in db[atom.name]:
+            candidate = dict(zip(atom.attrs, row))
+            key = tuple(candidate[a] for a in shared)
+            buckets.setdefault(key, []).append(candidate)
         extended: List[Dict[str, int]] = []
         for partial in partials:
-            for row in rows:
-                candidate = dict(zip(atom.attrs, row))
-                if all(
-                    partial.get(k, v) == v for k, v in candidate.items()
-                ):
-                    merged = dict(partial)
-                    merged.update(candidate)
-                    extended.append(merged)
+            key = tuple(partial[a] for a in shared)
+            for candidate in buckets.get(key, ()):
+                merged = dict(partial)
+                merged.update(candidate)
+                extended.append(merged)
         partials = extended
+        bound |= set(atom.attrs)
     # Any variable not bound by the atoms... cannot happen (vars come from
     # atoms), so every partial is total.
     out = sorted(

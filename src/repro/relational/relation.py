@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.relational.schema import Domain, RelationSchema
 
@@ -42,6 +42,8 @@ class Relation:
             seen.add(t)
         self._tuples = frozenset(seen)
         self._sorted: List[Tuple_] = sorted(seen)
+        self._distinct_counts: Optional[Dict[str, int]] = None
+        self._fingerprint: Optional[Tuple] = None
 
     @property
     def name(self) -> str:
@@ -87,6 +89,45 @@ class Relation:
         out = {tuple(t[i] for i in positions) for t in self._tuples}
         schema = RelationSchema(f"π({self.name})", tuple(attrs))
         return Relation(schema, out, self.domain)
+
+    def distinct_counts(self) -> Dict[str, int]:
+        """Per-attribute number of distinct values, cached.
+
+        The planner's cardinality estimates key off these counts; relations
+        are immutable so one pass over the tuples suffices for the lifetime
+        of the instance.
+        """
+        if self._distinct_counts is None:
+            seen: List[set] = [set() for _ in self.schema.attrs]
+            for t in self._sorted:
+                for values, v in zip(seen, t):
+                    values.add(v)
+            self._distinct_counts = {
+                a: len(values)
+                for a, values in zip(self.schema.attrs, seen)
+            }
+        return self._distinct_counts
+
+    def stats_fingerprint(self) -> Tuple:
+        """A cheap content signature for plan/stats-cache keys.
+
+        Name, schema, domain depth, cardinality, distinct counts, plus
+        the tuple-set hash (computed once and cached by frozenset), so
+        content-dependent statistics — the certificate probe above all —
+        are never reused across relations that merely share summary
+        counts.
+        """
+        if self._fingerprint is None:
+            counts = self.distinct_counts()
+            self._fingerprint = (
+                self.name,
+                self.schema.attrs,
+                self.domain.depth,
+                len(self._tuples),
+                tuple(counts[a] for a in self.schema.attrs),
+                hash(self._tuples),
+            )
+        return self._fingerprint
 
     def select_prefix(
         self, attr_order: Sequence[str], prefix: Sequence[int]

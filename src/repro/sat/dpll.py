@@ -29,10 +29,12 @@ def count_models_tetris(
     return len(models)
 
 
-def enumerate_models_tetris(cnf: CNF) -> List[tuple]:
+def enumerate_models_tetris(
+    cnf: CNF, stats: Optional[ResolutionStats] = None
+) -> List[tuple]:
     """All satisfying assignments as 0/1 tuples, via Tetris."""
     boxes = cnf_to_boxes(cnf)
-    return sorted(solve_bcp(boxes, ndim=cnf.num_vars, depth=1))
+    return sorted(solve_bcp(boxes, ndim=cnf.num_vars, depth=1, stats=stats))
 
 
 def count_models_dpll(cnf: CNF) -> int:

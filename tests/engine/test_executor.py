@@ -1,0 +1,159 @@
+"""Unified-engine correctness: auto and forced dispatch vs. the oracle.
+
+The acceptance bar for the engine: ``execute(query, db)`` with
+``algorithm="auto"`` returns tuples identical to ``evaluate_reference``
+on every workload-generator query family, and every forced backend
+agrees wherever it applies.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import (
+    BackendSpec,
+    clear_plan_cache,
+    execute,
+    register_backend,
+    registered_backends,
+)
+from repro.core.resolution import ResolutionStats
+from repro.relational.hypergraph import Hypergraph
+from repro.relational.query import (
+    Database,
+    clique_query,
+    evaluate_reference,
+    star_query,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Domain
+from repro.workloads.generators import (
+    agm_tight_triangle,
+    chained_path_db,
+    dense_cycle_db,
+    graph_triangle_db,
+    random_graph_edges,
+    random_path_db,
+    split_cycle_instance,
+    split_path_instance,
+)
+
+
+def random_db(query, seed, n=25, depth=5):
+    rng = random.Random(seed)
+    rels = []
+    for atom in query.atoms:
+        rows = {
+            tuple(rng.randrange(1 << depth) for _ in atom.attrs)
+            for _ in range(n)
+        }
+        rels.append(Relation(atom, rows, Domain(depth)))
+    return Database(rels)
+
+
+def _generator_workloads():
+    out = {}
+    q, db = agm_tight_triangle(4)
+    out["agm_tight_triangle"] = (q, db)
+    edges = random_graph_edges(30, 60, seed=3)
+    q, db = graph_triangle_db(edges)
+    out["graph_triangles"] = (q, db)
+    q, db = random_path_db(3, 40, seed=7, depth=6)
+    out["random_path"] = (q, db)
+    q, db = chained_path_db(4, 30, depth=8)
+    out["chained_path"] = (q, db)
+    q, db, _ = split_path_instance(60, depth=8, seed=1)
+    out["split_path"] = (q, db)
+    q, db, _ = split_cycle_instance(40, depth=8, seed=2)
+    out["split_cycle"] = (q, db)
+    q, db = dense_cycle_db(4, 30, depth=6, seed=5)
+    out["dense_cycle"] = (q, db)
+    q = star_query(3)
+    out["star"] = (q, random_db(q, 11, n=30, depth=6))
+    q = clique_query(4)
+    out["clique"] = (q, random_db(q, 13, n=30, depth=5))
+    return out
+
+
+WORKLOADS = _generator_workloads()
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_auto_matches_reference_on_generators(name):
+    query, db = WORKLOADS[name]
+    expected = evaluate_reference(query, db)
+    result = execute(query, db, algorithm="auto")
+    assert result.tuples == expected
+    assert result.variables == query.variables
+    assert result.backend == result.plan.backend
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+@pytest.mark.parametrize("backend", sorted(registered_backends()))
+def test_forced_backends_agree(name, backend):
+    query, db = WORKLOADS[name]
+    if backend == "yannakakis" and not (
+        Hypergraph.of_query(query).is_alpha_acyclic()
+    ):
+        with pytest.raises(ValueError):
+            execute(query, db, algorithm=backend)
+        return
+    expected = evaluate_reference(query, db)
+    result = execute(query, db, algorithm=backend)
+    assert result.tuples == expected, backend
+    assert result.backend == backend
+
+
+def test_result_shape_mirrors_join_result():
+    query, db = WORKLOADS["graph_triangles"]
+    result = execute(query, db)
+    assert len(result) == len(result.tuples)
+    assert list(iter(result)) == result.tuples
+    assert isinstance(result.stats, ResolutionStats)
+    assert result.elapsed >= 0.0
+    assert result.plan.predicted_cost > 0
+
+
+def test_index_kind_and_gao_are_honored():
+    query, db = WORKLOADS["graph_triangles"]
+    expected = evaluate_reference(query, db)
+    for kind in ("btree", "dyadic", "kdtree"):
+        result = execute(
+            query, db, algorithm="tetris-preloaded", index_kind=kind,
+            gao=("B", "A", "C"),
+        )
+        assert result.tuples == expected, kind
+        assert result.gao == ("B", "A", "C")
+        assert result.plan.index_kind == kind
+
+
+def test_register_custom_backend():
+    query, db = WORKLOADS["random_path"]
+    expected = evaluate_reference(query, db)
+
+    def runner(q, d, plan):
+        return evaluate_reference(q, d), ResolutionStats(), plan.gao
+
+    register_backend(
+        BackendSpec("reference", runner, "the test oracle itself")
+    )
+    try:
+        assert "reference" in registered_backends()
+        plan = execute(query, db, algorithm="hash").plan
+        import dataclasses
+
+        forced = dataclasses.replace(plan, backend="reference")
+        result = execute(query, db, plan=forced)
+        assert result.tuples == expected
+        assert result.backend == "reference"
+    finally:
+        from repro.engine import executor
+
+        executor._REGISTRY.pop("reference", None)

@@ -1,0 +1,102 @@
+"""EXPLAIN rendering tests, including the CLI golden output."""
+
+import textwrap
+
+import pytest
+
+from repro.cli import main
+from repro.engine import clear_plan_cache, execute, explain_text, plan_query
+from repro.workloads.generators import split_path_instance
+
+#: The frozen `repro explain` output for a two-atom path under assumed
+#: uniform statistics.  Every number is exact integer arithmetic (64 is a
+#: power of two, so even the AGM LP result rounds cleanly), which keeps
+#: the golden stable across platforms.
+GOLDEN = textwrap.dedent("""\
+    # query: R(A, B) ⋈ S(B, C)
+    EXPLAIN
+    ├─ structure
+    │   ├─ α-acyclic   : True
+    │   ├─ treewidth   : 1
+    │   ├─ fhtw ≤      : 1
+    │   ├─ GAO         : B, C, A
+    │   └─ Table 1 row : α-acyclic: Õ(N + Z) [Yannakakis / Thm D.8]
+    ├─ statistics [assumed (no data)]
+    │   ├─ N = 128 tuples over 2 relations, domain depth 6
+    │   ├─ R: |R|=64  d(A)=64, d(B)=64
+    │   ├─ S: |S|=64  d(B)=64, d(C)=64
+    │   └─ Ẑ ≈ 64  (AGM 4096, independence 64)
+    ├─ candidates
+    │   ├─ hash              cost≈       312  N + Σ intermediates ≈ 312 ◀
+    │   ├─ leapfrog          cost≈      1120  Õ(N + Σ prefix bindings) ≈ 320 (AGM 4096)
+    │   ├─ yannakakis        cost≈      1168  Õ(N + Z) = 3·128 + 64 (+6 passes)
+    │   ├─ nested-loop       cost≈      2912  Σ prefix scans ≈ 4160
+    │   ├─ tetris-preloaded  cost≈     41472  Õ(N + Z) = (128 + 64)·18
+    │   └─ tetris-reloaded   cost≈    181248  Õ(|C| + Z), |Ĉ|=768 (N·d bound)
+    └─ plan: hash  (index btree; predicted cost 312)
+""")
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+def test_explain_golden_output(capsys):
+    rc = main(["explain", "R(A,B), S(B,C)", "--assume-rows", "64"])
+    assert rc == 0
+    assert capsys.readouterr().out == GOLDEN
+
+
+def test_explain_with_data_and_execute(tmp_path, capsys):
+    (tmp_path / "r.csv").write_text("u,v\nu,w\nx,y\n")
+    (tmp_path / "s.csv").write_text("v,z\ny,q\n")
+    rc = main([
+        "explain", "R(A,B), S(B,C)", "--execute",
+        "--csv", f"R={tmp_path / 'r.csv'}",
+        "--csv", f"S={tmp_path / 's.csv'}",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "statistics [measured]" in out
+    assert "execution" in out
+    assert "tuples      : 2" in out  # (u,v,z) and (x,y,q)
+
+
+def test_explain_execute_without_data_fails(capsys):
+    rc = main(["explain", "R(A,B)", "--execute"])
+    assert rc == 2
+    assert "needs --csv" in capsys.readouterr().err
+
+
+def test_explain_inapplicable_backend_clean_error(capsys):
+    rc = main([
+        "explain", "R(A,B), S(B,C), T(A,C)", "--algorithm", "yannakakis",
+    ])
+    assert rc == 2
+    assert "not applicable" in capsys.readouterr().err
+
+
+def test_probe_appears_in_rendering():
+    query, db, gao = split_path_instance(80, depth=8, seed=1)
+    plan = plan_query(query, db, gao=gao, probe_certificate=True)
+    text = explain_text(plan)
+    assert "certificate probe" in text
+    assert "complete" in text
+
+
+def test_cache_hit_is_visible():
+    query, db, _ = split_path_instance(40, depth=8, seed=1)
+    plan_query(query, db)
+    cached = plan_query(query, db)
+    assert "cached plan" in explain_text(cached)
+
+
+def test_execution_section_reports_predicted_vs_actual():
+    query, db, _ = split_path_instance(40, depth=8, seed=1)
+    result = execute(query, db)
+    text = explain_text(result.plan, result)
+    assert "wall time" in text
+    assert f"tuples      : {len(result.tuples)}" in text

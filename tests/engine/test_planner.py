@@ -1,0 +1,265 @@
+"""Planner decision tests: Table 1 as executable expectations.
+
+Each case pins the backend the cost model must choose on a concrete
+instance of one of the paper's query shapes.  The expectations encode
+*measured* reality on this codebase (see BENCH_planner.json), not just
+the asymptotic table — e.g. hash plans win small sparse instances
+despite worse worst-case bounds, and the skewed-hub star is exactly the
+regime where Yannakakis' semijoin reduction pays off.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import (
+    CostModel,
+    clear_plan_cache,
+    collect_stats,
+    plan_cache_info,
+    plan_query,
+    structure_of,
+)
+from repro.relational.query import (
+    Database,
+    clique_query,
+    cycle_query,
+    path_query,
+    star_query,
+    triangle_query,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Domain
+from repro.workloads.generators import (
+    agm_tight_triangle,
+    dense_cycle_db,
+    split_path_instance,
+)
+
+
+def random_db(query, seed, n=30, depth=5):
+    rng = random.Random(seed)
+    rels = []
+    for atom in query.atoms:
+        rows = {
+            tuple(rng.randrange(1 << depth) for _ in atom.attrs)
+            for _ in range(n)
+        }
+        rels.append(Relation(atom, rows, Domain(depth)))
+    return Database(rels)
+
+
+def skewed_star_db(rays=4, n=200, hub_values=4, depth=8, seed=0):
+    """A star whose hub attribute has very few distinct values.
+
+    Binary hash plans blow up on the hub (intermediates ≈ n²/hub);
+    Yannakakis' semijoin reduction never materializes more than N + Z.
+    """
+    rng = random.Random(seed)
+    query = star_query(rays)
+    rels = []
+    for atom in query.atoms:
+        rows = {
+            (rng.randrange(hub_values), rng.randrange(1 << depth))
+            for _ in range(n)
+        }
+        rels.append(Relation(atom, rows, Domain(depth)))
+    return query, Database(rels)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+def _case_triangle_sparse():
+    q = triangle_query()
+    return q, random_db(q, 1), "hash"
+
+
+def _case_triangle_agm_tight():
+    q, db = agm_tight_triangle(6)
+    return q, db, "hash"
+
+
+def _case_path():
+    q = path_query(3)
+    return q, random_db(q, 2, n=60, depth=6), "hash"
+
+
+def _case_star_uniform():
+    q = star_query(4)
+    return q, random_db(q, 3, n=60, depth=6), "hash"
+
+
+def _case_star_skewed_hub():
+    q, db = skewed_star_db()
+    return q, db, "yannakakis"
+
+
+def _case_cycle():
+    q, db = dense_cycle_db(4, 60, depth=6, seed=5)
+    return q, db, "hash"
+
+
+def _case_clique():
+    q = clique_query(4)
+    return q, random_db(q, 13, n=80, depth=6), "leapfrog"
+
+
+DECISION_CASES = {
+    "triangle_sparse": _case_triangle_sparse,
+    "triangle_agm_tight": _case_triangle_agm_tight,
+    "path3": _case_path,
+    "star4_uniform": _case_star_uniform,
+    "star4_skewed_hub": _case_star_skewed_hub,
+    "cycle4_dense": _case_cycle,
+    "clique4": _case_clique,
+}
+
+
+@pytest.mark.parametrize("name", sorted(DECISION_CASES))
+def test_backend_decisions(name):
+    query, db, expected = DECISION_CASES[name]()
+    plan = plan_query(query, db)
+    assert plan.backend == expected, (
+        f"{name}: chose {plan.backend}, expected {expected}\n"
+        + "\n".join(
+            f"  {c.backend}: {c.cost:g}" for c in plan.candidates
+        )
+    )
+    # The chosen estimate is the applicable minimum.
+    applicable = [c for c in plan.candidates if c.applicable]
+    assert plan.predicted_cost == min(c.cost for c in applicable)
+
+
+@pytest.mark.parametrize(
+    "algorithm,backend,variant",
+    [
+        ("tetris", "tetris-preloaded", "preloaded"),
+        ("tetris-reloaded", "tetris-reloaded", "reloaded"),
+        ("leapfrog", "leapfrog", None),
+        ("hash", "hash", None),
+    ],
+)
+def test_forced_backend(algorithm, backend, variant):
+    q = triangle_query()
+    db = random_db(q, 1)
+    plan = plan_query(q, db, algorithm=algorithm)
+    assert plan.backend == backend
+    assert plan.variant == variant
+
+
+def test_forced_inapplicable_backend_rejected():
+    q = triangle_query()
+    db = random_db(q, 1)
+    with pytest.raises(ValueError, match="not applicable"):
+        plan_query(q, db, algorithm="yannakakis")
+
+
+def test_unknown_algorithm_rejected():
+    q = triangle_query()
+    with pytest.raises(ValueError, match="unknown algorithm"):
+        plan_query(q, random_db(q, 1), algorithm="quantum")
+
+
+def test_plan_cache_hits_on_identical_stats():
+    q = triangle_query()
+    db = random_db(q, 1)
+    first = plan_query(q, db)
+    second = plan_query(q, db)
+    assert not first.cache_hit
+    assert second.cache_hit
+    assert second.backend == first.backend
+    info = plan_cache_info()
+    assert info["hits"] >= 1
+    # Content-keyed: a database with identical statistics hits too.
+    clone = Database(
+        [
+            Relation(atom, db[atom.name].tuples(), db.domain)
+            for atom in q.atoms
+        ]
+    )
+    third = plan_query(q, clone)
+    assert third.cache_hit
+
+
+def test_plan_cache_misses_on_changed_stats():
+    q = triangle_query()
+    db1 = random_db(q, 1)
+    db2 = random_db(q, 2)
+    plan_query(q, db1)
+    other = plan_query(q, db2)
+    assert not other.cache_hit
+
+
+def test_certificate_probe_feeds_the_cost_model():
+    query, db, gao = split_path_instance(400, depth=12, seed=1)
+    stats = collect_stats(query, db, probe=True, probe_gao=gao)
+    assert stats.probe is not None
+    assert stats.probe.complete  # O(1) certificate: probe finishes
+    assert stats.probe.boxes_loaded <= 8
+    assert stats.probe.outputs_found == 0  # the join is empty
+
+
+def test_calibration_hook_changes_the_decision():
+    """Recalibrating Tetris's constant flips the probed split instance."""
+    query, db, gao = split_path_instance(400, depth=12, seed=1)
+    default = plan_query(query, db, gao=gao, probe_certificate=True,
+                         use_cache=False)
+    assert default.backend != "tetris-reloaded"  # CPython constants
+    cheap_tetris = CostModel({"tetris-reloaded": 0.001})
+    plan = plan_query(
+        query, db, gao=gao, probe_certificate=True,
+        cost_model=cheap_tetris, use_cache=False,
+    )
+    assert plan.backend == "tetris-reloaded"
+    assert plan.variant == "reloaded"
+
+
+def test_calibrate_refits_from_measurements():
+    model = CostModel()
+    refit = model.calibrate({
+        "hash": (1.0, 1000.0),
+        "leapfrog": (2.0, 1000.0),
+    })
+    # leapfrog measured 2× hash per unit; factors keep that ratio.
+    assert refit.calibration["leapfrog"] == pytest.approx(
+        2.0 * refit.calibration["hash"]
+    )
+    # The original model is untouched.
+    assert model.calibration["leapfrog"] == CostModel().calibration["leapfrog"]
+
+
+def test_structure_profile_matches_known_shapes():
+    tri = structure_of(triangle_query())
+    assert not tri.acyclic
+    assert tri.treewidth == 2
+    assert tri.fhtw_upper == pytest.approx(1.5)
+    p = structure_of(path_query(3))
+    assert p.acyclic
+    assert p.treewidth == 1
+    assert p.fhtw_upper == 1.0
+
+
+def test_plan_without_data_uses_assumed_stats():
+    plan = plan_query(path_query(2), assumed_rows=64)
+    assert plan.stats.assumed
+    assert plan.stats.relations[0].cardinality == 64
+    assert plan.backend  # some applicable backend was chosen
+
+
+def test_gao_override_is_recorded():
+    q = triangle_query()
+    db = random_db(q, 1)
+    plan = plan_query(q, db, gao=("B", "A", "C"))
+    assert plan.gao == ("B", "A", "C")
+
+
+def test_bad_gao_rejected():
+    q = triangle_query()
+    db = random_db(q, 1)
+    with pytest.raises(ValueError, match="not a permutation"):
+        plan_query(q, db, gao=("B", "A"))

@@ -40,6 +40,53 @@ class TestJoinCommand:
         rc = main(["join", "R(A,B)", "--csv", "nopath"])
         assert rc == 2
 
+    @pytest.mark.parametrize("algo", [
+        "auto", "tetris-preloaded", "tetris-reloaded", "leapfrog", "hash",
+        "nested-loop",
+    ])
+    def test_join_algorithm_selection(self, triangle_csvs, capsys, algo):
+        rc = main([
+            "join", "R(A,B), S(B,C), T(A,C)", "--algorithm", algo,
+            "--csv", f"R={triangle_csvs / 'r.csv'}",
+            "--csv", f"S={triangle_csvs / 's.csv'}",
+            "--csv", f"T={triangle_csvs / 't.csv'}",
+        ])
+        assert rc == 0
+        assert "u,v,z" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("kind", ["btree", "dyadic", "kdtree"])
+    def test_join_index_kind_and_gao(self, triangle_csvs, capsys, kind):
+        rc = main([
+            "join", "R(A,B), S(B,C), T(A,C)",
+            "--algorithm", "tetris-preloaded",
+            "--index-kind", kind, "--gao", "C,B,A",
+            "--csv", f"R={triangle_csvs / 'r.csv'}",
+            "--csv", f"S={triangle_csvs / 's.csv'}",
+            "--csv", f"T={triangle_csvs / 't.csv'}",
+        ])
+        assert rc == 0
+        assert "u,v,z" in capsys.readouterr().out
+
+    def test_join_backend_reported(self, triangle_csvs, capsys):
+        rc = main([
+            "join", "R(A,B), S(B,C), T(A,C)", "--algorithm", "leapfrog",
+            "--csv", f"R={triangle_csvs / 'r.csv'}",
+            "--csv", f"S={triangle_csvs / 's.csv'}",
+            "--csv", f"T={triangle_csvs / 't.csv'}",
+        ])
+        assert rc == 0
+        assert "via leapfrog" in capsys.readouterr().err
+
+    def test_join_inapplicable_backend_errors(self, triangle_csvs, capsys):
+        rc = main([
+            "join", "R(A,B), S(B,C), T(A,C)", "--algorithm", "yannakakis",
+            "--csv", f"R={triangle_csvs / 'r.csv'}",
+            "--csv", f"S={triangle_csvs / 's.csv'}",
+            "--csv", f"T={triangle_csvs / 't.csv'}",
+        ])
+        assert rc == 2
+        assert "not applicable" in capsys.readouterr().err
+
 
 class TestTrianglesCommand:
     def test_counts_triangles(self, tmp_path, capsys):
@@ -77,6 +124,26 @@ class TestSatCommand:
         out = capsys.readouterr().out
         assert "1 -2" in out
         assert out.strip().endswith("1")
+
+    def test_enumerate_reports_learned_clauses(self, tmp_path, capsys):
+        """--enumerate threads stats: same learned-clause count as counting."""
+        f = tmp_path / "f.cnf"
+        # Needs actual resolution work, not just direct gap covers.
+        f.write_text(
+            "p cnf 3 4\n1 2 0\n-1 3 0\n-2 -3 0\n1 -3 0\n"
+        )
+        rc = main(["sat", str(f)])
+        assert rc == 0
+        count_err = capsys.readouterr().err
+        rc = main(["sat", str(f), "--enumerate"])
+        assert rc == 0
+        enum_err = capsys.readouterr().err
+        learned = [
+            line.split("(")[-1]
+            for line in (count_err, enum_err)
+        ]
+        assert learned[0] == learned[1]
+        assert "0 learned clauses" not in enum_err
 
 
 class TestAnalyzeCommand:
