@@ -10,7 +10,9 @@ Subcommands::
 
 ``join`` evaluates an arbitrary natural join over CSV files through the
 adaptive engine (``--algorithm auto`` picks the cost-optimal backend;
-naming one forces it); ``explain`` prints the planner's decision tree
+naming one forces it; ``--limit K`` streams just the first K rows
+through the cursor API), decoding result rows back to the original CSV
+values; ``explain`` prints the planner's decision tree
 for a query, with or without data; ``triangles`` lists/counts triangles
 in an edge list; ``sat`` counts models of a DIMACS CNF via
 Tetris-as-DPLL; ``analyze`` prints a query's structural profile
@@ -79,6 +81,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
         result = execute(
             query, db, algorithm=algorithm,
             index_kind=args.index_kind, gao=_parse_gao(args.gao),
+            limit=args.limit, decode=dictionary,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -86,12 +89,11 @@ def _cmd_join(args: argparse.Namespace) -> int:
     elapsed = time.perf_counter() - t0
     print(f"# query: {query}")
     print(f"# variables: {', '.join(result.variables)}")
-    for row in result.tuples:
-        print(args.delimiter.join(
-            str(v) for v in dictionary.decode_row(row)
-        ))
+    for row in result.decoded_rows():  # lazy: decode as rows print
+        print(args.delimiter.join(str(v) for v in row))
+    limited = f" (limit {args.limit})" if args.limit is not None else ""
     print(
-        f"# {len(result)} tuples in {elapsed:.3f}s "
+        f"# {len(result)} tuples{limited} in {elapsed:.3f}s "
         f"via {result.backend} ({result.stats.summary()})",
         file=sys.stderr,
     )
@@ -102,7 +104,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.engine import execute, explain_text, plan_query
 
     try:
-        query, db, _ = _load_join_db(args)
+        query, db, dictionary = _load_join_db(args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -118,7 +120,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
             if db is None:
                 print("error: --execute needs --csv data", file=sys.stderr)
                 return 2
-            result = execute(query, db, plan=plan)
+            result = execute(query, db, plan=plan, decode=dictionary)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -260,6 +262,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_join.add_argument(
         "--variant", default=None, choices=("preloaded", "reloaded"),
         help="deprecated alias for --algorithm tetris-{preloaded,reloaded}",
+    )
+    p_join.add_argument(
+        "--limit", type=int, default=None, metavar="K",
+        help="stop after K output rows (streamed early termination)",
     )
     p_join.set_defaults(func=_cmd_join)
 

@@ -5,13 +5,19 @@ query's structure (acyclicity, treewidth, fhtw) and data statistics
 (cardinalities, distinct counts, AGM bound, optional certificate probe),
 prices every backend with a calibrated cost model, and
 :func:`execute` dispatches the winner over a registry wrapping all of
-:mod:`repro.joins` behind one result shape.
+:mod:`repro.joins` behind one result shape.  Results stream:
+:func:`execute_cursor` returns a lazy :class:`ResultCursor`, and
+``execute(..., limit=k, decode=dictionary)`` early-terminates after O(k)
+rows and decodes them through a ValueDictionary.
 
-    from repro.engine import execute
+    from repro.engine import execute, execute_cursor
 
     result = execute(query, db)            # algorithm="auto"
     print(result.backend, len(result))
     print(explain_text(result.plan, result))
+
+    for row in execute_cursor(query, db, limit=10):
+        ...                                # rows pulled lazily
 """
 
 from repro.engine.cost import (
@@ -25,7 +31,9 @@ from repro.engine.cost import (
 from repro.engine.executor import (
     BackendSpec,
     ExecutionResult,
+    ResultCursor,
     execute,
+    execute_cursor,
     register_backend,
     registered_backends,
 )
@@ -60,12 +68,14 @@ __all__ = [
     "Plan",
     "QueryStats",
     "RelationProfile",
+    "ResultCursor",
     "StructureProfile",
     "assumed_stats",
     "clear_plan_cache",
     "clear_stats_cache",
     "collect_stats",
     "execute",
+    "execute_cursor",
     "explain_text",
     "normalize_algorithm",
     "plan_cache_info",

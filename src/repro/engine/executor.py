@@ -7,25 +7,54 @@ backend), dispatches over the backend registry, and returns an
 ``stats`` / ``gao``) plus the :class:`~repro.engine.planner.Plan` and the
 measured wall time, so EXPLAIN can show predicted vs. actual.
 
+On top of the materialized path sits the **streaming cursor API**:
+``execute_cursor(...)`` returns a :class:`ResultCursor` that pulls rows
+lazily from the backend's streaming runner (all six built-ins have one),
+``execute(..., limit=k)`` terminates early after materializing at most
+O(k) output rows, and ``decode=`` threads a
+:class:`~repro.relational.io.ValueDictionary` so results come back as
+the original values instead of dictionary codes.
+
 The registry wraps all six existing join implementations; new backends
 register with :func:`register_backend` and become visible to forced
 dispatch immediately (the cost model prices only the built-ins it knows).
+A backend registered without a ``streamer`` still works with cursors and
+limits — its materialized output is truncated after the fact.
 """
 
 from __future__ import annotations
 
+import itertools
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.resolution import ResolutionStats
 from repro.engine.planner import Plan, plan_query
 from repro.relational.query import Database, JoinQuery
 
+Row = Tuple[int, ...]
+
 #: A backend runner: (query, db, plan) → (tuples, stats, gao).
 BackendRunner = Callable[
     [JoinQuery, Database, Plan],
-    Tuple[List[Tuple[int, ...]], ResolutionStats, Tuple[str, ...]],
+    Tuple[List[Row], ResolutionStats, Tuple[str, ...]],
+]
+
+#: A streaming runner: (query, db, plan, limit) → (row iterator, stats,
+#: gao).  ``limit`` is a materialization hint (Tetris uses it to cap the
+#: engine's enumeration); the cursor enforces the exact cut-off.
+StreamRunner = Callable[
+    [JoinQuery, Database, Plan, Optional[int]],
+    Tuple[Iterator[Row], ResolutionStats, Tuple[str, ...]],
 ]
 
 
@@ -37,25 +66,121 @@ class BackendSpec:
     runner: BackendRunner
     description: str
     requires_acyclic: bool = False
+    streamer: Optional[StreamRunner] = None
+
+
+class ResultCursor:
+    """A lazily-evaluated join result: rows stream, nothing pre-sorts.
+
+    Iterating pulls rows straight off the backend's generator pipeline;
+    ``fetchmany``/``fetchall`` batch the pulls.  An optional ``limit``
+    caps the row count (early termination: the underlying pipeline is
+    abandoned once the cap is hit) and an optional ``decode`` dictionary
+    maps each row's codes back to original values on the way out.
+
+    ``stats`` (and Tetris resolution counters in particular) are filled
+    in *during* iteration — read them after consuming the cursor.
+    """
+
+    def __init__(
+        self,
+        rows: Iterator[Row],
+        variables: Tuple[str, ...],
+        backend: str,
+        plan: Plan,
+        stats: ResolutionStats,
+        gao: Tuple[str, ...],
+        limit: Optional[int] = None,
+        decode=None,
+    ):
+        if limit is not None and limit < 0:
+            raise ValueError(f"limit must be non-negative, got {limit}")
+        self.variables = variables
+        self.backend = backend
+        self.plan = plan
+        self.stats = stats
+        self.gao = gao
+        self.limit = limit
+        self.rows_produced = 0
+        self._source = rows  # the backend pipeline itself, for close()
+        if limit is not None:
+            rows = itertools.islice(rows, limit)
+        if decode is not None:
+            rows = decode.decode_rows(rows)  # lazy per-row decoding
+        self._rows = rows
+        self._closed = False
+
+    def __iter__(self) -> "ResultCursor":
+        return self
+
+    def __next__(self):
+        if self._closed:
+            raise StopIteration
+        row = next(self._rows)
+        self.rows_produced += 1
+        return row
+
+    def fetchmany(self, k: int) -> List[Row]:
+        """Up to ``k`` more rows (fewer at exhaustion)."""
+        return list(itertools.islice(self, k))
+
+    def fetchall(self) -> List[Row]:
+        """Every remaining row, materialized."""
+        return list(self)
+
+    def close(self) -> None:
+        """Abandon the underlying pipeline; further iteration stops.
+
+        Closes the backend generator itself, not the islice/decode
+        wrappers around it, so suspended pipeline frames (and their
+        hash tables) are released immediately.
+        """
+        self._closed = True
+        close = getattr(self._source, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "ResultCursor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 @dataclass
 class ExecutionResult:
-    """Join output plus the plan that produced it — JoinResult-shaped."""
+    """Join output plus the plan that produced it — JoinResult-shaped.
 
-    tuples: List[Tuple[int, ...]]
+    With ``limit`` set, ``tuples`` holds the first ≤ limit rows the
+    backend produced (sorted among themselves; *which* rows depends on
+    the backend's enumeration order).  With ``decode`` threaded through
+    :func:`execute`, the attached dictionary decodes rows lazily via
+    :meth:`decoded_rows` — no second full copy of the result is held.
+    """
+
+    tuples: List[Row]
     variables: Tuple[str, ...]
     stats: ResolutionStats
     gao: Tuple[str, ...]
     backend: str
     plan: Plan
     elapsed: float
+    limit: Optional[int] = None
+    decode: Optional[object] = field(default=None, repr=False)
 
     def __len__(self) -> int:
         return len(self.tuples)
 
     def __iter__(self):
         return iter(self.tuples)
+
+    def decoded_rows(self) -> Iterator[Tuple]:
+        """Lazily decode ``tuples`` through the attached dictionary."""
+        if self.decode is None:
+            raise ValueError(
+                "no dictionary attached; pass decode= to execute()"
+            )
+        return self.decode.decode_rows(self.tuples)
 
 
 # -- the built-in backends -----------------------------------------------------
@@ -74,10 +199,31 @@ def _run_tetris(variant: str) -> BackendRunner:
     return runner
 
 
+def _stream_tetris(variant: str) -> StreamRunner:
+    def streamer(query, db, plan, limit):
+        from repro.joins.tetris_join import iter_tetris
+
+        stats = ResolutionStats()
+        rows = iter_tetris(
+            query, db, variant=variant, index_kind=plan.index_kind,
+            gao=plan.gao, stats=stats, max_outputs=limit,
+        )
+        return rows, stats, plan.gao
+
+    return streamer
+
+
 def _run_leapfrog(query, db, plan):
     from repro.joins.leapfrog import join_leapfrog
 
     return join_leapfrog(query, db, gao=plan.gao), ResolutionStats(), plan.gao
+
+
+def _stream_leapfrog(query, db, plan, limit):
+    from repro.joins.leapfrog import iter_leapfrog
+
+    rows = iter_leapfrog(query, db, gao=plan.gao)
+    return rows, ResolutionStats(), plan.gao
 
 
 def _run_yannakakis(query, db, plan):
@@ -86,16 +232,34 @@ def _run_yannakakis(query, db, plan):
     return join_yannakakis(query, db), ResolutionStats(), plan.gao
 
 
+def _stream_yannakakis(query, db, plan, limit):
+    from repro.joins.yannakakis import iter_yannakakis
+
+    return iter_yannakakis(query, db), ResolutionStats(), plan.gao
+
+
 def _run_hash(query, db, plan):
     from repro.joins.hashjoin import join_hash
 
     return join_hash(query, db), ResolutionStats(), plan.gao
 
 
+def _stream_hash(query, db, plan, limit):
+    from repro.joins.hashjoin import iter_hash
+
+    return iter_hash(query, db), ResolutionStats(), plan.gao
+
+
 def _run_nested_loop(query, db, plan):
     from repro.joins.nested_loop import join_nested_loop
 
     return join_nested_loop(query, db), ResolutionStats(), plan.gao
+
+
+def _stream_nested_loop(query, db, plan, limit):
+    from repro.joins.nested_loop import iter_nested_loop
+
+    return iter_nested_loop(query, db), ResolutionStats(), plan.gao
 
 
 _REGISTRY: Dict[str, BackendSpec] = {}
@@ -114,49 +278,49 @@ for _spec in (
     BackendSpec(
         "tetris-preloaded", _run_tetris("preloaded"),
         "Tetris, gap boxes preloaded (worst-case-optimal, Thm D.8/D.9)",
+        streamer=_stream_tetris("preloaded"),
     ),
     BackendSpec(
         "tetris-reloaded", _run_tetris("reloaded"),
         "Tetris, gap boxes on demand (certificate-based, Thm 4.7/4.9)",
+        streamer=_stream_tetris("reloaded"),
     ),
     BackendSpec(
         "leapfrog", _run_leapfrog,
         "generic worst-case-optimal join (Leapfrog/NPRR, AGM bound)",
+        streamer=_stream_leapfrog,
     ),
     BackendSpec(
         "yannakakis", _run_yannakakis,
         "Yannakakis semijoin reduction (α-acyclic only, Õ(N + Z))",
         requires_acyclic=True,
+        streamer=_stream_yannakakis,
     ),
     BackendSpec(
         "hash", _run_hash,
         "left-deep binary hash-join plan (size-ascending order)",
+        streamer=_stream_hash,
     ),
     BackendSpec(
         "nested-loop", _run_nested_loop,
         "block nested loops (baseline floor)",
+        streamer=_stream_nested_loop,
     ),
 ):
     register_backend(_spec)
 
 
-def execute(
+def _resolve_plan(
     query: JoinQuery,
     db: Database,
-    algorithm: str = "auto",
-    index_kind: Optional[str] = None,
-    gao: Optional[Sequence[str]] = None,
-    plan: Optional[Plan] = None,
-    probe_certificate: bool = False,
-    use_cache: bool = True,
-    **plan_kwargs,
-) -> ExecutionResult:
-    """Plan (unless a plan is supplied) and run a join query.
-
-    The single entry point the CLI and benchmarks dispatch through;
-    ``algorithm="auto"`` selects the cost-optimal backend, any registered
-    backend name forces it.
-    """
+    plan: Optional[Plan],
+    algorithm: str,
+    index_kind: Optional[str],
+    gao: Optional[Sequence[str]],
+    probe_certificate: bool,
+    use_cache: bool,
+    plan_kwargs: dict,
+) -> Tuple[Plan, BackendSpec]:
     if plan is None:
         plan = plan_query(
             query, db, algorithm=algorithm, index_kind=index_kind,
@@ -166,8 +330,79 @@ def execute(
     spec = _REGISTRY.get(plan.backend)
     if spec is None:
         raise ValueError(f"no registered backend named {plan.backend!r}")
+    return plan, spec
+
+
+def execute_cursor(
+    query: JoinQuery,
+    db: Database,
+    algorithm: str = "auto",
+    index_kind: Optional[str] = None,
+    gao: Optional[Sequence[str]] = None,
+    plan: Optional[Plan] = None,
+    limit: Optional[int] = None,
+    decode=None,
+    probe_certificate: bool = False,
+    use_cache: bool = True,
+    **plan_kwargs,
+) -> ResultCursor:
+    """Plan a join and return a lazy :class:`ResultCursor` over its rows.
+
+    Rows stream in the backend's natural enumeration order (unsorted);
+    consuming a prefix does only the work that prefix needs.  ``limit``
+    caps the row count, ``decode`` yields dictionary-decoded rows.
+    Aggregates should consume cursors — no intermediate result set is
+    materialized on the way.
+    """
+    plan, spec = _resolve_plan(
+        query, db, plan, algorithm, index_kind, gao,
+        probe_certificate, use_cache, plan_kwargs,
+    )
+    if spec.streamer is not None:
+        rows, stats, ran_gao = spec.streamer(query, db, plan, limit)
+    else:
+        tuples, stats, ran_gao = spec.runner(query, db, plan)
+        rows = iter(tuples)
+    return ResultCursor(
+        rows, variables=query.variables, backend=plan.backend, plan=plan,
+        stats=stats, gao=ran_gao, limit=limit, decode=decode,
+    )
+
+
+def execute(
+    query: JoinQuery,
+    db: Database,
+    algorithm: str = "auto",
+    index_kind: Optional[str] = None,
+    gao: Optional[Sequence[str]] = None,
+    plan: Optional[Plan] = None,
+    limit: Optional[int] = None,
+    decode=None,
+    probe_certificate: bool = False,
+    use_cache: bool = True,
+    **plan_kwargs,
+) -> ExecutionResult:
+    """Plan (unless a plan is supplied) and run a join query.
+
+    The single entry point the CLI and benchmarks dispatch through;
+    ``algorithm="auto"`` selects the cost-optimal backend, any registered
+    backend name forces it.  ``limit=k`` terminates early through the
+    backend's streaming runner, materializing at most O(k) output rows;
+    ``decode=dictionary`` attaches a
+    :class:`~repro.relational.io.ValueDictionary` so callers can read
+    ``result.decoded_rows()`` lazily.
+    """
+    plan, spec = _resolve_plan(
+        query, db, plan, algorithm, index_kind, gao,
+        probe_certificate, use_cache, plan_kwargs,
+    )
     t0 = time.perf_counter()
-    tuples, stats, ran_gao = spec.runner(query, db, plan)
+    if limit is None:
+        tuples, stats, ran_gao = spec.runner(query, db, plan)
+    else:
+        cursor = execute_cursor(query, db, plan=plan, limit=limit)
+        tuples = sorted(cursor.fetchall())
+        stats, ran_gao = cursor.stats, cursor.gao
     elapsed = time.perf_counter() - t0
     return ExecutionResult(
         tuples=tuples,
@@ -177,4 +412,6 @@ def execute(
         backend=plan.backend,
         plan=plan,
         elapsed=elapsed,
+        limit=limit,
+        decode=decode,
     )

@@ -10,6 +10,7 @@ on.
 
 from __future__ import annotations
 
+import itertools
 from typing import List
 
 from repro.engine.executor import ExecutionResult
@@ -85,17 +86,47 @@ def render_plan(plan: Plan) -> str:
     return "\n".join(lines)
 
 
+#: Decoded output rows shown by ``repro explain --execute`` before the
+#: rendering elides the rest.
+_MAX_RENDERED_ROWS = 20
+
+
 def render_execution(result: ExecutionResult) -> str:
-    """Predicted-vs-actual postscript for an executed plan."""
+    """Predicted-vs-actual postscript for an executed plan.
+
+    When the result carries dictionary-decoded rows (``execute(...,
+    decode=dictionary)``), a sample of them is appended so EXPLAIN output
+    shows real values, not dictionary codes.
+    """
     plan = result.plan
+    tuple_note = (
+        f"{len(result.tuples)} (limit {result.limit})"
+        if result.limit is not None
+        else f"{len(result.tuples)} "
+        f"(predicted Ẑ ≈ {_fmt(plan.stats.output_estimate)})"
+    )
     lines = [
         "execution",
         f"├─ backend     : {result.backend}",
-        f"├─ tuples      : {len(result.tuples)} "
-        f"(predicted Ẑ ≈ {_fmt(plan.stats.output_estimate)})",
+        f"├─ tuples      : {tuple_note}",
         f"├─ wall time   : {result.elapsed:.4f}s",
-        f"└─ engine work : {result.stats.summary()}",
     ]
+    if result.decode is None:
+        lines.append(f"└─ engine work : {result.stats.summary()}")
+    else:
+        lines.append(f"├─ engine work : {result.stats.summary()}")
+        lines.append(
+            f"└─ output ({', '.join(result.variables)}), decoded"
+        )
+        # Decode only the rendered sample — decoded_rows() is lazy.
+        sample = itertools.islice(
+            result.decoded_rows(), _MAX_RENDERED_ROWS
+        )
+        for row in sample:
+            lines.append("    " + ", ".join(str(v) for v in row))
+        hidden = len(result.tuples) - _MAX_RENDERED_ROWS
+        if hidden > 0:
+            lines.append(f"    … {hidden} more rows")
     return "\n".join(lines)
 
 

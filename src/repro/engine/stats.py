@@ -4,7 +4,8 @@ The planner's data signals, gathered once per (query, database) pair:
 
 * **per-relation profiles** — cardinality and per-attribute distinct
   counts, read off the :meth:`Relation.distinct_counts` hook (cached on
-  the immutable relation);
+  the immutable relation; counted off the columnar core's cached sorted
+  views and columns, never a fresh sort);
 * **output estimates** — the instance AGM bound (the provable upper
   bound of Table 1 row 2) and a System-R-style independence estimate,
   whose minimum is the planner's working Ẑ;

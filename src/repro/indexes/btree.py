@@ -60,28 +60,19 @@ class BTreeIndex:
     """
 
     def __init__(self, relation: Relation, attr_order: Sequence[str]):
-        if sorted(attr_order) != sorted(relation.attrs):
-            raise ValueError(
-                f"{tuple(attr_order)} is not a permutation of "
-                f"{relation.attrs}"
-            )
         self.relation = relation
         self.attr_order: Tuple[str, ...] = tuple(attr_order)
         self.depth = relation.domain.depth
-        self._perm = [relation.schema.position(a) for a in self.attr_order]
-        # Build from rows sorted in attr_order: each trie node's keys then
-        # arrive in increasing order, so construction is append-only —
-        # O(N · arity) after the O(N log N) sort, with no per-tuple
+        self._perm = list(relation.schema.permutation(self.attr_order))
+        # Build from the relation's cached sorted view for this order:
+        # the rows arrive already permuted and sorted (computed once per
+        # (relation, order) and shared zero-copy), so each trie node's
+        # keys arrive in increasing order and construction is append-only
+        # — O(N · arity) with no per-build sort and no per-tuple
         # bisect/insert churn.  attr_order is a full permutation, so the
         # projection is injective and needs no dedup.
-        from operator import itemgetter
-
-        perm = self._perm
-        arity = len(perm)
-        if arity == 1:
-            rows = sorted((t[perm[0]],) for t in relation)
-        else:
-            rows = sorted(map(itemgetter(*perm), relation))
+        arity = len(self._perm)
+        rows = relation.sorted_by(self.attr_order)
         self._root = _TrieNode()
         path: List[_TrieNode] = [self._root] + [None] * arity
         last = arity - 1

@@ -33,7 +33,9 @@ class DyadicTreeIndex:
         self.relation = relation
         self.depth = relation.domain.depth
         self.arity = relation.arity
-        self._tuples = sorted(relation.tuples())
+        # The canonical sorted rows, shared zero-copy with the relation
+        # (and every other schema-order consumer) — no per-build sort.
+        self._tuples = relation.rows()
 
     def _cell_tuples(
         self, cell: PackedBox, level: int, tuples: Sequence[Tuple[int, ...]]
@@ -115,7 +117,7 @@ class KDTreeIndex:
         self.relation = relation
         self.depth = relation.domain.depth
         self.arity = relation.arity
-        self._tuples = sorted(relation.tuples())
+        self._tuples = relation.rows()  # shared zero-copy canonical view
 
     def _in_cell(self, cell: PackedBox, t) -> bool:
         depth = self.depth

@@ -14,6 +14,12 @@ Everything is **packed** end to end: the indexes emit packed gap boxes,
 lifting pads with the packed λ (``1``), and probe coordinates are read
 straight off the packed unit components — no pair tuples between the
 index layer and the Tetris engine.
+
+Index *builds* ride the relation's order-cached columnar core: every
+B-tree build reads the memoized sorted view for its attribute order and
+the dyadic/kd trees share the canonical rows zero-copy, so constructing
+the same oracle for repeated executions of a served workload never
+re-sorts the data plane.
 """
 
 from __future__ import annotations

@@ -1,16 +1,27 @@
-"""Boolean and counting joins on top of the Tetris engine.
+"""Boolean, counting and grouping aggregates over join results.
 
-``join_exists`` answers the Boolean join ("is the output non-empty?") by
-running Tetris with an output cap of one — the engine stops at the first
-uncovered point, so an early witness exits without enumerating Z tuples.
-``join_count`` counts output tuples; with Tetris this is free model
-counting (the same mechanism as #SAT in :mod:`repro.sat`).  Both ride
-the packed gap-box pipeline of :mod:`repro.joins.tetris_join` end to end.
+Two layers:
+
+* **Tetris-native** — ``join_exists`` answers the Boolean join ("is the
+  output non-empty?") by running Tetris with an output cap of one — the
+  engine stops at the first uncovered point, so an early witness exits
+  without enumerating Z tuples.  ``join_count`` counts output tuples;
+  with Tetris this is free model counting (the same mechanism as #SAT in
+  :mod:`repro.sat`).  Both ride the packed gap-box pipeline of
+  :mod:`repro.joins.tetris_join` end to end.
+* **Cursor-consuming** — ``count_rows`` / ``any_rows`` / ``group_counts``
+  work over *any* engine backend by draining a streaming
+  :class:`~repro.engine.executor.ResultCursor`: the aggregate itself
+  holds O(1) state (O(groups) for the group-by) and never collects the
+  result set.  What the *backend* buffers is its own affair — the
+  pipeline backends buffer only base-relation hash tables, while the
+  Tetris backends materialize their output inside the engine before the
+  cursor streams it (``any_rows`` caps that via ``limit=1``).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.resolution import ResolutionStats
 from repro.core.tetris import TetrisEngine
@@ -61,6 +72,76 @@ def join_count(
     """Number of output tuples of the join (full enumeration count)."""
     engine, oracle = _engine_for(query, db, index_kind, gao, stats)
     return len(engine.run(oracle, preload=True, one_pass=True))
+
+
+def count_rows(
+    query: JoinQuery,
+    db: Database,
+    algorithm: str = "auto",
+    **execute_kwargs,
+) -> int:
+    """Output cardinality via a streaming cursor.
+
+    Works over any registered backend; rows are counted as they stream
+    off the cursor, never collected — the count itself is O(1) state on
+    top of whatever the chosen backend buffers internally.
+    """
+    from repro.engine.executor import execute_cursor
+
+    cursor = execute_cursor(query, db, algorithm=algorithm,
+                            **execute_kwargs)
+    count = 0
+    for _ in cursor:
+        count += 1
+    return count
+
+
+def any_rows(
+    query: JoinQuery,
+    db: Database,
+    algorithm: str = "auto",
+    **execute_kwargs,
+) -> bool:
+    """Boolean join over any backend: early-terminates after one row."""
+    from repro.engine.executor import execute_cursor
+
+    execute_kwargs.pop("limit", None)  # existence needs exactly one row
+    cursor = execute_cursor(
+        query, db, algorithm=algorithm, limit=1, **execute_kwargs
+    )
+    for _ in cursor:
+        return True
+    return False
+
+
+def group_counts(
+    query: JoinQuery,
+    db: Database,
+    by: Sequence[str],
+    algorithm: str = "auto",
+    **execute_kwargs,
+) -> Dict[Tuple[int, ...], int]:
+    """COUNT(*) grouped by a subset of the query's variables.
+
+    Streams the cursor once; the aggregate's own state is O(distinct
+    groups), never O(output).
+    """
+    from repro.engine.executor import execute_cursor
+
+    positions = []
+    for attr in by:
+        if attr not in query.variables:
+            raise ValueError(
+                f"{attr!r} is not a variable of {query}"
+            )
+        positions.append(query.variables.index(attr))
+    cursor = execute_cursor(query, db, algorithm=algorithm,
+                            **execute_kwargs)
+    counts: Dict[Tuple[int, ...], int] = {}
+    for row in cursor:
+        key = tuple(row[i] for i in positions)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
 
 
 def triangle_count(db: Database) -> int:

@@ -4,13 +4,58 @@ Evaluates the query as a left-deep sequence of binary hash joins in a
 given (or size-ascending) atom order.  On cyclic queries this is the
 algorithm the AGM line of work beats: intermediate results can blow up to
 Θ(N²) on triangle instances whose output is far smaller.
+
+:func:`iter_hash` runs the plan as a **lazy generator pipeline**: every
+probe side streams, only the per-stage hash tables (built from base
+relations, O(N) total) are materialized — intermediate results never
+are, so taking k rows does O(k)-ish probe work beyond the table builds.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro.joins.pipeline import hash_stage, probe
 from repro.relational.query import Database, JoinQuery
+
+
+def _plan_order(
+    query: JoinQuery, db: Database, atom_order: Optional[Sequence[str]]
+) -> List[str]:
+    if atom_order is None:
+        return sorted(
+            (a.name for a in query.atoms), key=lambda n: len(db[n])
+        )
+    if sorted(atom_order) != sorted(a.name for a in query.atoms):
+        raise ValueError(f"{atom_order} does not enumerate the atoms")
+    return list(atom_order)
+
+
+def iter_hash(
+    query: JoinQuery,
+    db: Database,
+    atom_order: Optional[Sequence[str]] = None,
+) -> Iterator[Tuple[int, ...]]:
+    """Stream the left-deep plan's output lazily (unsorted).
+
+    Hash tables for every non-leading atom are built up front (they hash
+    base relations, never intermediates); the probe cascade then streams,
+    so no intermediate result is ever materialized.
+    """
+    order = _plan_order(query, db, atom_order)
+    first = query.atom(order[0])
+    acc_attrs: List[str] = list(first.attrs)
+    stream: Iterator[tuple] = iter(db[first.name].rows())
+    for name in order[1:]:
+        atom = query.atom(name)
+        table, lpos_common, new_attrs = hash_stage(
+            acc_attrs, atom.attrs, db[name]
+        )
+        stream = probe(stream, table, lpos_common)
+        acc_attrs = acc_attrs + new_attrs
+    positions = [acc_attrs.index(v) for v in query.variables]
+    for t in stream:
+        yield tuple(t[i] for i in positions)
 
 
 def join_hash(
@@ -21,41 +66,10 @@ def join_hash(
     """Left-deep binary hash-join plan; outputs follow query.variables.
 
     ``atom_order`` names atoms in join order; defaults to ascending
-    relation size (a common heuristic).
+    relation size (a common heuristic).  Materialized and sorted;
+    :func:`iter_hash` is the streaming form.
     """
-    if atom_order is None:
-        atom_order = sorted(
-            (a.name for a in query.atoms), key=lambda n: len(db[n])
-        )
-    if sorted(atom_order) != sorted(a.name for a in query.atoms):
-        raise ValueError(f"{atom_order} does not enumerate the atoms")
-
-    first = query.atom(atom_order[0])
-    acc: List[tuple] = [tuple(t) for t in db[first.name]]
-    acc_attrs: List[str] = list(first.attrs)
-    for name in atom_order[1:]:
-        atom = query.atom(name)
-        right_attrs = list(atom.attrs)
-        common = [a for a in acc_attrs if a in right_attrs]
-        new_attrs = [a for a in right_attrs if a not in acc_attrs]
-        rpos_common = [right_attrs.index(a) for a in common]
-        rpos_new = [right_attrs.index(a) for a in new_attrs]
-        lpos_common = [acc_attrs.index(a) for a in common]
-        table: Dict[tuple, List[tuple]] = {}
-        for t in db[name]:
-            key = tuple(t[i] for i in rpos_common)
-            table.setdefault(key, []).append(
-                tuple(t[i] for i in rpos_new)
-            )
-        joined: List[tuple] = []
-        for t in acc:
-            key = tuple(t[i] for i in lpos_common)
-            for ext in table.get(key, ()):
-                joined.append(t + ext)
-        acc = joined
-        acc_attrs = acc_attrs + new_attrs
-    positions = [acc_attrs.index(v) for v in query.variables]
-    return sorted({tuple(t[i] for i in positions) for t in acc})
+    return sorted(set(iter_hash(query, db, atom_order=atom_order)))
 
 
 def intermediate_sizes(

@@ -7,12 +7,16 @@ smallest candidate set and probing the others realizes the AGM bound
 (Table 1 row 2's comparator class).
 
 Relations are stored as nested-dict tries in GAO-restricted attribute
-order — the same structure the paper's B-tree indexes expose.
+order — the same structure the paper's B-tree indexes expose.  Each trie
+is built from the relation's **cached sorted view** for that order
+(:meth:`Relation.sorted_by`), so repeated joins over the same database
+never re-sort the hot path; :func:`iter_leapfrog` streams output rows
+lazily for the engine's cursor API.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.indexes.oracle import default_gao
 from repro.relational.query import Database, JoinQuery
@@ -27,14 +31,16 @@ def _build_trie(rows, arity: int) -> Dict:
     return root
 
 
-def join_leapfrog(
+def iter_leapfrog(
     query: JoinQuery,
     db: Database,
     gao: Optional[Sequence[str]] = None,
-) -> List[Tuple[int, ...]]:
-    """Evaluate a join with the generic WCOJ algorithm.
+) -> Iterator[Tuple[int, ...]]:
+    """Stream the join output lazily (unsorted, duplicate-free).
 
-    Output tuples follow ``query.variables`` order regardless of the GAO.
+    Rows follow ``query.variables`` component order but are produced in
+    GAO enumeration order; consuming a prefix does only the work needed
+    for that prefix.
     """
     gao = tuple(gao) if gao is not None else default_gao(query)
     if sorted(gao) != sorted(query.variables):
@@ -42,49 +48,59 @@ def join_leapfrog(
             f"GAO {gao} is not a permutation of {query.variables}"
         )
     # Per-atom tries in GAO-restricted order, plus which GAO level each
-    # trie depth corresponds to.
+    # trie depth corresponds to.  The per-order sorted rows come from the
+    # relation's shared view cache — one sort per (relation, order) for
+    # the lifetime of the database, not per join.
     tries: List[Dict] = []
     atom_levels: List[List[int]] = []
     for atom in query.atoms:
         order = tuple(a for a in gao if a in atom.attrs)
-        rows = db[atom.name].sorted_by(order)
+        rows = db.sorted_view(atom.name, order).rows
         tries.append(_build_trie(rows, len(order)))
         atom_levels.append([gao.index(a) for a in order])
 
     n = len(gao)
-    out: List[Tuple[int, ...]] = []
     binding: List[int] = [0] * n
-    # cursors[i] = current trie node of atom i (dict) at its current depth
-    cursor_stack: List[List[Optional[Dict]]] = [list(tries)]
+    # Positions permuting a GAO-ordered binding into variables order.
+    positions = [gao.index(v) for v in query.variables]
+    # relevant[level] = atoms whose tries sit at this level (their cursor
+    # depth matches because atom orders follow the GAO).
+    relevant = [
+        [i for i, levels in enumerate(atom_levels) if level in levels]
+        for level in range(n)
+    ]
 
-    def recurse(level: int) -> None:
-        cursors = cursor_stack[-1]
+    def recurse(level: int, cursors: List[Dict]):
         if level == n:
-            out.append(tuple(binding))
+            yield tuple(binding[i] for i in positions)
             return
-        # Atoms containing this attribute: their cursors sit exactly at the
-        # trie depth for this level because atom orders follow the GAO.
-        relevant = [
-            i for i, levels in enumerate(atom_levels) if level in levels
-        ]
-        if not relevant:
+        atoms_here = relevant[level]
+        if not atoms_here:
             # Cannot happen for natural joins — every variable occurs in
             # some atom.
             raise AssertionError("unconstrained attribute in generic join")
         # Intersect candidate values: iterate the smallest node.
-        nodes = [cursors[i] for i in relevant]
+        nodes = [cursors[i] for i in atoms_here]
         smallest = min(nodes, key=len)
         for value in sorted(smallest):
             if all(value in node for node in nodes):
                 binding[level] = value
                 nxt = list(cursors)
-                for i in relevant:
+                for i in atoms_here:
                     nxt[i] = cursors[i][value]
-                cursor_stack.append(nxt)
-                recurse(level + 1)
-                cursor_stack.pop()
+                yield from recurse(level + 1, nxt)
 
-    recurse(0)
-    # Reorder from GAO to query.variables.
-    positions = [gao.index(v) for v in query.variables]
-    return sorted(tuple(t[i] for i in positions) for t in out)
+    yield from recurse(0, tries)
+
+
+def join_leapfrog(
+    query: JoinQuery,
+    db: Database,
+    gao: Optional[Sequence[str]] = None,
+) -> List[Tuple[int, ...]]:
+    """Evaluate a join with the generic WCOJ algorithm, materialized.
+
+    Output tuples follow ``query.variables`` order regardless of the GAO
+    and are sorted; :func:`iter_leapfrog` is the streaming form.
+    """
+    return sorted(iter_leapfrog(query, db, gao=gao))

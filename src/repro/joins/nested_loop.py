@@ -2,20 +2,26 @@
 
 Iterates the tuples of the first atom and extends bindings atom by atom,
 checking compatibility eagerly.  Exponential in the worst case; included
-as the sanity-check floor for the benchmark suite.
+as the sanity-check floor for the benchmark suite.  :func:`iter_nested_loop`
+streams rows lazily — it was always a generator at heart.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.relational.query import Database, JoinQuery
 
 
-def join_nested_loop(
+def iter_nested_loop(
     query: JoinQuery, db: Database
-) -> List[Tuple[int, ...]]:
-    """Evaluate a join by nested iteration; outputs follow query.variables."""
+) -> Iterator[Tuple[int, ...]]:
+    """Stream the join output lazily (unsorted, duplicate-free).
+
+    Relations are sets, so every completed binding is produced exactly
+    once: each atom either pins its row uniquely (all attrs bound) or
+    contributes fresh attrs that distinguish the extensions.
+    """
     variables = query.variables
 
     def extend(atom_index: int, binding: Dict[str, int]):
@@ -34,4 +40,15 @@ def join_nested_loop(
             if ok:
                 yield from extend(atom_index + 1, merged)
 
-    return sorted(set(extend(0, {})))
+    yield from extend(0, {})
+
+
+def join_nested_loop(
+    query: JoinQuery, db: Database
+) -> List[Tuple[int, ...]]:
+    """Evaluate a join by nested iteration; outputs follow query.variables.
+
+    Materialized and sorted; :func:`iter_nested_loop` is the streaming
+    form.
+    """
+    return sorted(set(iter_nested_loop(query, db)))

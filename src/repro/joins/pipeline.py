@@ -1,0 +1,51 @@
+"""Shared machinery for lazy hash-probe join pipelines.
+
+Both the left-deep binary hash join and Yannakakis' phase-3 fold stream
+their output through the same shape of stage: hash the right side on the
+attributes it shares with the accumulated layout, then probe with each
+streamed left tuple.  :func:`hash_stage` builds one stage's table and
+bookkeeping, :func:`probe` is the generator that streams through it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+Stage = Tuple[Dict[tuple, List[tuple]], List[int], List[str]]
+
+
+def hash_stage(
+    acc_attrs: Sequence[str],
+    right_attrs: Sequence[str],
+    right_rows: Iterable[tuple],
+) -> Stage:
+    """Build one probe stage against an accumulated attribute layout.
+
+    Returns ``(table, lpos_common, new_attrs)``: the right side hashed on
+    the shared attributes (values carry only the new attributes), the
+    accumulated-side positions of the shared key, and the attributes the
+    stage appends.
+    """
+    right_attrs = list(right_attrs)
+    common = [a for a in acc_attrs if a in right_attrs]
+    new_attrs = [a for a in right_attrs if a not in acc_attrs]
+    rpos_common = [right_attrs.index(a) for a in common]
+    rpos_new = [right_attrs.index(a) for a in new_attrs]
+    lpos_common = [list(acc_attrs).index(a) for a in common]
+    table: Dict[tuple, List[tuple]] = {}
+    for t in right_rows:
+        key = tuple(t[i] for i in rpos_common)
+        table.setdefault(key, []).append(tuple(t[i] for i in rpos_new))
+    return table, lpos_common, new_attrs
+
+
+def probe(
+    stream: Iterator[tuple],
+    table: Dict[tuple, List[tuple]],
+    lpos_common: Sequence[int],
+) -> Iterator[tuple]:
+    """One lazy pipeline stage: stream left tuples through a built table."""
+    for t in stream:
+        key = tuple(t[i] for i in lpos_common)
+        for ext in table.get(key, ()):
+            yield t + ext

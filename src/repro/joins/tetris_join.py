@@ -80,13 +80,16 @@ def join_tetris(
     stats: Optional[ResolutionStats] = None,
     one_pass: Optional[bool] = None,
     cache_resolvents: bool = True,
+    max_outputs: Optional[int] = None,
 ) -> JoinResult:
     """Evaluate a natural join with Tetris.
 
     ``variant`` is ``'preloaded'`` (Section 4.3 worst-case configuration)
     or ``'reloaded'`` (Section 4.4 certificate-based configuration).
     ``one_pass`` defaults to True for preloaded and False for reloaded,
-    matching how the paper analyzes each.
+    matching how the paper analyzes each.  ``max_outputs`` caps the
+    engine's enumeration — it stops after that many uncovered points, so
+    a capped run materializes O(max_outputs) output rows, not Z.
     """
     if variant not in ("preloaded", "reloaded"):
         raise ValueError(f"unknown variant {variant!r}")
@@ -103,5 +106,31 @@ def join_tetris(
     preload = variant == "preloaded"
     if one_pass is None:
         one_pass = preload
-    points = engine.run(oracle, preload=preload, one_pass=one_pass)
+    points = engine.run(
+        oracle, preload=preload, one_pass=one_pass, max_outputs=max_outputs
+    )
     return JoinResult(sorted(points), attrs, stats, gao)
+
+
+def iter_tetris(
+    query: JoinQuery,
+    db: Database,
+    variant: str = "preloaded",
+    index_kind: str = "btree",
+    gao: Optional[Sequence[str]] = None,
+    stats: Optional[ResolutionStats] = None,
+    max_outputs: Optional[int] = None,
+):
+    """Cursor-friendly Tetris: defer all work until first consumption.
+
+    The geometric engine enumerates uncovered points as one resolution
+    fixpoint, so rows cannot stream mid-resolution the way the pipeline
+    backends do; instead the ``max_outputs`` cap bounds *materialization*
+    — ``iter_tetris(..., max_outputs=k)`` does the engine work for k
+    witnesses and holds at most O(k) output rows at any moment.
+    """
+    result = join_tetris(
+        query, db, variant=variant, index_kind=index_kind, gao=gao,
+        stats=stats, max_outputs=max_outputs,
+    )
+    yield from result.tuples

@@ -10,12 +10,19 @@ After full reduction every partial tuple extends to an output tuple, so
 for a *full* join query the intermediate results never exceed the output
 — the Õ(N + Z) guarantee that Table 1's first row credits to [73] and
 that Tetris-Preloaded matches (Theorem D.8).
+
+:func:`iter_yannakakis` streams phase 3 as a lazy generator pipeline:
+the semijoin passes stay O(N) and eager, but the final join cascade
+materializes nothing — after full reduction every streamed prefix is
+output-bound work, making this the natural Õ(N + k) backend for
+``execute(..., limit=k)`` on acyclic queries.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.joins.pipeline import hash_stage, probe
 from repro.relational.query import Database, JoinQuery
 from repro.relational.schema import RelationSchema
 
@@ -92,36 +99,20 @@ def _semijoin(
     return {t for t in left if tuple(t[i] for i in lpos) in keys}
 
 
-def _join(
-    left: List[tuple], left_attrs: List[str],
-    right: Set[tuple], right_attrs: Sequence[str],
-) -> Tuple[List[tuple], List[str]]:
-    """Hash join producing tuples over left_attrs ∪ right_attrs."""
-    common = [a for a in left_attrs if a in right_attrs]
-    new_attrs = [a for a in right_attrs if a not in left_attrs]
-    out_attrs = list(left_attrs) + new_attrs
-    rpos_common = [list(right_attrs).index(a) for a in common]
-    rpos_new = [list(right_attrs).index(a) for a in new_attrs]
-    lpos_common = [left_attrs.index(a) for a in common]
-    table: Dict[tuple, List[tuple]] = {}
-    for t in right:
-        key = tuple(t[i] for i in rpos_common)
-        table.setdefault(key, []).append(tuple(t[i] for i in rpos_new))
-    out: List[tuple] = []
-    for t in left:
-        key = tuple(t[i] for i in lpos_common)
-        for ext in table.get(key, ()):
-            out.append(t + ext)
-    return out, out_attrs
-
-
-def join_yannakakis(
+def iter_yannakakis(
     query: JoinQuery, db: Database
-) -> List[Tuple[int, ...]]:
-    """Evaluate an α-acyclic join; output tuples follow query.variables."""
+) -> Iterator[Tuple[int, ...]]:
+    """Stream an α-acyclic join's output lazily (unsorted).
+
+    Phases 1–2 (the semijoin reduction) run eagerly in O(N); phase 3 is
+    a generator cascade over the fully-reduced relations, so no
+    intermediate join result is ever materialized.
+    """
     tree = build_join_tree(query)
+    # The frozenset of each relation is shared zero-copy; semijoins
+    # rebind names to fresh (smaller) sets, never mutate.
     tuples: Dict[str, Set[tuple]] = {
-        a.name: set(db[a.name].tuples()) for a in query.atoms
+        a.name: db[a.name].tuples() for a in query.atoms
     }
     # Phase 1 — bottom-up: each ear filters its parent.
     for name in tree.order[:-1]:
@@ -135,13 +126,28 @@ def join_yannakakis(
         tuples[name] = _semijoin(
             tuples[name], tree.attrs[name], tuples[par], tree.attrs[par]
         )
-    # Phase 3 — join bottom-up (children folded into parents, root last).
-    acc: List[tuple] = sorted(tuples[tree.root])
+    # Phase 3 — lazy join cascade (children folded into parents, root
+    # last).  Hash tables are built per reduced relation up front; the
+    # probe chain streams.
     acc_attrs: List[str] = list(tree.attrs[tree.root])
+    stream: Iterator[tuple] = iter(tuples[tree.root])
     for name in reversed(tree.order[:-1]):
-        acc, acc_attrs = _join(
-            acc, acc_attrs, tuples[name], tree.attrs[name]
+        table, lpos_common, new_attrs = hash_stage(
+            acc_attrs, tree.attrs[name], tuples[name]
         )
-    # Reorder columns to the query's variable order.
+        stream = probe(stream, table, lpos_common)
+        acc_attrs = acc_attrs + new_attrs
     positions = [acc_attrs.index(v) for v in query.variables]
-    return sorted({tuple(t[i] for i in positions) for t in acc})
+    for t in stream:
+        yield tuple(t[i] for i in positions)
+
+
+def join_yannakakis(
+    query: JoinQuery, db: Database
+) -> List[Tuple[int, ...]]:
+    """Evaluate an α-acyclic join; output tuples follow query.variables.
+
+    Materialized and sorted; :func:`iter_yannakakis` is the streaming
+    form.
+    """
+    return sorted(set(iter_yannakakis(query, db)))

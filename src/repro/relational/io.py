@@ -12,7 +12,16 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.relational.query import Database, JoinQuery
 from repro.relational.relation import Relation
@@ -51,6 +60,13 @@ class ValueDictionary:
 
     def decode_row(self, row: Sequence[int]) -> Tuple[Hashable, ...]:
         return tuple(self.decode(c) for c in row)
+
+    def decode_rows(
+        self, rows: Iterable[Sequence[int]]
+    ) -> Iterator[Tuple[Hashable, ...]]:
+        """Lazily decode a stream of rows (cursor-friendly: no list)."""
+        for row in rows:
+            yield self.decode_row(row)
 
     def domain(self) -> Domain:
         """The smallest power-of-two domain holding every code."""

@@ -51,6 +51,15 @@ class Database:
         """The paper's N: total number of input tuples."""
         return sum(len(r) for r in self._relations.values())
 
+    def sorted_view(self, name: str, attr_order: Sequence[str]):
+        """A relation's memoized :class:`~repro.relational.relation.SortedView`.
+
+        The shared per-permutation cache every order-sensitive consumer
+        (index builds, Leapfrog tries, prefix probes) reads through —
+        one sort per (relation, order) for the database's lifetime.
+        """
+        return self._relations[name].view(attr_order)
+
     def stats_fingerprint(self) -> Tuple:
         """Signature of every relation's statistics, for plan-cache keys."""
         return tuple(

@@ -1,7 +1,18 @@
-"""Relation instances: finite sets of integer tuples over a schema."""
+"""Relation instances: columnar, order-cached sets of integer tuples.
+
+The data plane under every index and join backend.  A ``Relation`` keeps
+its tuples once in a canonical sorted row list plus (lazily) one column
+tuple per attribute, and memoizes a :class:`SortedView` per attribute
+permutation.  Views are computed once and shared **zero-copy** with every
+consumer — B-tree builds, the dyadic/kd indexes, Leapfrog's tries and
+``select_prefix`` all read the same cached lists instead of re-sorting,
+which is what keeps repeated executions of a served workload from paying
+O(N log N) per query on the storage layer.
+"""
 
 from __future__ import annotations
 
+import bisect
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.relational.schema import Domain, RelationSchema
@@ -9,12 +20,72 @@ from repro.relational.schema import Domain, RelationSchema
 Tuple_ = Tuple[int, ...]
 
 
+class SortedView:
+    """A memoized sorted materialization of a relation in one attribute order.
+
+    ``rows`` holds the relation's tuples permuted into ``attr_order``
+    layout and sorted lexicographically — the exact layout a B-tree with
+    that search-key order stores.  The list is **shared** by every
+    consumer of the owning relation: treat it as read-only.
+    """
+
+    __slots__ = ("attr_order", "rows")
+
+    def __init__(self, attr_order: Tuple[str, ...], rows: List[Tuple_]):
+        self.attr_order = attr_order
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Tuple_]:
+        return iter(self.rows)
+
+    def prefix_range(self, prefix: Sequence[int]) -> Tuple[int, int]:
+        """``[lo, hi)`` row range whose tuples extend ``prefix``.
+
+        Two bisections on the sorted rows — O(log N), never a scan.
+        """
+        prefix = tuple(prefix)
+        if len(prefix) > len(self.attr_order):
+            raise ValueError(
+                f"prefix {prefix} longer than attribute order "
+                f"{self.attr_order}"
+            )
+        if not prefix:
+            return 0, len(self.rows)
+        lo = bisect.bisect_left(self.rows, prefix)
+        hi = bisect.bisect_left(
+            self.rows, prefix[:-1] + (prefix[-1] + 1,), lo
+        )
+        return lo, hi
+
+    def select_prefix(self, prefix: Sequence[int]) -> List[Tuple_]:
+        """The rows extending ``prefix`` — an O(log N + matches) slice."""
+        lo, hi = self.prefix_range(prefix)
+        return self.rows[lo:hi]
+
+    def distinct_leading(self) -> int:
+        """Distinct values of the leading attribute: one adjacent-change
+        pass over the already-sorted rows, no set needed."""
+        count = 0
+        prev = None
+        for row in self.rows:
+            if count == 0 or row[0] != prev:
+                count += 1
+                prev = row[0]
+        return count
+
+
 class Relation:
     """A relation instance: a set of tuples over a schema and shared domain.
 
-    Tuples are kept both as a set (membership) and as a sorted list
-    (the indexes build tries from sorted orders).  Instances are immutable
-    after construction.
+    Storage is columnar and order-cached: tuples live once in a canonical
+    (schema-order) sorted row list, per-attribute columns materialize
+    lazily, and any other sort order is computed on first request and
+    memoized as a :class:`SortedView`.  Instances are immutable after
+    construction, so every cached artifact is valid for the lifetime of
+    the relation.
     """
 
     def __init__(
@@ -41,7 +112,13 @@ class Relation:
                     )
             seen.add(t)
         self._tuples = frozenset(seen)
-        self._sorted: List[Tuple_] = sorted(seen)
+        rows: List[Tuple_] = sorted(seen)
+        self._rows = rows
+        # The canonical (schema-order) view shares the row list zero-copy.
+        self._views: Dict[Tuple[str, ...], SortedView] = {
+            schema.attrs: SortedView(schema.attrs, rows)
+        }
+        self._columns: Optional[Tuple[Tuple[int, ...], ...]] = None
         self._distinct_counts: Optional[Dict[str, int]] = None
         self._fingerprint: Optional[Tuple] = None
 
@@ -64,24 +141,61 @@ class Relation:
         return tuple(t) in self._tuples
 
     def __iter__(self) -> Iterator[Tuple_]:
-        return iter(self._sorted)
+        return iter(self._rows)
 
     def tuples(self) -> frozenset:
         return self._tuples
+
+    def rows(self) -> List[Tuple_]:
+        """The canonical schema-order sorted rows, shared zero-copy.
+
+        This is the same list every schema-order consumer (the dyadic and
+        kd indexes above all) reads — callers must treat it as read-only.
+        """
+        return self._rows
+
+    def view(self, attr_order: Sequence[str]) -> SortedView:
+        """The memoized :class:`SortedView` for an attribute permutation.
+
+        Computed once per permutation per relation; every later request —
+        from any consumer — returns the same object.
+        """
+        key = tuple(attr_order)
+        cached = self._views.get(key)
+        if cached is None:
+            perm = self.schema.permutation(key)
+            rows = sorted(tuple(t[i] for i in perm) for t in self._rows)
+            cached = SortedView(key, rows)
+            self._views[key] = cached
+        return cached
+
+    def cached_view_orders(self) -> Tuple[Tuple[str, ...], ...]:
+        """The attribute orders with a materialized view (introspection)."""
+        return tuple(self._views)
 
     def sorted_by(self, attr_order: Sequence[str]) -> List[Tuple_]:
         """Tuples re-ordered and sorted by the given attribute order.
 
         The returned tuples have their components permuted to follow
         ``attr_order`` (which must be a permutation of the schema attrs) —
-        the layout a B-tree with that search-key order would store.
+        the layout a B-tree with that search-key order would store.  The
+        list is the cached view's own storage (zero-copy, read-only):
+        repeated calls cost a dict lookup, not a sort.
         """
-        if sorted(attr_order) != sorted(self.schema.attrs):
-            raise ValueError(
-                f"{attr_order} is not a permutation of {self.schema.attrs}"
-            )
-        perm = [self.schema.position(a) for a in attr_order]
-        return sorted(tuple(t[i] for i in perm) for t in self._tuples)
+        return self.view(attr_order).rows
+
+    def columns(self) -> Tuple[Tuple[int, ...], ...]:
+        """Per-attribute columns aligned with :meth:`rows`, built lazily."""
+        if self._columns is None:
+            if self._rows:
+                self._columns = tuple(zip(*self._rows))
+            else:
+                self._columns = tuple(() for _ in self.schema.attrs)
+        return self._columns
+
+    def column(self, attr: str) -> Tuple[int, ...]:
+        """One attribute's column, aligned with the canonical row order."""
+        return self.columns()[self.schema.position(attr)]
 
     def project(self, attrs: Sequence[str]) -> "Relation":
         """π_attrs(R) as a fresh relation (duplicates removed)."""
@@ -93,19 +207,25 @@ class Relation:
     def distinct_counts(self) -> Dict[str, int]:
         """Per-attribute number of distinct values, cached.
 
-        The planner's cardinality estimates key off these counts; relations
-        are immutable so one pass over the tuples suffices for the lifetime
+        The planner's cardinality estimates key off these counts.  An
+        attribute that leads some already-materialized sorted view is
+        counted with one adjacent-change pass over that view; the rest
+        are counted off their columns in a single set-building pass.
+        Relations are immutable, so the result is cached for the lifetime
         of the instance.
         """
         if self._distinct_counts is None:
-            seen: List[set] = [set() for _ in self.schema.attrs]
-            for t in self._sorted:
-                for values, v in zip(seen, t):
-                    values.add(v)
-            self._distinct_counts = {
-                a: len(values)
-                for a, values in zip(self.schema.attrs, seen)
-            }
+            counts: Dict[str, int] = {}
+            for attr in self.schema.attrs:
+                view = next(
+                    (v for o, v in self._views.items() if o[0] == attr),
+                    None,
+                )
+                if view is not None:
+                    counts[attr] = view.distinct_leading()
+                else:
+                    counts[attr] = len(set(self.column(attr)))
+            self._distinct_counts = counts
         return self._distinct_counts
 
     def stats_fingerprint(self) -> Tuple:
@@ -132,11 +252,13 @@ class Relation:
     def select_prefix(
         self, attr_order: Sequence[str], prefix: Sequence[int]
     ) -> List[Tuple_]:
-        """All tuples (in ``attr_order`` layout) extending a value prefix."""
-        rows = self.sorted_by(attr_order)
-        prefix = tuple(prefix)
-        k = len(prefix)
-        return [t for t in rows if t[:k] == prefix]
+        """All tuples (in ``attr_order`` layout) extending a value prefix.
+
+        A bisect range lookup on the cached sorted view — O(log N +
+        matches), where the seed core paid a full re-sort plus a linear
+        scan per call.
+        """
+        return self.view(attr_order).select_prefix(prefix)
 
     def __repr__(self) -> str:
         return f"Relation({self.schema!r}, |{self.name}|={len(self)})"

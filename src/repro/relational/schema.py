@@ -63,5 +63,18 @@ class RelationSchema:
         except ValueError:
             raise KeyError(f"{attr} not in {self}") from None
 
+    def permutation(self, attr_order: Sequence[str]) -> Tuple[int, ...]:
+        """Schema positions realizing ``attr_order``, validated.
+
+        The shared check behind every order-keyed consumer (sorted views,
+        B-tree builds): ``attr_order`` must be a permutation of the
+        schema's attributes.
+        """
+        if sorted(attr_order) != sorted(self.attrs):
+            raise ValueError(
+                f"{tuple(attr_order)} is not a permutation of {self.attrs}"
+            )
+        return tuple(self.attrs.index(a) for a in attr_order)
+
     def __repr__(self) -> str:
         return f"{self.name}({', '.join(self.attrs)})"

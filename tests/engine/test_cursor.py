@@ -1,0 +1,295 @@
+"""Streaming cursor API: parity with the materialized engine, laziness,
+limits, decoding, and the cursor-consuming aggregates.
+
+The parity matrix mirrors the executor acceptance tests: every backend's
+cursor must reproduce the seed semantics (the same result multiset) on
+every workload-generator family.
+"""
+
+import random
+import types
+
+import pytest
+
+from repro.engine import (
+    clear_plan_cache,
+    execute,
+    execute_cursor,
+    registered_backends,
+)
+from repro.joins.aggregates import any_rows, count_rows, group_counts
+from repro.joins.hashjoin import iter_hash
+from repro.joins.leapfrog import iter_leapfrog
+from repro.joins.nested_loop import iter_nested_loop
+from repro.joins.yannakakis import iter_yannakakis
+from repro.relational.hypergraph import Hypergraph
+from repro.relational.io import ValueDictionary, relation_from_rows
+from repro.relational.query import (
+    Database,
+    JoinQuery,
+    clique_query,
+    evaluate_reference,
+    star_query,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Domain, RelationSchema
+from repro.workloads.generators import (
+    agm_tight_triangle,
+    chained_path_db,
+    dense_cycle_db,
+    graph_triangle_db,
+    random_graph_edges,
+    random_path_db,
+    split_cycle_instance,
+    split_path_instance,
+)
+
+
+def random_db(query, seed, n=25, depth=5):
+    rng = random.Random(seed)
+    rels = []
+    for atom in query.atoms:
+        rows = {
+            tuple(rng.randrange(1 << depth) for _ in atom.attrs)
+            for _ in range(n)
+        }
+        rels.append(Relation(atom, rows, Domain(depth)))
+    return Database(rels)
+
+
+def _generator_workloads():
+    out = {}
+    q, db = agm_tight_triangle(4)
+    out["agm_tight_triangle"] = (q, db)
+    edges = random_graph_edges(30, 60, seed=3)
+    q, db = graph_triangle_db(edges)
+    out["graph_triangles"] = (q, db)
+    q, db = random_path_db(3, 40, seed=7, depth=6)
+    out["random_path"] = (q, db)
+    q, db = chained_path_db(4, 30, depth=8)
+    out["chained_path"] = (q, db)
+    q, db, _ = split_path_instance(60, depth=8, seed=1)
+    out["split_path"] = (q, db)
+    q, db, _ = split_cycle_instance(40, depth=8, seed=2)
+    out["split_cycle"] = (q, db)
+    q, db = dense_cycle_db(4, 30, depth=6, seed=5)
+    out["dense_cycle"] = (q, db)
+    q = star_query(3)
+    out["star"] = (q, random_db(q, 11, n=30, depth=6))
+    q = clique_query(4)
+    out["clique"] = (q, random_db(q, 13, n=30, depth=5))
+    return out
+
+
+WORKLOADS = _generator_workloads()
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+@pytest.mark.parametrize("backend", sorted(registered_backends()))
+def test_cursor_parity_with_reference(name, backend):
+    """Cursors reproduce seed semantics on every family × backend."""
+    query, db = WORKLOADS[name]
+    if backend == "yannakakis" and not (
+        Hypergraph.of_query(query).is_alpha_acyclic()
+    ):
+        return
+    expected = evaluate_reference(query, db)
+    cursor = execute_cursor(query, db, algorithm=backend)
+    rows = cursor.fetchall()
+    # Streaming order is backend-defined; the multiset must match (and
+    # every streaming backend is duplicate-free, so list-sorted works).
+    assert sorted(rows) == expected, backend
+    assert cursor.rows_produced == len(expected)
+    assert cursor.backend == backend
+    assert cursor.variables == query.variables
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_limit_materializes_at_most_k(name):
+    query, db = WORKLOADS[name]
+    full = evaluate_reference(query, db)
+    for k in (0, 1, 3, len(full), len(full) + 5):
+        result = execute(query, db, algorithm="auto", limit=k)
+        assert len(result.tuples) == min(k, len(full))
+        assert result.limit == k
+        assert set(result.tuples) <= set(full)
+
+
+@pytest.mark.parametrize("backend", sorted(registered_backends()))
+def test_cursor_limit_early_termination(backend):
+    query, db = WORKLOADS["graph_triangles"]
+    if backend == "yannakakis":
+        return  # triangle query is cyclic
+    full = evaluate_reference(query, db)
+    assert len(full) > 2
+    cursor = execute_cursor(query, db, algorithm=backend, limit=2)
+    rows = cursor.fetchall()
+    assert len(rows) == 2
+    assert cursor.rows_produced == 2
+    assert set(rows) <= set(full)
+
+
+def test_streaming_backends_are_generators():
+    """The pipeline backends defer all probe work until consumption."""
+    query, db = WORKLOADS["random_path"]
+    for it in (
+        iter_hash(query, db),
+        iter_leapfrog(query, db),
+        iter_nested_loop(query, db),
+        iter_yannakakis(query, db),
+    ):
+        assert isinstance(it, types.GeneratorType)
+
+
+def test_cursor_fetchmany_and_close():
+    query, db = WORKLOADS["graph_triangles"]
+    expected = evaluate_reference(query, db)
+    cursor = execute_cursor(query, db, algorithm="leapfrog")
+    first = cursor.fetchmany(1)
+    assert len(first) == 1
+    cursor.close()
+    assert cursor.fetchall() == []
+    assert cursor.rows_produced == 1
+    # A context-managed cursor closes itself.
+    with execute_cursor(query, db, algorithm="leapfrog") as cur:
+        assert len(cur.fetchmany(2)) == min(2, len(expected))
+    assert cur.fetchall() == []
+
+
+def test_close_releases_limited_pipeline():
+    """close() must reach the backend generator through the limit wrapper."""
+    query, db = WORKLOADS["graph_triangles"]
+    finalized = []
+
+    def traced():
+        try:
+            yield from iter_hash(query, db)
+        finally:
+            finalized.append(True)
+
+    from repro.engine.executor import ResultCursor
+
+    plan = execute(query, db, algorithm="hash").plan
+    cursor = ResultCursor(
+        traced(), variables=query.variables, backend="hash", plan=plan,
+        stats=plan.stats, gao=plan.gao, limit=2,
+    )
+    assert len(cursor.fetchmany(1)) == 1
+    cursor.close()
+    assert finalized == [True]
+
+
+def test_negative_limit_rejected():
+    query, db = WORKLOADS["graph_triangles"]
+    with pytest.raises(ValueError):
+        execute_cursor(query, db, limit=-1)
+
+
+def test_limit_prefix_consistency_leapfrog():
+    """A limited run returns a prefix of the backend's enumeration."""
+    query, db = WORKLOADS["chained_path"]
+    all_rows = list(iter_leapfrog(query, db))
+    cursor = execute_cursor(query, db, algorithm="leapfrog", limit=4)
+    prefix = cursor.fetchall()
+    assert prefix == all_rows[:4]
+
+
+def _decoded_db():
+    dictionary = ValueDictionary()
+    query = JoinQuery([
+        RelationSchema("R", ("A", "B")),
+        RelationSchema("S", ("B", "C")),
+    ])
+    r_rows = [("u", "v"), ("u", "w"), ("x", "y")]
+    s_rows = [("v", "z"), ("y", "q")]
+    for row in r_rows + s_rows:
+        dictionary.encode_row(row)
+    domain = dictionary.domain()
+    db = Database([
+        relation_from_rows("R", ("A", "B"), r_rows, dictionary, domain),
+        relation_from_rows("S", ("B", "C"), s_rows, dictionary, domain),
+    ])
+    return query, db, dictionary
+
+
+def test_execute_decode_returns_values():
+    query, db, dictionary = _decoded_db()
+    result = execute(query, db, decode=dictionary)
+    decoded = list(result.decoded_rows())
+    assert len(decoded) == len(result.tuples)
+    assert sorted(decoded) == [("u", "v", "z"), ("x", "y", "q")]
+    for coded, plain in zip(result.tuples, decoded):
+        assert dictionary.decode_row(coded) == plain
+
+
+def test_decoded_rows_without_dictionary_rejected():
+    query, db, _ = _decoded_db()
+    result = execute(query, db)
+    with pytest.raises(ValueError):
+        result.decoded_rows()
+
+
+def test_cursor_decode_streams_values():
+    query, db, dictionary = _decoded_db()
+    cursor = execute_cursor(query, db, decode=dictionary)
+    rows = cursor.fetchall()
+    assert sorted(rows) == [("u", "v", "z"), ("x", "y", "q")]
+
+
+def test_decode_rows_is_lazy():
+    dictionary = ValueDictionary()
+    codes = [dictionary.encode_row(("a", "b"))]
+    stream = dictionary.decode_rows(iter(codes))
+    assert isinstance(stream, types.GeneratorType)
+    assert list(stream) == [("a", "b")]
+
+
+class TestCursorAggregates:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_count_rows_matches_reference(self, name):
+        query, db = WORKLOADS[name]
+        expected = evaluate_reference(query, db)
+        assert count_rows(query, db) == len(expected)
+
+    @pytest.mark.parametrize("name", ["graph_triangles", "split_path"])
+    def test_any_rows(self, name):
+        query, db = WORKLOADS[name]
+        expected = evaluate_reference(query, db)
+        assert any_rows(query, db) == bool(expected)
+
+    def test_any_rows_ignores_stray_limit_kwarg(self):
+        query, db = WORKLOADS["graph_triangles"]
+        assert any_rows(query, db, limit=5)
+
+    def test_any_rows_empty(self):
+        from repro.relational.query import triangle_query
+
+        query = triangle_query()
+        db = Database([
+            Relation(atom, [], Domain(3)) for atom in query.atoms
+        ])
+        assert not any_rows(query, db)
+        assert count_rows(query, db) == 0
+
+    def test_group_counts(self):
+        query, db = WORKLOADS["graph_triangles"]
+        expected = evaluate_reference(query, db)
+        groups = group_counts(query, db, by=("A",))
+        pos = query.variables.index("A")
+        naive = {}
+        for t in expected:
+            naive[(t[pos],)] = naive.get((t[pos],), 0) + 1
+        assert groups == naive
+        assert sum(groups.values()) == len(expected)
+
+    def test_group_counts_bad_attr(self):
+        query, db = WORKLOADS["graph_triangles"]
+        with pytest.raises(ValueError):
+            group_counts(query, db, by=("NOPE",))
