@@ -1,0 +1,688 @@
+"""The pre-PR Tetris kernel, frozen for benchmarking.
+
+A verbatim copy of ``repro.core.dyadic_tree`` and ``repro.core.tetris``
+as they stood before the frontier-resuming kernel overhaul (the PR-3
+tree with plain prefix walks, the ``min(box)`` unit scan, tuple-churn
+SAO translation, and the restart-per-output loop as the Reloaded
+default).  ``bench_tetris_core`` races it against the live kernel over
+identical oracles so the recorded speedup isolates the kernel, not the
+data plane.  Not part of the library: nothing outside the benchmark
+imports this module.
+"""
+
+from __future__ import annotations
+
+
+from typing import Iterator, List, Optional
+
+from repro.core.boxes import PackedBox
+
+
+class MultilevelDyadicTree:
+    """A set of packed dyadic boxes with Õ(1) ``find_container`` queries."""
+
+    __slots__ = ("ndim", "_root", "_size")
+
+    def __init__(self, ndim: int):
+        if ndim < 1:
+            raise ValueError("ndim must be at least 1")
+        self.ndim = ndim
+        self._root: dict = {}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, box: PackedBox) -> bool:
+        node = self._root
+        last = self.ndim - 1
+        for level in range(last):
+            node = node.get(box[level])
+            if node is None:
+                return False
+        return box[last] in node
+
+    def add(self, box: PackedBox) -> bool:
+        """Insert a packed box; returns ``False`` when already present."""
+        if len(box) != self.ndim:
+            raise ValueError(
+                f"box has {len(box)} components, store has {self.ndim}"
+            )
+        node = self._root
+        last = self.ndim - 1
+        for level in range(last):
+            comp = box[level]
+            child = node.get(comp)
+            if child is None:
+                child = {}
+                node[comp] = child
+            node = child
+        comp = box[last]
+        if comp in node:
+            return False
+        node[comp] = box
+        self._size += 1
+        return True
+
+    def find_container(self, box: PackedBox) -> Optional[PackedBox]:
+        """A stored box containing ``box``, or ``None``.
+
+        DFS over the stored prefixes of each component: at every level
+        each packed prefix of the query component (``q >> k``) is one
+        dict probe.  The first hit is returned; Tetris only needs *some*
+        witness (Algorithm 1, line 1).
+        """
+        last = self.ndim - 1
+        if last == 0:
+            node = self._root
+            q = box[0]
+            while True:
+                hit = node.get(q)
+                if hit is not None:
+                    return hit
+                if q == 1:
+                    return None
+                q >>= 1
+        stack = [(0, self._root)]
+        push = stack.append
+        pop = stack.pop
+        while stack:
+            level, node = pop()
+            q = box[level]
+            if level == last:
+                get = node.get
+                while True:
+                    hit = get(q)
+                    if hit is not None:
+                        return hit
+                    if q == 1:
+                        break
+                    q >>= 1
+            else:
+                nxt = level + 1
+                get = node.get
+                while True:
+                    child = get(q)
+                    if child is not None:
+                        push((nxt, child))
+                    if q == 1:
+                        break
+                    q >>= 1
+        return None
+
+    def find_all_containers(self, box: PackedBox) -> List[PackedBox]:
+        """All stored boxes containing ``box`` (the oracle query of §3.4)."""
+        out: List[PackedBox] = []
+        last = self.ndim - 1
+        stack = [(0, self._root)]
+        while stack:
+            level, node = stack.pop()
+            q = box[level]
+            if level == last:
+                while True:
+                    hit = node.get(q)
+                    if hit is not None:
+                        out.append(hit)
+                    if q == 1:
+                        break
+                    q >>= 1
+            else:
+                nxt = level + 1
+                while True:
+                    child = node.get(q)
+                    if child is not None:
+                        stack.append((nxt, child))
+                    if q == 1:
+                        break
+                    q >>= 1
+        return out
+
+    def __iter__(self) -> Iterator[PackedBox]:
+        """Iterate over all stored boxes (test/debug helper)."""
+
+        def walk(level: int, node: dict) -> Iterator[PackedBox]:
+            if level == self.ndim - 1:
+                yield from node.values()
+            else:
+                for child in node.values():
+                    yield from walk(level + 1, child)
+
+        yield from walk(0, self._root)
+
+
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core import intervals as dy
+from repro.core.boxes import PackedBox, box_contains
+
+from repro.core.resolution import ResolutionStats, Resolver
+
+Point = Tuple[int, ...]
+
+
+class DimensionSpec:
+    """How one dimension of the output space bottoms out.
+
+    The plain engine treats every dimension as ``{0,1}^d`` (``FixedDepth``).
+    The load-balanced engine of Section 4.5 lifts an n-dimensional BCP into
+    2n-2 dimensions whose components are *not* fixed-length strings:
+
+    * a partition dimension ``A'`` holds elements of a complete prefix-free
+      code P (a balanced partition) — a component is unit when it is in P;
+    * its remainder dimension ``A''`` holds the suffix, whose unit length
+      depends on the P element chosen on ``A'``.
+
+    Implementations answer, for a packed box in SAO order, whether an axis
+    is at its unit (unsplittable) level.
+    """
+
+    def is_unit(self, box: PackedBox, axis: int) -> bool:
+        raise NotImplementedError
+
+
+class FixedDepth(DimensionSpec):
+    """Ordinary dimension over ``{0,1}^depth``."""
+
+    __slots__ = ("depth", "_unit")
+
+    def __init__(self, depth: int):
+        self.depth = depth
+        self._unit = 1 << depth
+
+    def is_unit(self, box: PackedBox, axis: int) -> bool:
+        return box[axis] >= self._unit
+
+
+class CodeDimension(DimensionSpec):
+    """Dimension whose unit values form a complete prefix-free code.
+
+    ``code`` is the set of packed intervals of a balanced partition P; any
+    strict prefix of a code element is splittable, any code element is unit.
+    """
+
+    __slots__ = ("code",)
+
+    def __init__(self, code):
+        self.code = frozenset(code)
+
+    def is_unit(self, box: PackedBox, axis: int) -> bool:
+        return box[axis] in self.code
+
+
+class RemainderDimension(DimensionSpec):
+    """Suffix dimension paired with a code dimension.
+
+    Unit length is ``total_depth`` minus the length of the partner (code)
+    component.  Valid because the SAO visits the partner first, so by the
+    time this axis is split the partner component is already unit.
+    """
+
+    __slots__ = ("partner_axis", "total_depth")
+
+    def __init__(self, partner_axis: int, total_depth: int):
+        self.partner_axis = partner_axis
+        self.total_depth = total_depth
+
+    def is_unit(self, box: PackedBox, axis: int) -> bool:
+        # len(axis) == total_depth - len(partner), via bit_length = len + 1.
+        return (
+            box[axis].bit_length() + box[self.partner_axis].bit_length()
+            == self.total_depth + 2
+        )
+
+
+class BoxSetOracle:
+    """Oracle access to a set of gap boxes ``B`` (Section 3.4).
+
+    Given a unit box (a point of the output space), returns all boxes of
+    ``B`` containing it in Õ(1) via a multilevel dyadic tree.  This models
+    "the pre-built database indices of the input relations".
+
+    Input boxes may be in pair or packed form (packed once here, at the
+    boundary); all queries and results are packed.
+    """
+
+    def __init__(self, boxes: Iterable, ndim: int):
+        self.ndim = ndim
+        self._tree = MultilevelDyadicTree(ndim)
+        self._boxes: List[PackedBox] = []
+        for box in boxes:
+            packed = dy.pack_box(box)
+            if self._tree.add(packed):
+                self._boxes.append(packed)
+
+    def __len__(self) -> int:
+        return len(self._boxes)
+
+    def containing(self, unit_box: PackedBox) -> List[PackedBox]:
+        """All gap boxes containing the given point (Algorithm 2, line 4)."""
+        return self._tree.find_all_containers(unit_box)
+
+    def boxes(self) -> Sequence[PackedBox]:
+        """The full box set (used by Tetris-Preloaded initialization)."""
+        return self._boxes
+
+
+class TetrisEngine:
+    """One Tetris run: a knowledge base, a resolver, and a splitting order.
+
+    ``sao`` is the splitting attribute order as a permutation of dimension
+    indices; boxes are stored and split internally in SAO order and
+    translated back at the API boundary.  All engine-level box arguments
+    and results (``skeleton``, ``add_box``, ``return_boxes`` outputs) are
+    **packed**.
+    """
+
+    def __init__(
+        self,
+        ndim: int,
+        depth: int,
+        sao: Optional[Sequence[int]] = None,
+        cache_resolvents: bool = True,
+        stats: Optional[ResolutionStats] = None,
+        dims: Optional[Sequence[DimensionSpec]] = None,
+        knowledge_base=None,
+    ):
+        if ndim < 1:
+            raise ValueError("ndim must be at least 1")
+        if depth < 0:
+            raise ValueError("depth must be non-negative")
+        self.ndim = ndim
+        self.depth = depth
+        self.sao: Tuple[int, ...] = (
+            tuple(range(ndim)) if sao is None else tuple(sao)
+        )
+        if sorted(self.sao) != list(range(ndim)):
+            raise ValueError(
+                f"sao must be a permutation of 0..{ndim - 1}, got {self.sao}"
+            )
+        inv = [0] * ndim
+        for pos, dim in enumerate(self.sao):
+            inv[dim] = pos
+        self._inv_sao = tuple(inv)
+        self.cache_resolvents = cache_resolvents
+        self.stats = stats if stats is not None else ResolutionStats()
+        # The store behind Algorithm 1's A; any object with
+        # add / find_container / find_all_containers works
+        # (see repro.core.stores for the linear-scan ablation).
+        self.knowledge_base = (
+            knowledge_base
+            if knowledge_base is not None
+            else MultilevelDyadicTree(ndim)
+        )
+        self._resolver = Resolver(self.stats)
+        self._universe: PackedBox = (dy.PLAMBDA,) * ndim
+        self._unit_marker = 1 << depth
+        self._return_boxes = False
+        # Dimension specs are given in *internal (SAO) order*; None means
+        # every dimension is a plain {0,1}^depth domain (the fast path).
+        self.dims: Optional[Tuple[DimensionSpec, ...]] = (
+            tuple(dims) if dims is not None else None
+        )
+        if self.dims is not None:
+            if len(self.dims) != ndim:
+                raise ValueError("one dimension spec per dimension")
+            for i, spec in enumerate(self.dims):
+                if (
+                    isinstance(spec, RemainderDimension)
+                    and spec.partner_axis >= i
+                ):
+                    raise ValueError(
+                        "a remainder dimension must follow its code "
+                        "dimension in SAO order"
+                    )
+
+    def _is_unit_box(self, box: PackedBox) -> bool:
+        """Unit test under dimension specs (generalized spaces only)."""
+        dims = self.dims
+        return all(
+            dims[i].is_unit(box, i) for i in range(self.ndim)
+        )
+
+    def _first_thick_generalized(self, box: PackedBox) -> int:
+        dims = self.dims
+        for i in range(self.ndim):
+            if not dims[i].is_unit(box, i):
+                return i
+        raise ValueError("unit boxes cannot be split")
+
+    # -- SAO translation -----------------------------------------------------
+
+    def to_internal(self, box: PackedBox) -> PackedBox:
+        """Permute a space-order box into SAO order."""
+        sao = self.sao
+        return tuple(box[sao[i]] for i in range(self.ndim))
+
+    def to_external(self, box: PackedBox) -> PackedBox:
+        """Permute an SAO-order box back into space order."""
+        inv = self._inv_sao
+        return tuple(box[inv[i]] for i in range(self.ndim))
+
+    def add_box(self, box) -> bool:
+        """Amend the knowledge base with a space-order box.
+
+        Accepts pair or packed form (tolerant boundary conversion).
+        """
+        added = self.knowledge_base.add(self.to_internal(dy.pack_box(box)))
+        if added:
+            self.stats.boxes_loaded += 1
+        return added
+
+    # -- Algorithm 1: TetrisSkeleton ------------------------------------------
+
+    def skeleton(self, target: PackedBox) -> Tuple[bool, PackedBox]:
+        """Algorithm 1 on an SAO-order packed target box.
+
+        Returns ``(True, w)`` with ``w ⊇ target`` covered by the knowledge
+        base, or ``(False, p)`` with ``p`` an uncovered unit box inside
+        ``target``.  Implemented with an explicit stack; each frame holds
+        ``[b, second_half, axis, w1, stage]``.
+        """
+        kb = self.knowledge_base
+        find_container = kb.find_container
+        kb_add = kb.add
+        stats = self.stats
+        unit = self._unit_marker
+        cache = self.cache_resolvents
+        resolver = self._resolver
+        uniform = self.dims is None
+        stats.skeleton_calls += 1
+
+        stack: list = []
+        current: Optional[PackedBox] = target
+        result: Tuple[bool, PackedBox] = (False, target)
+
+        while True:
+            if current is not None:
+                b = current
+                stats.containment_queries += 1
+                witness = find_container(b)
+                if witness is not None:
+                    stats.cache_hits += 1
+                    result = (True, witness)
+                    current = None
+                    continue
+                # Unit box check: every component at its unit level.
+                if (
+                    min(b) >= unit if uniform else self._is_unit_box(b)
+                ):
+                    result = (False, b)
+                    current = None
+                    continue
+                if uniform:
+                    axis = 0
+                    while b[axis] >= unit:
+                        axis += 1
+                else:
+                    axis = self._first_thick_generalized(b)
+                head = b[:axis]
+                tail = b[axis + 1:]
+                half = b[axis] << 1
+                b1 = head + (half,) + tail
+                b2 = head + (half | 1,) + tail
+                stack.append([b, b2, axis, None, 0])
+                current = b1
+                continue
+
+            if not stack:
+                return result
+
+            frame = stack[-1]
+            covered, witness = result
+            if not covered:
+                # An uncovered point propagates straight to the root
+                # (Algorithm 1, lines 9–10 and 14–15).
+                stack.pop()
+                continue
+            b, b2, axis, w1, stage = frame
+            if box_contains(witness, b):
+                # Lines 11–12 / 16–17: the half's witness already covers b.
+                stack.pop()
+                continue
+            if stage == 0:
+                frame[3] = witness
+                frame[4] = 1
+                current = b2
+                continue
+            # Both halves covered but neither witness covers b: resolve.
+            resolvent = resolver.resolve(w1, witness, axis)
+            if cache:
+                kb_add(resolvent)
+            stack.pop()
+            result = (True, resolvent)
+
+    # -- Algorithm 2: the outer loop -------------------------------------------
+
+    def run(
+        self,
+        oracle: Optional[BoxSetOracle] = None,
+        preload: bool = False,
+        one_pass: bool = False,
+        max_outputs: Optional[int] = None,
+        return_boxes: bool = False,
+    ):
+        """Solve the box cover problem, returning all uncovered points.
+
+        ``oracle`` supplies the input gap boxes in space order; with
+        ``preload=True`` they are all loaded into the knowledge base up
+        front (Tetris-Preloaded), otherwise they are pulled on demand
+        (Tetris-Reloaded).  ``one_pass`` switches to the TetrisSkeleton2
+        traversal that reports outputs without restarting.
+
+        ``return_boxes=True`` yields each output as a full packed unit
+        box (space order) rather than a tuple of values — required for
+        generalized spaces where components have varying lengths.
+        """
+        if oracle is not None and preload:
+            to_internal = self.to_internal
+            kb_add = self.knowledge_base.add
+            loaded = 0
+            for box in oracle.boxes():
+                if kb_add(to_internal(box)):
+                    loaded += 1
+            self.stats.boxes_loaded += loaded
+        self._return_boxes = return_boxes
+        if one_pass:
+            return self._run_one_pass(oracle, max_outputs)
+        return self._run_restarting(oracle, max_outputs)
+
+    def _emit(self, unit_internal: PackedBox):
+        """Convert an internal unit box to the configured output form."""
+        external = self.to_external(unit_internal)
+        if self._return_boxes:
+            return external
+        if self.dims is None:
+            unit = self._unit_marker
+            return tuple(p ^ unit for p in external)
+        return tuple(dy.pvalue(p) for p in external)
+
+    def _oracle_lookup(
+        self, oracle: Optional[BoxSetOracle], point_internal: PackedBox
+    ) -> List[PackedBox]:
+        """Query the oracle with an internal (SAO-order) unit box."""
+        if oracle is None:
+            return []
+        self.stats.oracle_queries += 1
+        external = self.to_external(point_internal)
+        return [self.to_internal(b) for b in oracle.containing(external)]
+
+    def _run_restarting(
+        self, oracle: Optional[BoxSetOracle], max_outputs: Optional[int]
+    ) -> List[Point]:
+        """Faithful Algorithm 2: restart the skeleton after every witness."""
+        outputs: List[Point] = []
+        universe = self._universe
+        kb = self.knowledge_base
+        covered, witness = self.skeleton(universe)
+        while not covered:
+            gap_boxes = self._oracle_lookup(oracle, witness)
+            if not gap_boxes:
+                outputs.append(self._emit(witness))
+                gap_boxes = [witness]
+                if max_outputs is not None and len(outputs) >= max_outputs:
+                    return outputs
+            for box in gap_boxes:
+                if kb.add(box):
+                    self.stats.boxes_loaded += 1
+            covered, witness = self.skeleton(universe)
+        return outputs
+
+    def _run_one_pass(
+        self, oracle: Optional[BoxSetOracle], max_outputs: Optional[int]
+    ) -> List[Point]:
+        """TetrisSkeleton2: handle uncovered points in place, never restart."""
+        kb = self.knowledge_base
+        find_container = kb.find_container
+        kb_add = kb.add
+        stats = self.stats
+        unit = self._unit_marker
+        cache = self.cache_resolvents
+        resolver = self._resolver
+        uniform = self.dims is None
+        outputs: List[Point] = []
+        stats.skeleton_calls += 1
+
+        stack: list = []
+        current: Optional[PackedBox] = self._universe
+        result: Tuple[bool, PackedBox] = (True, self._universe)
+
+        while True:
+            if current is not None:
+                b = current
+                stats.containment_queries += 1
+                witness = find_container(b)
+                if witness is not None:
+                    stats.cache_hits += 1
+                    result = (True, witness)
+                    current = None
+                    continue
+                if (
+                    min(b) >= unit if uniform else self._is_unit_box(b)
+                ):
+                    gap_boxes = self._oracle_lookup(oracle, b)
+                    if gap_boxes:
+                        for box in gap_boxes:
+                            if kb_add(box):
+                                stats.boxes_loaded += 1
+                        result = (True, gap_boxes[0])
+                    else:
+                        outputs.append(self._emit(b))
+                        if (
+                            max_outputs is not None
+                            and len(outputs) >= max_outputs
+                        ):
+                            return outputs
+                        kb_add(b)
+                        stats.boxes_loaded += 1
+                        result = (True, b)
+                    current = None
+                    continue
+                if uniform:
+                    axis = 0
+                    while b[axis] >= unit:
+                        axis += 1
+                else:
+                    axis = self._first_thick_generalized(b)
+                head = b[:axis]
+                tail = b[axis + 1:]
+                half = b[axis] << 1
+                b1 = head + (half,) + tail
+                b2 = head + (half | 1,) + tail
+                stack.append([b, b2, axis, None, 0])
+                current = b1
+                continue
+
+            if not stack:
+                return outputs
+
+            frame = stack[-1]
+            _, witness = result
+            b, b2, axis, w1, stage = frame
+            if box_contains(witness, b):
+                stack.pop()
+                continue
+            if stage == 0:
+                frame[3] = witness
+                frame[4] = 1
+                current = b2
+                continue
+            resolvent = resolver.resolve(w1, witness, axis)
+            if cache:
+                kb_add(resolvent)
+            stack.pop()
+            result = (True, resolvent)
+
+
+# -- Convenience entry points ---------------------------------------------------
+
+
+def solve_bcp(
+    boxes: Iterable,
+    ndim: int,
+    depth: int,
+    sao: Optional[Sequence[int]] = None,
+    preload: bool = True,
+    cache_resolvents: bool = True,
+    one_pass: bool = True,
+    stats: Optional[ResolutionStats] = None,
+) -> List[Point]:
+    """Solve a Box Cover Problem instance: list points not covered by ``boxes``.
+
+    ``boxes`` may use the documented ``(value, length)`` pair components
+    or packed ints (converted once at this boundary).  Defaults to the
+    fast one-pass preloaded configuration; pass
+    ``preload=False, one_pass=False`` for the faithful Tetris-Reloaded.
+    """
+    oracle = BoxSetOracle(boxes, ndim)
+    engine = TetrisEngine(
+        ndim, depth, sao=sao, cache_resolvents=cache_resolvents, stats=stats
+    )
+    return engine.run(oracle, preload=preload, one_pass=one_pass)
+
+
+def tetris_preloaded(
+    boxes: Iterable,
+    ndim: int,
+    depth: int,
+    sao: Optional[Sequence[int]] = None,
+    stats: Optional[ResolutionStats] = None,
+    one_pass: bool = True,
+) -> List[Point]:
+    """Tetris-Preloaded (Section 4.3): worst-case-optimal configuration."""
+    return solve_bcp(
+        boxes, ndim, depth, sao=sao, preload=True, one_pass=one_pass,
+        stats=stats,
+    )
+
+
+def tetris_reloaded(
+    boxes: Iterable,
+    ndim: int,
+    depth: int,
+    sao: Optional[Sequence[int]] = None,
+    stats: Optional[ResolutionStats] = None,
+    one_pass: bool = False,
+) -> List[Point]:
+    """Tetris-Reloaded (Section 4.4): certificate-based configuration."""
+    return solve_bcp(
+        boxes, ndim, depth, sao=sao, preload=False, one_pass=one_pass,
+        stats=stats,
+    )
+
+
+def boolean_box_cover(
+    boxes: Iterable,
+    ndim: int,
+    depth: int,
+    sao: Optional[Sequence[int]] = None,
+    stats: Optional[ResolutionStats] = None,
+) -> bool:
+    """Boolean BCP (Definition 3.5): does the union cover the whole space?
+
+    Stops at the first uncovered point, so an uncovered instance exits early.
+    """
+    oracle = BoxSetOracle(boxes, ndim)
+    engine = TetrisEngine(ndim, depth, sao=sao, stats=stats)
+    uncovered = engine.run(oracle, preload=True, one_pass=True, max_outputs=1)
+    return not uncovered

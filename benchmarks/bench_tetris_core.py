@@ -1,0 +1,210 @@
+"""Tetris kernel benchmark: frontier-resuming engine vs. the pre-PR kernel.
+
+Races the live kernel (``mode="resume"`` with the masked/pinned/frontier
+dyadic tree) against the frozen pre-PR kernel embedded in
+``benchmarks/_seed_kernel.py`` — the PR-3 engine with plain prefix
+walks, per-node ``min(box)`` unit scans, tuple-churn SAO translation,
+and the restart-per-output loop as the Reloaded default — on the Table 1
+Tetris workloads:
+
+* **triangle** — random-graph and AGM-tight triangle joins (rows 2–3),
+  preloaded and reloaded;
+* **tw1** — treewidth-1 path joins evaluated by Tetris-Reloaded, the
+  certificate row (rows 4–5), on diagonal and random instances;
+* **acyclic** — the same acyclic path families under Tetris-Preloaded
+  with the reverse-GYO SAO (row 1 / Theorem D.8).
+
+Both kernels consume the *same* pre-built oracle (indexes built and gap
+boxes materialized once per workload in setup), so the measured ratio
+isolates the kernel hot path the way a served system amortizes its data
+plane.  Each side runs its era's default configuration: the seed kernel
+uses one-pass for preloaded and the faithful restarting loop for
+reloaded (its shipped defaults); the live kernel uses the
+frontier-resuming mode everywhere.  Outputs are asserted identical on
+every run.  The headline number is the geometric mean of
+``seed_time / new_time``, recorded to ``BENCH_tetris_core.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_tetris_core.py \
+        [--quick] [--repeats 3] [--output BENCH_tetris_core.json] \
+        [--min-speedup 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _setup(query, db, gao=None):
+    """Build the shared data plane once: oracle, SAO, warm gap boxes."""
+    from repro.joins.tetris_join import make_oracle
+
+    oracle, gao = make_oracle(query, db, gao=gao)
+    attrs = oracle.attrs
+    sao = tuple(attrs.index(a) for a in gao)
+    oracle.boxes()  # materialize + memoize the lifted gap-box set
+    return oracle, sao, db.domain.depth
+
+
+def _runners(oracle, sao, depth, preload: bool):
+    """(seed_run, new_run) closures over the shared oracle."""
+    from benchmarks._seed_kernel import TetrisEngine as SeedEngine
+    from repro.core.resolution import ResolutionStats
+    from repro.core.tetris import TetrisEngine
+
+    ndim = len(sao)
+
+    def seed_run():
+        engine = SeedEngine(ndim, depth, sao=sao, stats=ResolutionStats())
+        # The pre-PR defaults: one-pass for preloaded, faithful
+        # restart-per-output for reloaded.
+        return engine.run(oracle, preload=preload, one_pass=preload)
+
+    def new_run():
+        engine = TetrisEngine(ndim, depth, sao=sao, stats=ResolutionStats())
+        return engine.run(oracle, preload=preload, mode="resume")
+
+    return seed_run, new_run
+
+
+def _workloads(quick: bool) -> List[Tuple[str, Callable]]:
+    """(name, setup) pairs; setup() returns (seed_run, new_run)."""
+    from repro.workloads.generators import (
+        agm_tight_triangle,
+        chained_path_db,
+        graph_triangle_db,
+        random_graph_edges,
+        random_path_db,
+    )
+
+    tri_nodes, tri_edges = (120, 400) if quick else (320, 1200)
+    agm_m = 12 if quick else 24
+    chain_k, chain_d = (384, 11) if quick else (2048, 13)
+    rand_m, rand_d = (800, 11) if quick else (3200, 13)
+
+    def triangle(variant):
+        def setup():
+            q, db = graph_triangle_db(
+                random_graph_edges(tri_nodes, tri_edges, seed=3)
+            )
+            return _runners(*_setup(q, db), preload=variant == "preloaded")
+
+        return setup
+
+    def triangle_agm():
+        def setup():
+            q, db = agm_tight_triangle(agm_m)
+            return _runners(*_setup(q, db), preload=True)
+
+        return setup
+
+    def path_diag(preload):
+        def setup():
+            q, db = chained_path_db(3, chain_k, depth=chain_d)
+            return _runners(*_setup(q, db), preload=preload)
+
+        return setup
+
+    def path_random(preload):
+        def setup():
+            q, db = random_path_db(3, rand_m, seed=17, depth=rand_d)
+            return _runners(*_setup(q, db), preload=preload)
+
+        return setup
+
+    return [
+        ("triangle_preloaded", triangle("preloaded")),
+        ("triangle_reloaded", triangle("reloaded")),
+        ("triangle_agm_preloaded", triangle_agm()),
+        ("tw1_diag_reloaded", path_diag(False)),
+        ("tw1_random_reloaded", path_random(False)),
+        ("acyclic_diag_preloaded", path_diag(True)),
+        ("acyclic_random_preloaded", path_random(True)),
+    ]
+
+
+def _time_best(fn: Callable, repeats: int) -> Tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def geometric_mean(xs: List[float]) -> float:
+    prod = 1.0
+    for x in xs:
+        prod *= x
+    return prod ** (1.0 / len(xs))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="tetris-core")
+    parser.add_argument("--output", default="BENCH_tetris_core.json")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--quick", action="store_true", help="small sizes")
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="exit non-zero when geomean(seed/new) falls below this",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"[{args.label}] tetris-kernel benchmark "
+          f"({'quick' if args.quick else 'full'}, best of {args.repeats})")
+    results: Dict[str, dict] = {}
+    for name, setup in _workloads(args.quick):
+        seed_run, new_run = setup()
+        # Interleave a warm-up + parity assertion before timing.
+        seed_out = sorted(seed_run())
+        new_out = sorted(new_run())
+        assert seed_out == new_out, f"{name}: kernels disagree"
+        seed_s, _ = _time_best(seed_run, args.repeats)
+        new_s, _ = _time_best(new_run, args.repeats)
+        speedup = seed_s / new_s
+        results[name] = {
+            "seed_s": seed_s,
+            "new_s": new_s,
+            "speedup": speedup,
+            "outputs": len(new_out),
+        }
+        print(
+            f"  {name:26s} seed {seed_s * 1e3:9.2f} ms   "
+            f"new {new_s * 1e3:9.2f} ms   speedup {speedup:5.2f}×"
+        )
+    geomean = geometric_mean([r["speedup"] for r in results.values()])
+    print(f"  {'geomean speedup':26s} {geomean:.3f}×")
+
+    record = {
+        "label": args.label,
+        "quick": args.quick,
+        "repeats": args.repeats,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "workloads": results,
+        "geomean_speedup": geomean,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.min_speedup is not None and geomean < args.min_speedup:
+        print(f"FAIL: geomean {geomean:.3f} < {args.min_speedup}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

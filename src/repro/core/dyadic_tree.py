@@ -14,30 +14,179 @@ Boxes arrive in **packed** marker-bit form (see
 keyed by the whole packed component: one dict probe replaces the
 per-bit binary-trie hops of the classical layout (Figure 16 of the
 paper), and the prefixes of a query component are enumerated by shifting
-the packed int — ``q >> k`` for ``k = 0..|q|`` — so a level consumes all
-its bits in ``|q| + 1`` O(1) probes with no per-bit node chasing or
-allocation.  A non-terminal level maps packed components to the next
-level's dict; the last level maps them to the stored box itself.
+the packed int — ``q >> k`` for ``k = 0..|q|``.
+
+Every node additionally keeps a **stored-length bitmask**: bit ``k`` is
+set when some key of string length ``k`` is present in the node's map.
+The probe loop reads it to trim both tails — it starts at the deepest
+stored length (probing prefixes longer than anything stored is a
+guaranteed miss) and stops at the shallowest, so a level costs one dict
+probe per length in the *stored band* instead of ``|q| + 1``.  The mask
+lives inside the node's own dict under the sentinel key ``0`` (packed
+components are ``>= 1``, so the key is free): no wrapper object, no
+extra indirection on the hot path.  After :meth:`discard` the mask is
+recomputed exactly, so it is never stale.
+
+Beyond the classic ``find_container`` the store answers:
+
+* :meth:`find_shallowest_container` — a container chosen greedily for
+  *short* (large) components, the witness-quality query the
+  frontier-resuming Tetris engine uses so resolutions happen against
+  big witnesses;
+* :meth:`find_all_containers_many` — a batched oracle query that walks
+  the tree once for a whole batch of probe points, sharing every common
+  prefix of the walk (used by ``BoxSetOracle.containing_many``);
+* :meth:`discard` — exact removal with upward pruning, enabling the
+  engine's bounded resolvent-admission policy (resolvents are derived
+  facts, so evicting them is always safe).
+
+On the last level a node maps each packed component to the stored box
+itself; on interior levels it maps to the next level's node dict.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Sequence
 
 from repro.core.boxes import PackedBox
+
+#: Sentinel key under which a node dict keeps its stored-length bitmask.
+_MASK = 0
+
+#: Unrolled probe walks are generated per dimensionality up to this cap;
+#: wider boxes fall back to the generic stack DFS.
+_UNROLL_CAP = 8
+
+_FINDER_CACHE: dict = {}
+
+
+def _emit_walker(ndim: int, collect: bool, pinned: Optional[int]) -> str:
+    """Source of a specialized containment walker over node dicts.
+
+    The DFS over per-level prefix walks is written out as nested
+    ``while`` loops — no stack tuples, no per-node push/pop — with each
+    level's walk trimmed to the node's stored band by the length mask
+    (interior nodes always hold at least one real key, so only the root
+    needs an emptiness check).  With ``pinned`` set, that level probes
+    the exact query component once instead of walking its prefixes —
+    the first-half query of a split whose parent just missed (see
+    :meth:`MultilevelDyadicTree.find_container_pinned`).
+    """
+    empty = "        return []" if collect else "        return None"
+    lines = [
+        "def find(root, box):",
+        "    if root[0] == 0:",
+        empty,
+    ]
+    if collect:
+        lines.append("    out = []")
+    indent = "    "
+    closers = []
+    for i in range(ndim):
+        node = "root" if i == 0 else f"n{i}"
+        if i == pinned:
+            # Exact probe: one get, no walk, nothing to close.
+            lines.append(f"{indent}n_{i} = {node}.get(box[{i}])")
+            lines.append(f"{indent}if n_{i} is not None:")
+            if i == ndim - 1:
+                lines.append(
+                    f"{indent}    out.append(n_{i})" if collect
+                    else f"{indent}    return n_{i}"
+                )
+            else:
+                lines.append(f"{indent}    n{i + 1} = n_{i}")
+            indent += "    "
+            closers.append(None)
+            continue
+        lines += [
+            f"{indent}q{i} = box[{i}]",
+            f"{indent}k = {node}[0].bit_length() - 1",
+            f"{indent}shift = q{i}.bit_length() - 1",
+            f"{indent}if k < shift:",
+            f"{indent}    q{i} >>= shift - k",
+            f"{indent}get{i} = {node}.get",
+            f"{indent}while True:",
+        ]
+        inner = indent + "    "
+        if i == ndim - 1:
+            lines.append(f"{inner}hit = get{i}(q{i})")
+            lines.append(f"{inner}if hit is not None:")
+            if collect:
+                lines.append(f"{inner}    out.append(hit)")
+            else:
+                lines.append(f"{inner}    return hit")
+        else:
+            lines.append(f"{inner}n{i + 1} = get{i}(q{i})")
+            lines.append(f"{inner}if n{i + 1} is not None:")
+        # Tail to append once the nested levels are emitted.
+        closers.append(
+            f"{inner}if q{i} == 1:\n{inner}    break\n{inner}q{i} >>= 1"
+        )
+        indent = inner + "    "
+    # Close the loops from the innermost outward: each level's tail
+    # advances its own walk and breaks at λ; pinned levels have none.
+    for tail in reversed(closers):
+        if tail is not None:
+            lines.append(tail)
+    lines.append("    return out" if collect else "    return None")
+    return "\n".join(lines)
+
+
+def _compiled_walker(ndim: int, collect: bool = False,
+                     pinned: Optional[int] = None):
+    """Compile (and cache) one specialized walker."""
+    key = (ndim, collect, pinned)
+    cached = _FINDER_CACHE.get(key)
+    if cached is None:
+        namespace: dict = {}
+        exec(  # noqa: S102 - source is generated from static templates
+            _emit_walker(ndim, collect, pinned), namespace
+        )
+        cached = _FINDER_CACHE[key] = namespace["find"]
+    return cached
 
 
 class MultilevelDyadicTree:
     """A set of packed dyadic boxes with Õ(1) ``find_container`` queries."""
 
-    __slots__ = ("ndim", "_root", "_size")
+    __slots__ = (
+        "ndim", "_root", "_size", "_find", "_findall", "_pinned",
+        "version", "_frontier",
+    )
 
     def __init__(self, ndim: int):
         if ndim < 1:
             raise ValueError("ndim must be at least 1")
         self.ndim = ndim
-        self._root: dict = {}
+        self._root: dict = {_MASK: 0}
         self._size = 0
+        #: Monotone mutation counter (adds and discards); lets the engine
+        #: prove "no box stored since" for second-half pinned probes.
+        self.version = 0
+        self._frontier: Optional["TraversalFrontier"] = None
+        if ndim <= _UNROLL_CAP:
+            self._find = _compiled_walker(ndim)
+            self._findall = _compiled_walker(ndim, collect=True)
+            self._pinned = tuple(
+                _compiled_walker(ndim, pinned=axis) for axis in range(ndim)
+            )
+        else:
+            self._find = self._findall = self._pinned = None
+
+    def attach_frontier(self) -> "TraversalFrontier":
+        """Create and register the traversal frontier for one engine run.
+
+        While attached, every successful :meth:`add` updates the
+        frontier's cached node sets, so its shared-prefix probes never
+        miss a freshly stored box.  At most one frontier is attached at
+        a time; call :meth:`detach_frontier` when the run ends.
+        """
+        frontier = TraversalFrontier(self)
+        self._frontier = frontier
+        return frontier
+
+    def detach_frontier(self) -> None:
+        self._frontier = None
 
     def __len__(self) -> int:
         return self._size
@@ -63,14 +212,98 @@ class MultilevelDyadicTree:
             comp = box[level]
             child = node.get(comp)
             if child is None:
-                child = {}
+                child = {_MASK: 0}
                 node[comp] = child
+                node[_MASK] |= 1 << (comp.bit_length() - 1)
             node = child
         comp = box[last]
         if comp in node:
             return False
         node[comp] = box
+        node[_MASK] |= 1 << (comp.bit_length() - 1)
         self._size += 1
+        self.version += 1
+        frontier = self._frontier
+        if frontier is not None:
+            frontier.note_add(box)
+        return True
+
+    def add_many(self, boxes) -> int:
+        """Bulk insert; returns how many were new.
+
+        Consecutive boxes sharing a component prefix (the natural order
+        of index-emitted gap boxes) reuse the already-walked path nodes
+        instead of re-descending from the root — the preload fast path.
+        """
+        last = self.ndim - 1
+        added = 0
+        prev = None
+        path = [self._root] * (last + 1)
+        for box in boxes:
+            j = 0
+            if prev is not None:
+                while j < last and box[j] == prev[j]:
+                    j += 1
+            node = path[j]
+            for level in range(j, last):
+                comp = box[level]
+                child = node.get(comp)
+                if child is None:
+                    child = {_MASK: 0}
+                    node[comp] = child
+                    node[_MASK] |= 1 << (comp.bit_length() - 1)
+                node = child
+                path[level + 1] = node
+            comp = box[last]
+            if comp not in node:
+                node[comp] = box
+                node[_MASK] |= 1 << (comp.bit_length() - 1)
+                self._size += 1
+                self.version += 1
+                added += 1
+                frontier = self._frontier
+                if frontier is not None:
+                    frontier.note_add(box)
+            prev = box
+        return added
+
+    @staticmethod
+    def _refresh_mask(node: dict) -> None:
+        m = 0
+        for comp in node:
+            if comp:
+                m |= 1 << (comp.bit_length() - 1)
+        node[_MASK] = m
+
+    def discard(self, box: PackedBox) -> bool:
+        """Remove a stored box; returns ``False`` when absent.
+
+        Empty interior nodes are pruned on the way back up and the
+        affected masks are recomputed exactly, so probe trimming stays
+        tight after evictions.
+        """
+        path = []
+        node = self._root
+        last = self.ndim - 1
+        for level in range(last):
+            child = node.get(box[level])
+            if child is None:
+                return False
+            path.append((node, box[level]))
+            node = child
+        comp = box[last]
+        if comp not in node:
+            return False
+        del node[comp]
+        self._size -= 1
+        self.version += 1
+        self._refresh_mask(node)
+        for parent, pcomp in reversed(path):
+            if len(node) > 1:  # anything left besides the mask sentinel?
+                break
+            del parent[pcomp]
+            self._refresh_mask(parent)
+            node = parent
         return True
 
     def find_container(self, box: PackedBox) -> Optional[PackedBox]:
@@ -78,28 +311,33 @@ class MultilevelDyadicTree:
 
         DFS over the stored prefixes of each component: at every level
         each packed prefix of the query component (``q >> k``) is one
-        dict probe.  The first hit is returned; Tetris only needs *some*
-        witness (Algorithm 1, line 1).
+        dict probe, with the probe walk trimmed to the node's stored
+        band by its length mask.  The first hit is returned; Tetris only
+        needs *some* witness (Algorithm 1, line 1).
+
+        Dispatches to an unrolled walk compiled per dimensionality (no
+        DFS stack traffic); very wide boxes use the generic stack DFS.
         """
+        find = self._find
+        if find is not None:
+            return find(self._root, box)
         last = self.ndim - 1
-        if last == 0:
-            node = self._root
-            q = box[0]
-            while True:
-                hit = node.get(q)
-                if hit is not None:
-                    return hit
-                if q == 1:
-                    return None
-                q >>= 1
         stack = [(0, self._root)]
         push = stack.append
         pop = stack.pop
         while stack:
             level, node = pop()
             q = box[level]
+            # Trim the walk to the deepest stored length: probing longer
+            # prefixes than anything present is a guaranteed miss.
+            k = node[_MASK].bit_length() - 1
+            shift = q.bit_length() - 1
+            if k < 0:
+                continue
+            if k < shift:
+                q >>= shift - k
+            get = node.get
             if level == last:
-                get = node.get
                 while True:
                     hit = get(q)
                     if hit is not None:
@@ -109,7 +347,6 @@ class MultilevelDyadicTree:
                     q >>= 1
             else:
                 nxt = level + 1
-                get = node.get
                 while True:
                     child = get(q)
                     if child is not None:
@@ -119,17 +356,87 @@ class MultilevelDyadicTree:
                     q >>= 1
         return None
 
+    def find_container_pinned(
+        self, box: PackedBox, axis: int
+    ) -> Optional[PackedBox]:
+        """Containment probe for the first half of a split that missed.
+
+        When a box ``b`` has no stored container and is split on
+        ``axis``, a container of the half ``b1`` that is *not* a
+        container of ``b`` must carry exactly ``b1[axis]`` on the split
+        axis (a shorter component would make it contain ``b`` too).  As
+        long as no box was stored in between, the ``b1`` probe can
+        therefore pin the split axis to one exact dict probe instead of
+        walking its prefixes — the axis fan-out of the DFS collapses to
+        one.  The engine uses this for every first-half descent, which
+        is half of all containment queries on the hot path.
+        """
+        pinned = self._pinned
+        if pinned is not None:
+            return pinned[axis](self._root, box)
+        return self.find_container(box)
+
+    def find_shallowest_container(
+        self, box: PackedBox
+    ) -> Optional[PackedBox]:
+        """A container biased toward *short* components (a big witness).
+
+        Greedy shallow-first DFS: at every level the shortest stored
+        prefix of the query component is explored first, so the first
+        hit tends to be a box covering a large region around ``box``.
+        The frontier-resuming engine resolves against these witnesses —
+        bigger witnesses cover whole subtrees of the traversal at once,
+        which means fewer resolution steps and a smaller knowledge base.
+        """
+        last = self.ndim - 1
+        stack = [(0, self._root)]
+        push = stack.append
+        pop = stack.pop
+        while stack:
+            level, node = pop()
+            q = box[level]
+            shift = q.bit_length() - 1
+            m = node[_MASK] & ((2 << shift) - 1)
+            get = node.get
+            if level == last:
+                while m:
+                    low = m & -m
+                    m ^= low
+                    hit = get(q >> (shift - low.bit_length() + 1))
+                    if hit is not None:
+                        return hit
+            else:
+                nxt = level + 1
+                # Push deepest-first so the shallowest child pops first.
+                while m:
+                    k = m.bit_length() - 1
+                    m ^= 1 << k
+                    child = get(q >> (shift - k))
+                    if child is not None:
+                        push((nxt, child))
+        return None
+
     def find_all_containers(self, box: PackedBox) -> List[PackedBox]:
         """All stored boxes containing ``box`` (the oracle query of §3.4)."""
+        findall = self._findall
+        if findall is not None:
+            return findall(self._root, box)
         out: List[PackedBox] = []
         last = self.ndim - 1
         stack = [(0, self._root)]
         while stack:
             level, node = stack.pop()
             q = box[level]
+            k = node[_MASK].bit_length() - 1
+            shift = q.bit_length() - 1
+            if k < 0:
+                continue
+            if k < shift:
+                q >>= shift - k
+            get = node.get
             if level == last:
                 while True:
-                    hit = node.get(q)
+                    hit = get(q)
                     if hit is not None:
                         out.append(hit)
                     if q == 1:
@@ -138,7 +445,7 @@ class MultilevelDyadicTree:
             else:
                 nxt = level + 1
                 while True:
-                    child = node.get(q)
+                    child = get(q)
                     if child is not None:
                         stack.append((nxt, child))
                     if q == 1:
@@ -146,14 +453,315 @@ class MultilevelDyadicTree:
                     q >>= 1
         return out
 
+    def find_all_containers_many(
+        self, boxes: Sequence[PackedBox]
+    ) -> List[List[PackedBox]]:
+        """Per-point container lists for a batch, in one shared tree walk.
+
+        Probe points that agree on a component prefix share the dict
+        probes and node visits for it: at every node the batch's live
+        points are grouped by the child key they reach, so each distinct
+        key is probed once per node regardless of how many points need
+        it.  Sibling unit boxes — the frontier-resuming engine's prefetch
+        batch — differ in a single trailing bit, so they share essentially
+        the entire walk.
+        """
+        results: List[List[PackedBox]] = [[] for _ in boxes]
+        if not boxes:
+            return results
+        last = self.ndim - 1
+        stack = [(0, self._root, range(len(boxes)))]
+        while stack:
+            level, node, idxs = stack.pop()
+            get = node.get
+            kmax = node[_MASK].bit_length() - 1
+            if kmax < 0:
+                continue
+            if level == last:
+                for i in idxs:
+                    q = boxes[i][level]
+                    shift = q.bit_length() - 1
+                    if kmax < shift:
+                        q >>= shift - kmax
+                    out = results[i]
+                    while True:
+                        hit = get(q)
+                        if hit is not None:
+                            out.append(hit)
+                        if q == 1:
+                            break
+                        q >>= 1
+            else:
+                groups: dict = {}
+                for i in idxs:
+                    q = boxes[i][level]
+                    shift = q.bit_length() - 1
+                    if kmax < shift:
+                        q >>= shift - kmax
+                    while True:
+                        g = groups.get(q)
+                        if g is None:
+                            groups[q] = [i]
+                        else:
+                            g.append(i)
+                        if q == 1:
+                            break
+                        q >>= 1
+                nxt = level + 1
+                for key, sub in groups.items():
+                    child = get(key)
+                    if child is not None:
+                        stack.append((nxt, child, sub))
+        return results
+
     def __iter__(self) -> Iterator[PackedBox]:
         """Iterate over all stored boxes (test/debug helper)."""
 
         def walk(level: int, node: dict) -> Iterator[PackedBox]:
             if level == self.ndim - 1:
-                yield from node.values()
+                for comp, stored in node.items():
+                    if comp:
+                        yield stored
             else:
-                for child in node.values():
-                    yield from walk(level + 1, child)
+                for comp, child in node.items():
+                    if comp:
+                        yield from walk(level + 1, child)
 
         yield from walk(0, self._root)
+
+
+class TraversalFrontier:
+    """Shared-prefix containment probes for SAO-ordered traversal boxes.
+
+    The Tetris traversal freezes box components left to right: once the
+    splitting cursor passes an axis, that component stays fixed for the
+    whole subtree below.  A plain :meth:`MultilevelDyadicTree.find_container`
+    re-walks the stored prefixes of those frozen components on *every*
+    probe; this helper caches, per frozen level ``j``, the set ``F_j`` of
+    tree nodes reachable through prefixes of the frozen components — the
+    exact interior states the DFS would recompute — so a probe only
+    walks the levels at and beyond the cursor.
+
+    The cache self-synchronizes: :meth:`sync_and_probe` compares the
+    probe box's leading components against the frozen ones and
+    unfreezes/refreezes the divergent suffix, so the engine never has to
+    track traversal transitions explicitly.  Completeness under
+    mutation is maintained by the owning tree: while attached (see
+    :meth:`MultilevelDyadicTree.attach_frontier`), every successful
+    ``add`` calls :meth:`note_add`, which extends the affected ``F_j``
+    with the new box's path nodes.  Evictions need no handling — a
+    discarded box simply stops being found, and a pruned (empty) node
+    lingering in a cached set yields no probes thanks to its zeroed
+    mask.
+    """
+
+    __slots__ = ("tree", "_comps", "_levels", "_level_ids")
+
+    def __init__(self, tree: MultilevelDyadicTree):
+        self.tree = tree
+        self._comps: list = []
+        self._levels: list = [[tree._root]]
+        self._level_ids: list = [{id(tree._root)}]
+
+    def _freeze(self, comp: int) -> None:
+        """Extend the frontier one level using a newly frozen component."""
+        levels = self._levels
+        nxt: list = []
+        append = nxt.append
+        for node in levels[-1]:
+            k = node[_MASK].bit_length() - 1
+            if k < 0:
+                continue
+            q = comp
+            shift = q.bit_length() - 1
+            if k < shift:
+                q >>= shift - k
+            get = node.get
+            while True:
+                child = get(q)
+                if child is not None:
+                    append(child)
+                if q == 1:
+                    break
+                q >>= 1
+        self._comps.append(comp)
+        levels.append(nxt)
+        self._level_ids.append({id(n) for n in nxt})
+
+    def note_add(self, box: PackedBox) -> None:
+        """Register a freshly stored box with the cached node sets."""
+        comps = self._comps
+        if not comps:
+            return
+        node = self.tree._root
+        levels = self._levels
+        for j, frozen in enumerate(comps):
+            comp = box[j]
+            shift = frozen.bit_length() - comp.bit_length()
+            if shift < 0 or (frozen >> shift) != comp:
+                return
+            node = node.get(comp)
+            if node is None:
+                return
+            ids = self._level_ids[j + 1]
+            key = id(node)
+            if key not in ids:
+                ids.add(key)
+                levels[j + 1].append(node)
+
+    def sync_and_probe(
+        self,
+        box: PackedBox,
+        cursor: int,
+        pinned: Optional[int] = None,
+    ) -> Optional[PackedBox]:
+        """``find_container`` for a traversal box, frozen prefix cached.
+
+        ``cursor`` is the box's first non-unit axis (``ndim`` for unit
+        leaves); components below it are treated as frozen.  ``pinned``
+        marks a level whose probe may use the exact component only (the
+        first-half invariant of
+        :meth:`MultilevelDyadicTree.find_container_pinned`).
+        """
+        tree = self.tree
+        last = tree.ndim - 1
+        target = cursor if cursor < last else last
+        comps = self._comps
+        levels = self._levels
+        depth = len(comps)
+        lim = depth if depth < target else target
+        j = 0
+        while j < lim and comps[j] == box[j]:
+            j += 1
+        if j < depth:
+            del comps[j:]
+            del levels[j + 1:]
+            del self._level_ids[j + 1:]
+        while len(comps) < target:
+            self._freeze(box[len(comps)])
+        nodes = levels[target]
+        if not nodes:
+            return None
+        if target == last:
+            qlast = box[last]
+            exact = pinned == last
+            for idx, node in enumerate(nodes):
+                k = node[_MASK].bit_length() - 1
+                if k < 0:
+                    continue
+                if exact:
+                    hit = node.get(qlast)
+                    if hit is not None:
+                        if idx:
+                            # Move-to-front: consecutive probes tend to
+                            # hit the same stored region.
+                            nodes[idx] = nodes[0]
+                            nodes[0] = node
+                        return hit
+                    continue
+                q = qlast
+                shift = q.bit_length() - 1
+                if k < shift:
+                    q >>= shift - k
+                get = node.get
+                while True:
+                    hit = get(q)
+                    if hit is not None:
+                        if idx:
+                            nodes[idx] = nodes[0]
+                            nodes[0] = node
+                        return hit
+                    if q == 1:
+                        break
+                    q >>= 1
+            return None
+        if target == last - 1:
+            # Two remaining levels — the bulk of deep-traversal probes —
+            # walked inline with no DFS stack.
+            qmid = box[target]
+            qlast = box[last]
+            exact_mid = pinned == target
+            exact_last = pinned == last
+            mshift = qmid.bit_length() - 1
+            lshift = qlast.bit_length() - 1
+            for idx, node in enumerate(nodes):
+                k = node[_MASK].bit_length() - 1
+                if k < 0:
+                    continue
+                q = qmid
+                if exact_mid:
+                    children = (node.get(q),)
+                else:
+                    if k < mshift:
+                        q >>= mshift - k
+                    children = None
+                get = node.get
+                while True:
+                    child = children[0] if children else get(q)
+                    if child is not None:
+                        kk = child[_MASK].bit_length() - 1
+                        if kk >= 0:
+                            if exact_last:
+                                hit = child.get(qlast)
+                                if hit is not None:
+                                    if idx:
+                                        nodes[idx] = nodes[0]
+                                        nodes[0] = node
+                                    return hit
+                            else:
+                                q2 = qlast
+                                if kk < lshift:
+                                    q2 >>= lshift - kk
+                                get2 = child.get
+                                while True:
+                                    hit = get2(q2)
+                                    if hit is not None:
+                                        if idx:
+                                            nodes[idx] = nodes[0]
+                                            nodes[0] = node
+                                        return hit
+                                    if q2 == 1:
+                                        break
+                                    q2 >>= 1
+                    if children is not None or q == 1:
+                        break
+                    q >>= 1
+            return None
+        stack = [(target, node) for node in nodes]
+        push = stack.append
+        pop = stack.pop
+        while stack:
+            level, node = pop()
+            if level == pinned:
+                child = node.get(box[level])
+                if child is not None:
+                    if level == last:
+                        return child
+                    push((level + 1, child))
+                continue
+            k = node[_MASK].bit_length() - 1
+            if k < 0:
+                continue
+            q = box[level]
+            shift = q.bit_length() - 1
+            if k < shift:
+                q >>= shift - k
+            get = node.get
+            if level == last:
+                while True:
+                    hit = get(q)
+                    if hit is not None:
+                        return hit
+                    if q == 1:
+                        break
+                    q >>= 1
+            else:
+                nxt = level + 1
+                while True:
+                    child = get(q)
+                    if child is not None:
+                        push((nxt, child))
+                    if q == 1:
+                        break
+                    q >>= 1
+        return None

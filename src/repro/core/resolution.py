@@ -87,15 +87,11 @@ def resolve_on_axis(w1: PackedBox, w2: PackedBox, axis: int) -> PackedBox:
 
     On ``axis`` the output is the shared parent ``x``; elsewhere it is the
     longer (more specific) of the two components — the meet ``y_i ∩ z_i``.
+    For comparable packed components the longer one is numerically
+    larger, so the meet row is one C-level ``map(max, ...)`` pass.
     """
-    out = []
-    for i, (a, b) in enumerate(zip(w1, w2)):
-        if i == axis:
-            out.append(a >> 1)
-        elif a >= b:
-            out.append(a)
-        else:
-            out.append(b)
+    out = list(map(max, w1, w2))
+    out[axis] = w1[axis] >> 1
     return tuple(out)
 
 
@@ -118,6 +114,13 @@ class ResolutionStats:
 
     ``by_axis`` buckets resolutions by the resolved dimension, which is what
     the per-attribute witness counting arguments of Appendix D–F track.
+
+    The frontier-resuming engine adds three counters: ``resumes`` (leaves
+    handled in place, where the faithful variant would restart from the
+    universe), ``evictions`` (resolvents dropped by the bounded admission
+    policy), and ``witness_depth_sum`` (total component bits of the
+    witnesses chosen at resumed leaves — lower means bigger witnesses,
+    hence fewer resolution steps; divide by ``resumes`` for the mean).
     """
 
     resolutions: int = 0
@@ -128,6 +131,9 @@ class ResolutionStats:
     skeleton_calls: int = 0
     boxes_loaded: int = 0
     cache_hits: int = 0
+    resumes: int = 0
+    evictions: int = 0
+    witness_depth_sum: int = 0
 
     def record(self, axis: int, ordered: bool) -> None:
         self.resolutions += 1
@@ -144,6 +150,16 @@ class ResolutionStats:
         self.skeleton_calls = 0
         self.boxes_loaded = 0
         self.cache_hits = 0
+        self.resumes = 0
+        self.evictions = 0
+        self.witness_depth_sum = 0
+
+    @property
+    def mean_witness_depth(self) -> float:
+        """Mean total component bits of resumed-leaf witnesses (0 if none)."""
+        if self.resumes == 0:
+            return 0.0
+        return self.witness_depth_sum / self.resumes
 
     def summary(self) -> str:
         return (
@@ -151,7 +167,9 @@ class ResolutionStats:
             f"(ordered={self.ordered_resolutions}) "
             f"containment_queries={self.containment_queries} "
             f"oracle_queries={self.oracle_queries} "
-            f"boxes_loaded={self.boxes_loaded}"
+            f"boxes_loaded={self.boxes_loaded} "
+            f"resumes={self.resumes} "
+            f"evictions={self.evictions}"
         )
 
 

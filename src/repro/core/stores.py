@@ -7,8 +7,12 @@ The paper stores the knowledge base in a multilevel dyadic tree so the
 "find a stored box containing b" query costs Õ(1) (Proposition B.12).
 ``ListStore`` is the naive alternative — a flat list with O(|A|) linear
 scans — retained to measure exactly how much the data structure
-contributes (benchmarks/bench_ablation.py).  Both implement the protocol
-:class:`~repro.core.tetris.TetrisEngine` expects of ``knowledge_base``.
+contributes (benchmarks/bench_ablation.py).  Both implement the full
+protocol :class:`~repro.core.tetris.TetrisEngine` expects of
+``knowledge_base``: ``add`` / ``discard`` / ``find_container`` /
+``find_shallowest_container`` / ``find_all_containers``, so every engine
+mode (including frontier resumption and bounded resolvent admission)
+runs unchanged on either store.
 """
 
 from __future__ import annotations
@@ -27,6 +31,8 @@ class ListStore:
         self.ndim = ndim
         self._boxes: List[PackedBox] = []
         self._seen: Set[PackedBox] = set()
+        #: Monotone mutation counter (protocol parity with the tree).
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self._boxes)
@@ -46,6 +52,16 @@ class ListStore:
             return False
         self._seen.add(box)
         self._boxes.append(box)
+        self.version += 1
+        return True
+
+    def discard(self, box: PackedBox) -> bool:
+        """Remove a stored box; returns ``False`` when absent (O(n))."""
+        if box not in self._seen:
+            return False
+        self._seen.remove(box)
+        self._boxes.remove(box)
+        self.version += 1
         return True
 
     def find_container(self, box: PackedBox) -> Optional[PackedBox]:
@@ -54,5 +70,40 @@ class ListStore:
                 return stored
         return None
 
+    def find_container_pinned(
+        self, box: PackedBox, axis: int
+    ) -> Optional[PackedBox]:
+        """First-half containment probe (protocol parity with the tree).
+
+        The linear scan gains nothing from pinning the split axis, so
+        this is the plain scan — returning any container is always a
+        correct answer to the pinned query.
+        """
+        return self.find_container(box)
+
+    def find_shallowest_container(
+        self, box: PackedBox
+    ) -> Optional[PackedBox]:
+        """The container with the fewest total component bits (biggest).
+
+        The linear scan can afford the exact optimum; the dyadic tree
+        approximates it greedily.
+        """
+        best = None
+        best_depth = -1
+        for stored in self._boxes:
+            if box_contains(stored, box):
+                depth = sum(c.bit_length() for c in stored)
+                if best is None or depth < best_depth:
+                    best = stored
+                    best_depth = depth
+        return best
+
     def find_all_containers(self, box: PackedBox) -> List[PackedBox]:
         return [s for s in self._boxes if box_contains(s, box)]
+
+    def find_all_containers_many(
+        self, boxes: List[PackedBox]
+    ) -> List[List[PackedBox]]:
+        """Batched oracle query (protocol parity with the dyadic tree)."""
+        return [self.find_all_containers(b) for b in boxes]

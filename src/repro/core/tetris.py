@@ -6,12 +6,34 @@ by the union of ``A`` and produce a witness — a single box covering ``b``
 (derived by geometric resolutions, cached back into ``A``), or an uncovered
 point of ``b``.
 
-The outer ``Tetris`` loop repeatedly calls the skeleton on the universal
-box ⟨λ,...,λ⟩; every false witness is either a fresh output tuple (no input
+The outer Tetris loop drives the skeleton over the universal box
+⟨λ,...,λ⟩; every false witness is either a fresh output tuple (no input
 gap box contains it) or triggers loading the containing gap boxes from the
-input oracle into ``A``.
+input oracle into ``A``.  Three traversal **modes** implement that loop:
 
-Variants, selected by flags (Sections 4.3–4.4, 5.1):
+* ``mode="faithful"`` — Algorithm 2 verbatim: after every uncovered
+  point the skeleton restarts from the universe.  Kept for paper-parity
+  tests; the restart costs a full root-to-leaf re-descent per output.
+* ``mode="onepass"`` — the TetrisSkeleton2 optimization from the proof
+  of Theorem D.2: outputs are reported inside the skeleton so the
+  traversal never restarts.
+* ``mode="resume"`` (the default) — the frontier-resuming skeleton: the
+  explicit stack is *snapshotted at the uncovered leaf*, the new gap or
+  output boxes are patched into the knowledge base in place, and the
+  traversal resumes from the frontier.  On top of one-pass semantics it
+  picks the **shallowest** stored container as the resolution witness
+  (``find_shallowest_container``) — big witnesses cover whole subtrees
+  of the traversal at once — and, in on-demand (Reloaded) runs, it
+  **corner-probes**: an uncovered region's corner point is checked
+  against the oracle *before* descending, so gap boxes land at the
+  witness boundary instead of after a depth-``n·d`` needle descent,
+  and the pending sibling leaf is prefetched through the oracle's
+  batched ``containing_many`` walk.
+
+All three modes emit the same output set; the parity matrix in
+``tests/core/test_tetris_modes.py`` proves it over random instances.
+
+Variant flags (Sections 4.3–4.4, 5.1) compose with any mode:
 
 * **Tetris-Preloaded** (``preload=True``): ``A`` starts with every input
   gap box — the worst-case-optimal configuration (AGM / fhtw bounds).
@@ -21,10 +43,11 @@ Variants, selected by flags (Sections 4.3–4.4, 5.1):
 * **No resolvent caching** (``cache_resolvents=False``): drops line 19 of
   Algorithm 1, restricting the proof to Tree Ordered Geometric Resolution
   (Theorem 5.1 / Corollary D.3).
-* **One-pass** (``one_pass=True``): the TetrisSkeleton2 optimization from
-  the proof of Theorem D.2 — outputs are reported inside the skeleton so
-  the traversal never restarts from the root.  Semantically identical;
-  saves the Õ(1)-per-output restart cost, which matters in CPython.
+* **Bounded resolvent admission** (``resolvent_limit=k``): at most ``k``
+  cached resolvents are kept, FIFO-evicted beyond that.  Resolvents are
+  *derived* facts and every uncovered leaf re-consults the oracle, so
+  eviction can never change the output — it only trades re-derivation
+  work for knowledge-base size.
 
 The engine is written iteratively (explicit stack) so deep recursions
 (depth ``n·d``) never hit the interpreter recursion limit.
@@ -33,24 +56,37 @@ Internally every box is a **packed** tuple — one marker-bit int
 ``(1 << length) | value`` per dimension (see
 :mod:`repro.core.intervals`).  The encoding makes the hot-loop
 primitives single int operations: splitting a component is ``2p`` /
-``2p + 1``, the unit test for a uniform depth-``d`` space is
-``min(box) >= 2**d`` (every component carries its marker bit at or above
-position ``d``), and containment is a shift + compare per dimension.
-Public entry points (:func:`solve_bcp` and friends) keep accepting the
-documented ``(value, length)`` pair form — conversion happens once at
-the boundary, never inside the loops.
+``2p + 1``, and containment is a shift + compare per dimension.  The
+uniform-space unit test is hoisted out of the per-node scan entirely:
+the traversal tracks the first thick axis as a *cursor* carried on the
+stack, so "is this box a point?" is one int compare (``cursor == ndim``)
+instead of a ``min(box)`` scan, and the split axis is the cursor itself
+instead of a linear search.  SAO permutations are precomputed tuples
+with an identity fast path — an engine whose splitting order matches
+space order never copies a box crossing the API boundary.  Public entry
+points (:func:`solve_bcp` and friends) keep accepting the documented
+``(value, length)`` pair form — conversion happens once at the boundary,
+never inside the loops.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core import intervals as dy
 from repro.core.boxes import PackedBox, box_contains
 from repro.core.dyadic_tree import MultilevelDyadicTree
-from repro.core.resolution import ResolutionStats, Resolver
+from repro.core.resolution import (
+    ResolutionStats,
+    Resolver,
+    is_ordered_pair,
+)
 
 Point = Tuple[int, ...]
+
+#: The traversal modes of the outer loop, in preference order.
+MODES: Tuple[str, ...] = ("resume", "onepass", "faithful")
 
 
 class DimensionSpec:
@@ -151,6 +187,17 @@ class BoxSetOracle:
         """All gap boxes containing the given point (Algorithm 2, line 4)."""
         return self._tree.find_all_containers(unit_box)
 
+    def containing_many(
+        self, unit_boxes: Sequence[PackedBox]
+    ) -> List[List[PackedBox]]:
+        """Per-point container lists for a batch of probe points.
+
+        One shared tree walk serves the whole batch — points that agree
+        on a component prefix share its node visits and dict probes (see
+        :meth:`MultilevelDyadicTree.find_all_containers_many`).
+        """
+        return self._tree.find_all_containers_many(unit_boxes)
+
     def boxes(self) -> Sequence[PackedBox]:
         """The full box set (used by Tetris-Preloaded initialization)."""
         return self._boxes
@@ -161,9 +208,13 @@ class TetrisEngine:
 
     ``sao`` is the splitting attribute order as a permutation of dimension
     indices; boxes are stored and split internally in SAO order and
-    translated back at the API boundary.  All engine-level box arguments
-    and results (``skeleton``, ``add_box``, ``return_boxes`` outputs) are
-    **packed**.
+    translated back at the API boundary (an identity SAO skips the
+    translation entirely).  All engine-level box arguments and results
+    (``skeleton``, ``add_box``, ``return_boxes`` outputs) are **packed**.
+
+    ``resolvent_limit`` bounds how many cached resolvents the knowledge
+    base may hold at once (FIFO admission; requires a store with
+    ``discard``).  Input gap boxes and output boxes are never evicted.
     """
 
     def __init__(
@@ -175,6 +226,7 @@ class TetrisEngine:
         stats: Optional[ResolutionStats] = None,
         dims: Optional[Sequence[DimensionSpec]] = None,
         knowledge_base=None,
+        resolvent_limit: Optional[int] = None,
     ):
         if ndim < 1:
             raise ValueError("ndim must be at least 1")
@@ -193,6 +245,7 @@ class TetrisEngine:
         for pos, dim in enumerate(self.sao):
             inv[dim] = pos
         self._inv_sao = tuple(inv)
+        self._sao_identity = self.sao == tuple(range(ndim))
         self.cache_resolvents = cache_resolvents
         self.stats = stats if stats is not None else ResolutionStats()
         # The store behind Algorithm 1's A; any object with
@@ -203,6 +256,15 @@ class TetrisEngine:
             if knowledge_base is not None
             else MultilevelDyadicTree(ndim)
         )
+        if resolvent_limit is not None:
+            if resolvent_limit < 1:
+                raise ValueError("resolvent_limit must be at least 1")
+            if getattr(self.knowledge_base, "discard", None) is None:
+                raise ValueError(
+                    "resolvent_limit requires a knowledge base with discard()"
+                )
+        self.resolvent_limit = resolvent_limit
+        self._resolvent_fifo: deque = deque()
         self._resolver = Resolver(self.stats)
         self._universe: PackedBox = (dy.PLAMBDA,) * ndim
         self._unit_marker = 1 << depth
@@ -239,17 +301,29 @@ class TetrisEngine:
                 return i
         raise ValueError("unit boxes cannot be split")
 
+    def _initial_cursor(self, box: PackedBox) -> int:
+        """First non-unit axis of a uniform-space box (``ndim`` if unit)."""
+        unit = self._unit_marker
+        cursor = 0
+        n = self.ndim
+        while cursor < n and box[cursor] >= unit:
+            cursor += 1
+        return cursor
+
     # -- SAO translation -----------------------------------------------------
 
     def to_internal(self, box: PackedBox) -> PackedBox:
-        """Permute a space-order box into SAO order."""
-        sao = self.sao
-        return tuple(box[sao[i]] for i in range(self.ndim))
+        """Permute a space-order box into SAO order (identity: zero copy)."""
+        if self._sao_identity:
+            return box
+        return tuple([box[i] for i in self.sao])
 
     def to_external(self, box: PackedBox) -> PackedBox:
-        """Permute an SAO-order box back into space order."""
-        inv = self._inv_sao
-        return tuple(box[inv[i]] for i in range(self.ndim))
+        """Permute an SAO-order box back into space order (identity: zero
+        copy)."""
+        if self._sao_identity:
+            return box
+        return tuple([box[i] for i in self._inv_sao])
 
     def add_box(self, box) -> bool:
         """Amend the knowledge base with a space-order box.
@@ -261,6 +335,28 @@ class TetrisEngine:
             self.stats.boxes_loaded += 1
         return added
 
+    # -- resolvent admission --------------------------------------------------
+
+    def _cache_resolvent(self, resolvent: PackedBox) -> None:
+        """Admit a resolvent into ``A``, honoring the bounded policy.
+
+        With a limit set, admissions are FIFO: the oldest cached resolvent
+        is discarded once the bound is exceeded.  Eviction is always safe —
+        every uncovered leaf re-consults the oracle, so a dropped resolvent
+        can only cost re-derivation work, never correctness.
+        """
+        kb = self.knowledge_base
+        limit = self.resolvent_limit
+        if limit is None:
+            kb.add(resolvent)
+            return
+        if kb.add(resolvent):
+            fifo = self._resolvent_fifo
+            fifo.append(resolvent)
+            if len(fifo) > limit:
+                if kb.discard(fifo.popleft()):
+                    self.stats.evictions += 1
+
     # -- Algorithm 1: TetrisSkeleton ------------------------------------------
 
     def skeleton(self, target: PackedBox) -> Tuple[bool, PackedBox]:
@@ -269,52 +365,75 @@ class TetrisEngine:
         Returns ``(True, w)`` with ``w ⊇ target`` covered by the knowledge
         base, or ``(False, p)`` with ``p`` an uncovered unit box inside
         ``target``.  Implemented with an explicit stack; each frame holds
-        ``[b, second_half, axis, w1, stage]``.
+        ``[b, second_half, axis, w1, stage, child_cursor]`` where
+        ``child_cursor`` is the halves' first thick axis (uniform spaces).
         """
         kb = self.knowledge_base
         find_container = kb.find_container
-        kb_add = kb.add
+        find_pinned = getattr(kb, "find_container_pinned", None)
+        versioned = hasattr(kb, "version")
         stats = self.stats
         unit = self._unit_marker
         cache = self.cache_resolvents
+        cache_resolvent = (
+            kb.add if self.resolvent_limit is None else self._cache_resolvent
+        )
         resolver = self._resolver
+        # Plain Resolver has no proof-recording side channel, so the
+        # resolution rule can run inline; a TracingResolver (or any
+        # subclass) keeps the full call path.
+        fast_resolve = type(resolver) is Resolver
+        record = self.stats.record
         uniform = self.dims is None
+        n = self.ndim
         stats.skeleton_calls += 1
 
         stack: list = []
         current: Optional[PackedBox] = target
+        cursor = self._initial_cursor(target) if uniform else 0
+        # Split axis of the parent when ``current`` is a first half whose
+        # parent just missed — collapses that level's probe fan-out.
+        pinned: Optional[int] = None
         result: Tuple[bool, PackedBox] = (False, target)
 
         while True:
             if current is not None:
                 b = current
                 stats.containment_queries += 1
-                witness = find_container(b)
+                witness = (
+                    find_container(b)
+                    if pinned is None or find_pinned is None
+                    else find_pinned(b, pinned)
+                )
                 if witness is not None:
                     stats.cache_hits += 1
                     result = (True, witness)
                     current = None
                     continue
-                # Unit box check: every component at its unit level.
-                if (
-                    min(b) >= unit if uniform else self._is_unit_box(b)
-                ):
+                # Unit box check: one compare on uniform spaces (the
+                # cursor already skipped every unit component).
+                if (cursor == n) if uniform else self._is_unit_box(b):
                     result = (False, b)
                     current = None
                     continue
-                if uniform:
-                    axis = 0
-                    while b[axis] >= unit:
-                        axis += 1
-                else:
-                    axis = self._first_thick_generalized(b)
+                axis = cursor if uniform else self._first_thick_generalized(b)
                 head = b[:axis]
                 tail = b[axis + 1:]
                 half = b[axis] << 1
                 b1 = head + (half,) + tail
                 b2 = head + (half | 1,) + tail
-                stack.append([b, b2, axis, None, 0])
+                child_cursor = cursor
+                if uniform and half >= unit:
+                    child_cursor = axis + 1
+                    while child_cursor < n and b[child_cursor] >= unit:
+                        child_cursor += 1
+                stack.append([
+                    b, b2, axis, None, 0, child_cursor,
+                    kb.version if versioned else None,
+                ])
                 current = b1
+                cursor = child_cursor
+                pinned = axis
                 continue
 
             if not stack:
@@ -327,7 +446,7 @@ class TetrisEngine:
                 # (Algorithm 1, lines 9–10 and 14–15).
                 stack.pop()
                 continue
-            b, b2, axis, w1, stage = frame
+            b, b2, axis, w1, stage, child_cursor, ver = frame
             if box_contains(witness, b):
                 # Lines 11–12 / 16–17: the half's witness already covers b.
                 stack.pop()
@@ -336,11 +455,21 @@ class TetrisEngine:
                 frame[3] = witness
                 frame[4] = 1
                 current = b2
+                cursor = child_cursor
+                # The half b2 inherits b's miss: if nothing was stored
+                # since the split, its probe can pin the axis too.
+                pinned = axis if ver is not None and ver == kb.version else None
                 continue
             # Both halves covered but neither witness covers b: resolve.
-            resolvent = resolver.resolve(w1, witness, axis)
+            if fast_resolve:
+                meet = list(map(max, w1, witness))
+                meet[axis] = w1[axis] >> 1
+                resolvent = tuple(meet)
+                record(axis, is_ordered_pair(w1, witness, axis))
+            else:
+                resolvent = resolver.resolve(w1, witness, axis)
             if cache:
-                kb_add(resolvent)
+                cache_resolvent(resolvent)
             stack.pop()
             result = (True, resolvent)
 
@@ -350,38 +479,82 @@ class TetrisEngine:
         self,
         oracle: Optional[BoxSetOracle] = None,
         preload: bool = False,
-        one_pass: bool = False,
+        one_pass: Optional[bool] = None,
         max_outputs: Optional[int] = None,
         return_boxes: bool = False,
+        mode: Optional[str] = None,
     ):
         """Solve the box cover problem, returning all uncovered points.
 
         ``oracle`` supplies the input gap boxes in space order; with
         ``preload=True`` they are all loaded into the knowledge base up
         front (Tetris-Preloaded), otherwise they are pulled on demand
-        (Tetris-Reloaded).  ``one_pass`` switches to the TetrisSkeleton2
-        traversal that reports outputs without restarting.
+        (Tetris-Reloaded).  ``mode`` selects the traversal: ``"resume"``
+        (default) is the frontier-resuming skeleton, ``"onepass"`` the
+        TetrisSkeleton2 variant, ``"faithful"`` the restart-per-output
+        Algorithm 2.  The legacy ``one_pass`` flag maps to
+        ``"onepass"``/``"faithful"`` when given explicitly.
 
         ``return_boxes=True`` yields each output as a full packed unit
         box (space order) rather than a tuple of values — required for
         generalized spaces where components have varying lengths.
         """
+        if one_pass is not None:
+            legacy = "onepass" if one_pass else "faithful"
+            if mode is not None and mode != legacy:
+                raise ValueError(
+                    f"conflicting mode={mode!r} and one_pass={one_pass!r}"
+                )
+            mode = legacy
+        elif mode is None:
+            mode = "resume"
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
         if oracle is not None and preload:
-            to_internal = self.to_internal
-            kb_add = self.knowledge_base.add
-            loaded = 0
-            for box in oracle.boxes():
-                if kb_add(to_internal(box)):
-                    loaded += 1
+            kb = self.knowledge_base
+            boxes = oracle.boxes()
+            if not self._sao_identity:
+                to_internal = self.to_internal
+                boxes = [to_internal(b) for b in boxes]
+            add_many = getattr(kb, "add_many", None)
+            if add_many is not None:
+                loaded = add_many(boxes)
+            else:
+                kb_add = kb.add
+                loaded = 0
+                for box in boxes:
+                    if kb_add(box):
+                        loaded += 1
             self.stats.boxes_loaded += loaded
         self._return_boxes = return_boxes
-        if one_pass:
+        if mode == "onepass":
             return self._run_one_pass(oracle, max_outputs)
-        return self._run_restarting(oracle, max_outputs)
+        if mode == "faithful":
+            return self._run_restarting(oracle, max_outputs)
+        # Corner probing and sibling prefetch pay when the oracle is
+        # pulled on demand; in preloaded runs a leaf probe almost always
+        # answers "no gaps", so speculative probes would be pure
+        # overhead.  Both also assume uniform fixed-depth dimensions
+        # (corner construction, sibling unit-ness).
+        on_demand = oracle is not None and not preload and self.dims is None
+        try:
+            return self._run_resuming(
+                oracle, max_outputs, on_demand, trust_kb=preload
+            )
+        finally:
+            # The run attaches a traversal frontier to the knowledge
+            # base; detach it even on abnormal exit (budget aborts).
+            detach = getattr(self.knowledge_base, "detach_frontier", None)
+            if detach is not None:
+                detach()
 
     def _emit(self, unit_internal: PackedBox):
         """Convert an internal unit box to the configured output form."""
-        external = self.to_external(unit_internal)
+        external = (
+            unit_internal
+            if self._sao_identity
+            else self.to_external(unit_internal)
+        )
         if self._return_boxes:
             return external
         if self.dims is None:
@@ -396,8 +569,51 @@ class TetrisEngine:
         if oracle is None:
             return []
         self.stats.oracle_queries += 1
+        if self._sao_identity:
+            return oracle.containing(point_internal)
         external = self.to_external(point_internal)
-        return [self.to_internal(b) for b in oracle.containing(external)]
+        to_internal = self.to_internal
+        return [to_internal(b) for b in oracle.containing(external)]
+
+    def _oracle_lookup_many(
+        self, oracle: Optional[BoxSetOracle], points: Sequence[PackedBox]
+    ) -> List[List[PackedBox]]:
+        """Batched oracle query on internal unit boxes.
+
+        Uses the oracle's shared-walk ``containing_many`` when available
+        (falling back to per-point probes) and converts each distinct
+        returned gap box into SAO order once for the whole batch.
+        """
+        if oracle is None:
+            return [[] for _ in points]
+        self.stats.oracle_queries += len(points)
+        identity = self._sao_identity
+        externals = (
+            list(points)
+            if identity
+            else [self.to_external(p) for p in points]
+        )
+        many = getattr(oracle, "containing_many", None)
+        if many is not None:
+            found = many(externals)
+        else:
+            containing = oracle.containing
+            found = [containing(p) for p in externals]
+        if identity:
+            return found
+        to_internal = self.to_internal
+        memo: dict = {}
+        out: List[List[PackedBox]] = []
+        for boxes in found:
+            conv = []
+            for b in boxes:
+                ib = memo.get(b)
+                if ib is None:
+                    ib = to_internal(b)
+                    memo[b] = ib
+                conv.append(ib)
+            out.append(conv)
+        return out
 
     def _run_restarting(
         self, oracle: Optional[BoxSetOracle], max_outputs: Optional[int]
@@ -426,32 +642,49 @@ class TetrisEngine:
         """TetrisSkeleton2: handle uncovered points in place, never restart."""
         kb = self.knowledge_base
         find_container = kb.find_container
+        find_pinned = getattr(kb, "find_container_pinned", None)
+        versioned = hasattr(kb, "version")
         kb_add = kb.add
         stats = self.stats
         unit = self._unit_marker
         cache = self.cache_resolvents
+        cache_resolvent = (
+            kb_add if self.resolvent_limit is None else self._cache_resolvent
+        )
         resolver = self._resolver
+        # Plain Resolver has no proof-recording side channel, so the
+        # resolution rule can run inline; a TracingResolver (or any
+        # subclass) keeps the full call path.
+        fast_resolve = type(resolver) is Resolver
+        record = self.stats.record
         uniform = self.dims is None
+        n = self.ndim
         outputs: List[Point] = []
         stats.skeleton_calls += 1
 
         stack: list = []
         current: Optional[PackedBox] = self._universe
+        cursor = self._initial_cursor(current) if uniform else 0
+        # Split axis of the parent when ``current`` is a first half whose
+        # parent just missed — collapses that level's probe fan-out.
+        pinned: Optional[int] = None
         result: Tuple[bool, PackedBox] = (True, self._universe)
 
         while True:
             if current is not None:
                 b = current
                 stats.containment_queries += 1
-                witness = find_container(b)
+                witness = (
+                    find_container(b)
+                    if pinned is None or find_pinned is None
+                    else find_pinned(b, pinned)
+                )
                 if witness is not None:
                     stats.cache_hits += 1
                     result = (True, witness)
                     current = None
                     continue
-                if (
-                    min(b) >= unit if uniform else self._is_unit_box(b)
-                ):
+                if (cursor == n) if uniform else self._is_unit_box(b):
                     gap_boxes = self._oracle_lookup(oracle, b)
                     if gap_boxes:
                         for box in gap_boxes:
@@ -470,19 +703,24 @@ class TetrisEngine:
                         result = (True, b)
                     current = None
                     continue
-                if uniform:
-                    axis = 0
-                    while b[axis] >= unit:
-                        axis += 1
-                else:
-                    axis = self._first_thick_generalized(b)
+                axis = cursor if uniform else self._first_thick_generalized(b)
                 head = b[:axis]
                 tail = b[axis + 1:]
                 half = b[axis] << 1
                 b1 = head + (half,) + tail
                 b2 = head + (half | 1,) + tail
-                stack.append([b, b2, axis, None, 0])
+                child_cursor = cursor
+                if uniform and half >= unit:
+                    child_cursor = axis + 1
+                    while child_cursor < n and b[child_cursor] >= unit:
+                        child_cursor += 1
+                stack.append([
+                    b, b2, axis, None, 0, child_cursor,
+                    kb.version if versioned else None,
+                ])
                 current = b1
+                cursor = child_cursor
+                pinned = axis
                 continue
 
             if not stack:
@@ -490,7 +728,7 @@ class TetrisEngine:
 
             frame = stack[-1]
             _, witness = result
-            b, b2, axis, w1, stage = frame
+            b, b2, axis, w1, stage, child_cursor, ver = frame
             if box_contains(witness, b):
                 stack.pop()
                 continue
@@ -498,10 +736,300 @@ class TetrisEngine:
                 frame[3] = witness
                 frame[4] = 1
                 current = b2
+                cursor = child_cursor
+                # The half b2 inherits b's miss: if nothing was stored
+                # since the split, its probe can pin the axis too.
+                pinned = axis if ver is not None and ver == kb.version else None
                 continue
-            resolvent = resolver.resolve(w1, witness, axis)
+            if fast_resolve:
+                meet = list(map(max, w1, witness))
+                meet[axis] = w1[axis] >> 1
+                resolvent = tuple(meet)
+                record(axis, is_ordered_pair(w1, witness, axis))
+            else:
+                resolvent = resolver.resolve(w1, witness, axis)
             if cache:
-                kb_add(resolvent)
+                cache_resolvent(resolvent)
+            stack.pop()
+            result = (True, resolvent)
+
+    def _run_resuming(
+        self,
+        oracle: Optional[BoxSetOracle],
+        max_outputs: Optional[int],
+        on_demand: bool,
+        trust_kb: bool = False,
+    ) -> List[Point]:
+        """The frontier-resuming skeleton (the default outer loop).
+
+        Structurally a one-pass traversal, but each uncovered leaf is a
+        *resume point*: the stack is left in place, the gap or output
+        boxes are patched into the knowledge base, and the traversal
+        continues with the best witness the amended base can offer — the
+        shallowest stored container of the leaf, not merely the first
+        gap box the oracle happened to return.
+
+        With ``on_demand`` (Reloaded runs over uniform spaces) two more
+        frontier tricks apply:
+
+        * **Corner probing** — before splitting an uncovered interior
+          box, its corner point (all components extended by zeros — the
+          exact point the 0-half descent chain converges to) is checked
+          against the knowledge base; if uncovered, the oracle is probed
+          *there and then*.  Any gap box containing the corner would
+          otherwise only be discovered after descending all the way to
+          the unit leaf, so the probe lands the same knowledge at the
+          box boundary instead of the bottom of a depth-``n·d`` needle:
+          the descent short-circuits where the witness starts, and the
+          resolutions that would have rebuilt the sub-box from its
+          leaves never happen.  Every such probe is productive — it
+          either loads a new gap box or discovers a new output point —
+          so the probe count stays within the Õ(|C| + Z) budget.
+        * **Sibling prefetch** — at an uncovered first-half leaf the
+          pending sibling is probed in the same batched oracle walk
+          (``containing_many``) and served from a one-slot cache when
+          the traversal reaches it.
+        """
+        kb = self.knowledge_base
+        find_container = kb.find_container
+        find_pinned = getattr(kb, "find_container_pinned", None)
+        versioned = hasattr(kb, "version")
+        find_shallowest = getattr(kb, "find_shallowest_container", None)
+        kb_add = kb.add
+        stats = self.stats
+        unit = self._unit_marker
+        cache = self.cache_resolvents
+        cache_resolvent = (
+            kb_add if self.resolvent_limit is None else self._cache_resolvent
+        )
+        resolver = self._resolver
+        # Plain Resolver has no proof-recording side channel, so the
+        # resolution rule can run inline; a TracingResolver (or any
+        # subclass) keeps the full call path.
+        fast_resolve = type(resolver) is Resolver
+        record = self.stats.record
+        uniform = self.dims is None
+        n = self.ndim
+        outputs: List[Point] = []
+        stats.skeleton_calls += 1
+        # One-slot sibling prefetch cache (see docstring).
+        prefetch_key: Optional[PackedBox] = None
+        prefetch_boxes: List[PackedBox] = []
+        # Shift turning a packed component into its 0-extended unit form,
+        # and the memoized corner of the current 0-half descent chain.
+        depth_bits = self.depth + 1
+        corner: Optional[PackedBox] = None
+        corner_covered = False
+        # Shared-prefix probe cache for the frozen traversal prefix; the
+        # tree keeps it complete while attached (every add is noted).
+        frontier = None
+        if uniform and hasattr(kb, "attach_frontier"):
+            frontier = kb.attach_frontier()
+            probe = frontier.sync_and_probe
+
+        stack: list = []
+        current: Optional[PackedBox] = self._universe
+        cursor = self._initial_cursor(current) if uniform else 0
+        # Split axis of the parent when ``current`` is a first half whose
+        # parent just missed — collapses that level's probe fan-out.
+        pinned: Optional[int] = None
+        result: Tuple[bool, PackedBox] = (True, self._universe)
+
+        while True:
+            if current is not None:
+                b = current
+                stats.containment_queries += 1
+                if frontier is not None:
+                    witness = probe(b, cursor, pinned)
+                else:
+                    witness = (
+                        find_container(b)
+                        if pinned is None or find_pinned is None
+                        else find_pinned(b, pinned)
+                    )
+                if witness is not None:
+                    stats.cache_hits += 1
+                    result = (True, witness)
+                    current = None
+                    continue
+                if (cursor == n) if uniform else self._is_unit_box(b):
+                    # Resume point: patch A at the frontier, never restart.
+                    stats.resumes += 1
+                    if trust_kb:
+                        # Preloaded runs hold every input gap box in A, so
+                        # an uncovered leaf is an output by construction —
+                        # the oracle has nothing to add (the probe the
+                        # faithful loop pays here is pure overhead).
+                        gap_boxes = ()
+                    elif prefetch_key == b:
+                        gap_boxes = prefetch_boxes
+                        prefetch_key = None
+                    else:
+                        sibling = None
+                        if on_demand and stack:
+                            frame = stack[-1]
+                            if frame[4] == 0:
+                                # b is the first half; its sibling is a
+                                # unit leaf of identical shape and the
+                                # next box the traversal can visit.
+                                sibling = frame[1]
+                        if sibling is not None:
+                            batch = self._oracle_lookup_many(
+                                oracle, (b, sibling)
+                            )
+                            gap_boxes = batch[0]
+                            prefetch_key = sibling
+                            prefetch_boxes = batch[1]
+                        else:
+                            gap_boxes = self._oracle_lookup(oracle, b)
+                    if gap_boxes:
+                        loaded = 0
+                        for box in gap_boxes:
+                            if kb_add(box):
+                                loaded += 1
+                        stats.boxes_loaded += loaded
+                        witness = (
+                            find_shallowest(b)
+                            if find_shallowest is not None
+                            else None
+                        )
+                        if witness is None:
+                            witness = gap_boxes[0]
+                        stats.witness_depth_sum += (
+                            sum(p.bit_length() for p in witness) - n
+                        )
+                        result = (True, witness)
+                    else:
+                        outputs.append(self._emit(b))
+                        if (
+                            max_outputs is not None
+                            and len(outputs) >= max_outputs
+                        ):
+                            return outputs
+                        kb_add(b)
+                        stats.boxes_loaded += 1
+                        result = (True, b)
+                    current = None
+                    continue
+                if on_demand:
+                    # Frontier witness probe: the 0-half descent chain
+                    # below b converges to b's corner point.  If the
+                    # knowledge base does not cover the corner yet, pull
+                    # its gap boxes now — the same boxes the leaf probe
+                    # would fetch after a full-depth descent — so the
+                    # chain short-circuits at the witness boundary.  The
+                    # corner is invariant along a 0-half descent, so its
+                    # covered state is memoized until the traversal
+                    # turns into a second half (coverage is monotone:
+                    # the knowledge base only grows mid-run).
+                    if corner is None:
+                        corner = tuple(
+                            [p << (depth_bits - p.bit_length()) for p in b]
+                        )
+                        corner_covered = False
+                    if not corner_covered:
+                        stats.containment_queries += 1
+                        covered = (
+                            probe(corner, cursor)
+                            if frontier is not None
+                            else find_container(corner)
+                        )
+                        if covered is not None:
+                            corner_covered = True
+                        else:
+                            gap_boxes = self._oracle_lookup(oracle, corner)
+                            corner_covered = True
+                            if gap_boxes:
+                                loaded = 0
+                                for box in gap_boxes:
+                                    if kb_add(box):
+                                        loaded += 1
+                                stats.boxes_loaded += loaded
+                                # Any container of b must be among the
+                                # fresh boxes — everything older missed.
+                                witness = None
+                                for box in gap_boxes:
+                                    if box_contains(box, b):
+                                        witness = box
+                                        break
+                                if witness is not None:
+                                    # A corner box covers all of b:
+                                    # resume without descending at all.
+                                    stats.resumes += 1
+                                    stats.witness_depth_sum += (
+                                        sum(
+                                            p.bit_length()
+                                            for p in witness
+                                        )
+                                        - n
+                                    )
+                                    result = (True, witness)
+                                    current = None
+                                    continue
+                            else:
+                                # The corner is an output point, found
+                                # a whole descent early.
+                                outputs.append(self._emit(corner))
+                                if (
+                                    max_outputs is not None
+                                    and len(outputs) >= max_outputs
+                                ):
+                                    return outputs
+                                kb_add(corner)
+                                stats.boxes_loaded += 1
+                axis = cursor if uniform else self._first_thick_generalized(b)
+                head = b[:axis]
+                tail = b[axis + 1:]
+                half = b[axis] << 1
+                b1 = head + (half,) + tail
+                b2 = head + (half | 1,) + tail
+                child_cursor = cursor
+                if uniform and half >= unit:
+                    child_cursor = axis + 1
+                    while child_cursor < n and b[child_cursor] >= unit:
+                        child_cursor += 1
+                stack.append([
+                    b, b2, axis, None, 0, child_cursor,
+                    kb.version if versioned else None,
+                ])
+                current = b1
+                cursor = child_cursor
+                pinned = axis
+                continue
+
+            if not stack:
+                return outputs
+
+            frame = stack[-1]
+            _, witness = result
+            b, b2, axis, w1, stage, child_cursor, ver = frame
+            if box_contains(witness, b):
+                stack.pop()
+                continue
+            if stage == 0:
+                frame[3] = witness
+                frame[4] = 1
+                current = b2
+                cursor = child_cursor
+                # The half b2 inherits b's miss: if nothing was stored
+                # since the split, its probe can pin the axis too.
+                pinned = axis if ver is not None and ver == kb.version else None
+                corner = None
+                continue
+            if fast_resolve:
+                meet = list(map(max, w1, witness))
+                meet[axis] = w1[axis] >> 1
+                resolvent = tuple(meet)
+                record(axis, is_ordered_pair(w1, witness, axis))
+            else:
+                resolvent = resolver.resolve(w1, witness, axis)
+            if cache and resolvent != b:
+                # A resolvent no wider than its frame box can never be
+                # probed again — the resuming traversal never revisits a
+                # resolved region — so only witnesses that extend beyond
+                # the frame earn a slot in A.  (The restarting modes must
+                # keep every resolvent: their re-descents depend on it.)
+                cache_resolvent(resolvent)
             stack.pop()
             result = (True, resolvent)
 
@@ -516,21 +1044,26 @@ def solve_bcp(
     sao: Optional[Sequence[int]] = None,
     preload: bool = True,
     cache_resolvents: bool = True,
-    one_pass: bool = True,
+    one_pass: Optional[bool] = None,
     stats: Optional[ResolutionStats] = None,
+    mode: Optional[str] = None,
+    resolvent_limit: Optional[int] = None,
 ) -> List[Point]:
     """Solve a Box Cover Problem instance: list points not covered by ``boxes``.
 
     ``boxes`` may use the documented ``(value, length)`` pair components
     or packed ints (converted once at this boundary).  Defaults to the
-    fast one-pass preloaded configuration; pass
-    ``preload=False, one_pass=False`` for the faithful Tetris-Reloaded.
+    frontier-resuming preloaded configuration; pass ``mode="faithful"``
+    (optionally with ``preload=False``) for the restart-per-output
+    Algorithm 2, or ``mode="onepass"`` for TetrisSkeleton2.  The legacy
+    ``one_pass`` boolean is still honored when given explicitly.
     """
     oracle = BoxSetOracle(boxes, ndim)
     engine = TetrisEngine(
-        ndim, depth, sao=sao, cache_resolvents=cache_resolvents, stats=stats
+        ndim, depth, sao=sao, cache_resolvents=cache_resolvents, stats=stats,
+        resolvent_limit=resolvent_limit,
     )
-    return engine.run(oracle, preload=preload, one_pass=one_pass)
+    return engine.run(oracle, preload=preload, one_pass=one_pass, mode=mode)
 
 
 def tetris_preloaded(
@@ -539,12 +1072,13 @@ def tetris_preloaded(
     depth: int,
     sao: Optional[Sequence[int]] = None,
     stats: Optional[ResolutionStats] = None,
-    one_pass: bool = True,
+    one_pass: Optional[bool] = None,
+    mode: Optional[str] = None,
 ) -> List[Point]:
     """Tetris-Preloaded (Section 4.3): worst-case-optimal configuration."""
     return solve_bcp(
         boxes, ndim, depth, sao=sao, preload=True, one_pass=one_pass,
-        stats=stats,
+        stats=stats, mode=mode,
     )
 
 
@@ -554,12 +1088,13 @@ def tetris_reloaded(
     depth: int,
     sao: Optional[Sequence[int]] = None,
     stats: Optional[ResolutionStats] = None,
-    one_pass: bool = False,
+    one_pass: Optional[bool] = None,
+    mode: Optional[str] = None,
 ) -> List[Point]:
     """Tetris-Reloaded (Section 4.4): certificate-based configuration."""
     return solve_bcp(
         boxes, ndim, depth, sao=sao, preload=False, one_pass=one_pass,
-        stats=stats,
+        stats=stats, mode=mode,
     )
 
 
@@ -576,5 +1111,5 @@ def boolean_box_cover(
     """
     oracle = BoxSetOracle(boxes, ndim)
     engine = TetrisEngine(ndim, depth, sao=sao, stats=stats)
-    uncovered = engine.run(oracle, preload=True, one_pass=True, max_outputs=1)
+    uncovered = engine.run(oracle, preload=True, max_outputs=1)
     return not uncovered

@@ -150,7 +150,16 @@ class ResolutionProof:
 
 
 class TracingResolver(Resolver):
-    """A resolver that additionally records every step into a proof."""
+    """A resolver that additionally records every step into a proof.
+
+    The engine's run loops inline the resolution rule only when the
+    attached resolver is exactly :class:`Resolver`; any subclass — this
+    tracer above all — keeps the full ``resolve`` call path, so every
+    traversal mode (including the default frontier-resuming one) yields
+    a complete recorded proof.  Counters shared through
+    :class:`ResolutionStats` (resolutions, resumes, evictions, witness
+    depth) accumulate identically either way.
+    """
 
     def __init__(self, stats: Optional[ResolutionStats] = None):
         super().__init__(stats)

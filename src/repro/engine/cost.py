@@ -32,7 +32,11 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
 
-from repro.engine.stats import QueryStats, apply_matching_selectivities
+from repro.engine.stats import (
+    QueryStats,
+    apply_matching_selectivities,
+    value_overlap_fraction,
+)
 from repro.relational.hypergraph import Hypergraph, gao_for_acyclic
 from repro.relational.query import JoinQuery
 
@@ -50,12 +54,16 @@ BACKENDS: Tuple[str, ...] = (
 #: Abstract-operation cost per backend, in units of one hash-join probe.
 #: Fitted on the bench_planner workloads (triangle / path / star / cycle /
 #: clique families at bench sizes); ``CostModel.calibrate`` refits.
+#: The Tetris constants were halved (12 → 6) after the frontier-resuming
+#: kernel overhaul (see BENCH_tetris_core.json: ~2× geomean over the old
+#: kernel), and Leapfrog's lowered for the galloping-seek rewrite, so
+#: ``algorithm="auto"`` prices the faster hot paths correctly.
 DEFAULT_CALIBRATION: Dict[str, float] = {
     "yannakakis": 1.0,
     "hash": 1.0,
-    "leapfrog": 3.5,
-    "tetris-reloaded": 12.0,
-    "tetris-preloaded": 12.0,
+    "leapfrog": 1.3,
+    "tetris-reloaded": 6.0,
+    "tetris-preloaded": 6.0,
     "nested-loop": 0.7,
 }
 
@@ -166,22 +174,28 @@ class CostModel:
         profile: StructureProfile,
         stats: QueryStats,
     ) -> float:
-        """Trie build + Σ over GAO prefixes of estimated partial bindings.
+        """Σ over GAO prefixes of estimated partial bindings.
 
         Leapfrog's work is the number of partial bindings it visits at
         each level; under independence the bindings over a variable
         prefix are the cross product of each relation's projection onto
         the prefix divided by the matching selectivities — an
         output-sensitive estimate the raw AGM bound (which stays the
-        provable cap, scaled by the [52]/[72] n·polylog) lacks.
+        provable cap, scaled by the [52]/[72] n·polylog) lacks.  Two
+        refinements track the galloping rewrite: there is no per-call
+        trie build (the cached sorted views are shared), so the old
+        Θ(N) setup term is gone, and each shared variable's bindings
+        are scaled by its value-range overlap across relations — the
+        seek gallops straight past disjoint ranges, which is what makes
+        the split-certificate family nearly free.
         """
-        total = float(stats.total_tuples)
         prefix: set = set()
         bindings_sum = 0.0
         for v in profile.gao:
             prefix.add(v)
             factors = 1.0
             occurrences: Dict[str, list] = {}
+            spans: Dict[str, list] = {}
             for p in stats.relations:
                 shared = [a for a in p.attrs if a in prefix]
                 if not shared:
@@ -192,11 +206,18 @@ class CostModel:
                 factors *= min(float(p.cardinality), size)
                 for a in shared:
                     occurrences.setdefault(a, []).append(p.distinct_of(a))
-            bindings_sum += apply_matching_selectivities(
-                factors, occurrences
-            )
+                    r = p.range_of(a)
+                    if r is not None:
+                        spans.setdefault(a, []).append(r)
+            level = apply_matching_selectivities(factors, occurrences)
+            for a, ranges in spans.items():
+                if len(ranges) > 1:
+                    level *= value_overlap_fraction(ranges)
+            bindings_sum += level
         cap = profile.num_vars * max(stats.agm, 1.0)
-        return total + min(bindings_sum, cap)
+        # Per-atom seek/cursor setup replaces the seed's trie build.
+        setup = len(query.atoms) * self.STEP_OVERHEAD
+        return setup + min(bindings_sum, cap)
 
     def _hash_plan_quantity(
         self, query: JoinQuery, stats: QueryStats

@@ -36,9 +36,14 @@ class RelationProfile:
     attrs: Tuple[str, ...]
     cardinality: int
     distinct: Mapping[str, int]
+    #: Per-attribute (min, max) value ranges; empty when unknown.
+    ranges: Mapping[str, Tuple[int, int]] = field(default_factory=dict)
 
     def distinct_of(self, attr: str) -> int:
         return self.distinct.get(attr, 1)
+
+    def range_of(self, attr: str) -> Optional[Tuple[int, int]]:
+        return self.ranges.get(attr)
 
 
 @dataclass(frozen=True)
@@ -153,7 +158,7 @@ def probe_certificate(
     )
     try:
         outputs = engine.run(
-            budgeted, preload=False, one_pass=False, max_outputs=budget
+            budgeted, preload=False, mode="resume", max_outputs=budget
         )
     except ProbeBudgetExceeded:
         return CertificateProbe(
@@ -186,6 +191,25 @@ def _agm_from_sizes(
     edges = [frozenset(a.attrs) for a in query.atoms]
     value, _ = fractional_edge_cover(query.variables, edges, weights)
     return 2.0 ** value
+
+
+def value_overlap_fraction(
+    ranges: Sequence[Tuple[int, int]]
+) -> float:
+    """Shared fraction of the widest of several (min, max) value ranges.
+
+    ``1.0`` means every range covers the intersection of all of them;
+    ``0.0`` means some pair is disjoint — the join on that attribute is
+    empty no matter what the independence estimate says.  This is what
+    lets the planner price the split-certificate family (disjoint value
+    halves) correctly for backends that seek past empty intersections.
+    """
+    lo = max(r[0] for r in ranges)
+    hi = min(r[1] for r in ranges)
+    if hi < lo:
+        return 0.0
+    width = max(r[1] - r[0] + 1 for r in ranges)
+    return (hi - lo + 1) / width
 
 
 def apply_matching_selectivities(
@@ -283,6 +307,11 @@ def collect_stats(
                 attrs=atom.attrs,
                 cardinality=len(rel),
                 distinct=dict(rel.distinct_counts()),
+                ranges={
+                    attr: rel.column_ranges()[a]
+                    for attr, a in zip(atom.attrs, rel.attrs)
+                    if a in rel.column_ranges()
+                },
             )
         )
     probe_result = None

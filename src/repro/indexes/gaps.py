@@ -100,13 +100,33 @@ def pdyadic_gaps(values: Iterable[int], depth: int) -> List[Packed]:
 def pgap_piece_containing(
     values: Sequence[int], point: int, depth: int
 ) -> Optional[Packed]:
-    """Packed variant of :func:`gap_piece_containing` (sorted ``values``)."""
+    """Packed variant of :func:`gap_piece_containing` (sorted ``values``).
+
+    The canonical decomposition's pieces are exactly the maximal dyadic
+    intervals inside the gap, so the piece containing the probe is found
+    directly: grow the probe's unit interval parent by parent while it
+    still fits between the neighbouring stored values — O(piece length)
+    int steps, no materialized decomposition.
+    """
     i = bisect.bisect_left(values, point)
     if i < len(values) and values[i] == point:
         return None
     lo = values[i - 1] + 1 if i > 0 else 0
     hi = values[i] - 1 if i < len(values) else (1 << depth) - 1
-    for piece in dy.pdecompose_range(lo, hi, depth):
-        if dy.pcovers_point(piece, point, depth):
-            return piece
-    raise AssertionError("gap decomposition must cover the probe point")
+    p = (1 << depth) | point
+    plo = phi = point
+    size = 1
+    while p > 1:
+        if p & 1:
+            nlo = plo - size
+            nhi = phi
+        else:
+            nlo = plo
+            nhi = phi + size
+        if nlo < lo or nhi > hi:
+            break
+        p >>= 1
+        plo = nlo
+        phi = nhi
+        size <<= 1
+    return p

@@ -90,6 +90,34 @@ class QueryGapOracle:
                 out.append(self._lift(box, axes))
         return out
 
+    def containing_many(
+        self, unit_boxes: Sequence[PackedBox]
+    ) -> List[List[PackedBox]]:
+        """Per-point container lists for a batch of probe points.
+
+        Each index is visited once per *distinct* restricted probe point:
+        batch points that agree on an index's attributes (sibling unit
+        boxes differ in one attribute only) share the index walk and the
+        lifting of its gap boxes.
+        """
+        results: List[List[PackedBox]] = [[] for _ in unit_boxes]
+        for idx, axes in zip(self.indexes, self._lift_axes):
+            memo: dict = {}
+            for out, unit_box in zip(results, unit_boxes):
+                point = tuple(
+                    [p ^ (1 << (p.bit_length() - 1))
+                     for p in [unit_box[a] for a in axes]]
+                )
+                lifted = memo.get(point)
+                if lifted is None:
+                    lifted = [
+                        self._lift(box, axes)
+                        for box in idx.gap_boxes_containing(point)
+                    ]
+                    memo[point] = lifted
+                out.extend(lifted)
+        return results
+
     def boxes(self) -> List[PackedBox]:
         """Materialize the full lifted gap-box set (cached)."""
         if self._materialized is None:

@@ -58,7 +58,7 @@ def join_exists(
     stops at the first output tuple found.
     """
     engine, oracle = _engine_for(query, db, index_kind, gao, stats)
-    found = engine.run(oracle, preload=True, one_pass=True, max_outputs=1)
+    found = engine.run(oracle, preload=True, max_outputs=1)
     return bool(found)
 
 
@@ -71,7 +71,7 @@ def join_count(
 ) -> int:
     """Number of output tuples of the join (full enumeration count)."""
     engine, oracle = _engine_for(query, db, index_kind, gao, stats)
-    return len(engine.run(oracle, preload=True, one_pass=True))
+    return len(engine.run(oracle, preload=True))
 
 
 def count_rows(

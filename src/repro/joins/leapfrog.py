@@ -2,33 +2,57 @@
 
 The attribute-at-a-time join of [52, 72]: fix a global attribute order;
 at each level intersect, across all atoms containing the attribute, the
-value sets compatible with the current partial binding.  Picking the
-smallest candidate set and probing the others realizes the AGM bound
+value sets compatible with the current partial binding.  Leapfrogging
+the smallest candidate set against the others realizes the AGM bound
 (Table 1 row 2's comparator class).
 
-Relations are stored as nested-dict tries in GAO-restricted attribute
-order — the same structure the paper's B-tree indexes expose.  Each trie
-is built from the relation's **cached sorted view** for that order
-(:meth:`Relation.sorted_by`), so repeated joins over the same database
-never re-sort the hot path; :func:`iter_leapfrog` streams output rows
-lazily for the engine's cursor API.
+Instead of materializing nested-dict tries per call, each atom is read
+as a ``(lo, hi)`` row range directly over the relation's **cached
+sorted view** for its GAO-restricted order
+(:meth:`Relation.sorted_by`): within a range the column at the atom's
+current depth is sorted, so every *seek* — "advance to the first row
+with value ≥ v" — **gallops**: a doubling probe from the current
+position finds a bracketing window in O(log distance), and a bisection
+inside the window pins the exact row.  Skewed inputs, where one atom's
+cursor must leap over long runs, cost logarithmic instead of linear
+time, and repeated joins over the same database never rebuild anything
+— the sorted views are shared, zero-copy, for the lifetime of the
+relations.  :func:`iter_leapfrog` streams output rows lazily for the
+engine's cursor API.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.indexes.oracle import default_gao
 from repro.relational.query import Database, JoinQuery
 
 
-def _build_trie(rows, arity: int) -> Dict:
-    root: Dict = {}
-    for t in rows:
-        node = root
-        for v in t:
-            node = node.setdefault(v, {})
-    return root
+def _seek(rows, k: int, lo: int, hi: int, v: int) -> int:
+    """First index in ``[lo, hi)`` whose row has ``row[k] >= v``.
+
+    Galloping (exponential) search from ``lo``: doubling steps find a
+    window whose far edge passes ``v``, then a bisection inside the
+    window finds the boundary — O(log d) comparisons for a seek that
+    lands ``d`` rows ahead, never a linear scan.
+    """
+    if lo >= hi or rows[lo][k] >= v:
+        return lo
+    step = 1
+    pos = lo
+    while pos + step < hi and rows[pos + step][k] < v:
+        pos += step
+        step <<= 1
+    lo = pos + 1
+    hi = pos + step if pos + step < hi else hi
+    while lo < hi:
+        mid = (lo + hi) >> 1
+        if rows[mid][k] < v:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
 
 
 def iter_leapfrog(
@@ -47,50 +71,82 @@ def iter_leapfrog(
         raise ValueError(
             f"GAO {gao} is not a permutation of {query.variables}"
         )
-    # Per-atom tries in GAO-restricted order, plus which GAO level each
-    # trie depth corresponds to.  The per-order sorted rows come from the
-    # relation's shared view cache — one sort per (relation, order) for
-    # the lifetime of the database, not per join.
-    tries: List[Dict] = []
-    atom_levels: List[List[int]] = []
+    # Per-atom cached sorted views in GAO-restricted order.  The rows
+    # come from the relation's shared view cache — one sort per
+    # (relation, order) for the lifetime of the database, not per join.
+    n = len(gao)
+    atom_rows: List[list] = []
+    atom_depth: List[dict] = []  # gao level -> column index in the atom
     for atom in query.atoms:
         order = tuple(a for a in gao if a in atom.attrs)
-        rows = db.sorted_view(atom.name, order).rows
-        tries.append(_build_trie(rows, len(order)))
-        atom_levels.append([gao.index(a) for a in order])
+        atom_rows.append(db.sorted_view(atom.name, order).rows)
+        atom_depth.append({gao.index(a): d for d, a in enumerate(order)})
 
-    n = len(gao)
     binding: List[int] = [0] * n
     # Positions permuting a GAO-ordered binding into variables order.
     positions = [gao.index(v) for v in query.variables]
-    # relevant[level] = atoms whose tries sit at this level (their cursor
-    # depth matches because atom orders follow the GAO).
+    # relevant[level] = (atom index, column depth) pairs for the atoms
+    # constraining this GAO level.
     relevant = [
-        [i for i, levels in enumerate(atom_levels) if level in levels]
+        [(i, depths[level]) for i, depths in enumerate(atom_depth)
+         if level in depths]
         for level in range(n)
     ]
-
-    def recurse(level: int, cursors: List[Dict]):
-        if level == n:
-            yield tuple(binding[i] for i in positions)
-            return
-        atoms_here = relevant[level]
+    for level, atoms_here in enumerate(relevant):
         if not atoms_here:
             # Cannot happen for natural joins — every variable occurs in
             # some atom.
             raise AssertionError("unconstrained attribute in generic join")
-        # Intersect candidate values: iterate the smallest node.
-        nodes = [cursors[i] for i in atoms_here]
-        smallest = min(nodes, key=len)
-        for value in sorted(smallest):
-            if all(value in node for node in nodes):
-                binding[level] = value
-                nxt = list(cursors)
-                for i in atoms_here:
-                    nxt[i] = cursors[i][value]
-                yield from recurse(level + 1, nxt)
 
-    yield from recurse(0, tries)
+    def recurse(level: int, ranges: List[Tuple[int, int]]):
+        if level == n:
+            yield tuple(binding[i] for i in positions)
+            return
+        atoms_here = relevant[level]
+        # Leapfrog intersection over the participating atoms' columns.
+        pos = {i: ranges[i][0] for i, _ in atoms_here}
+        while True:
+            # v = current max over participants; everyone gallops to it.
+            v = None
+            aligned = True
+            for i, k in atoms_here:
+                p = pos[i]
+                if p >= ranges[i][1]:
+                    return
+                val = atom_rows[i][p][k]
+                if v is None or val > v:
+                    if v is not None:
+                        aligned = False
+                    v = val
+                elif val < v:
+                    aligned = False
+            if not aligned:
+                progressed = False
+                for i, k in atoms_here:
+                    lo, hi = ranges[i]
+                    p = _seek(atom_rows[i], k, pos[i], hi, v)
+                    if p != pos[i]:
+                        progressed = True
+                    pos[i] = p
+                    if p >= hi:
+                        return
+                if not progressed:  # pragma: no cover - defensive
+                    raise AssertionError("leapfrog failed to advance")
+                continue
+            # All participants agree on v: narrow each to its v-run.
+            binding[level] = v
+            nxt = list(ranges)
+            ends = {}
+            for i, k in atoms_here:
+                lo, hi = ranges[i]
+                end = _seek(atom_rows[i], k, pos[i], hi, v + 1)
+                nxt[i] = (pos[i], end)
+                ends[i] = end
+            yield from recurse(level + 1, nxt)
+            for i, _ in atoms_here:
+                pos[i] = ends[i]
+
+    yield from recurse(0, [(0, len(rows)) for rows in atom_rows])
 
 
 def join_leapfrog(

@@ -81,15 +81,22 @@ def join_tetris(
     one_pass: Optional[bool] = None,
     cache_resolvents: bool = True,
     max_outputs: Optional[int] = None,
+    mode: Optional[str] = None,
+    resolvent_limit: Optional[int] = None,
 ) -> JoinResult:
     """Evaluate a natural join with Tetris.
 
     ``variant`` is ``'preloaded'`` (Section 4.3 worst-case configuration)
     or ``'reloaded'`` (Section 4.4 certificate-based configuration).
-    ``one_pass`` defaults to True for preloaded and False for reloaded,
-    matching how the paper analyzes each.  ``max_outputs`` caps the
-    engine's enumeration — it stops after that many uncovered points, so
-    a capped run materializes O(max_outputs) output rows, not Z.
+    ``mode`` selects the traversal — the frontier-resuming skeleton
+    (``"resume"``, the default), TetrisSkeleton2 (``"onepass"``), or the
+    paper-faithful restart-per-output loop (``"faithful"``); the legacy
+    ``one_pass`` boolean maps onto the latter two when given explicitly.
+    ``resolvent_limit`` bounds the cached-resolvent working set (FIFO
+    eviction — always safe, resolvents are derived facts).
+    ``max_outputs`` caps the engine's enumeration — it stops after that
+    many uncovered points, so a capped run materializes O(max_outputs)
+    output rows, not Z.
     """
     if variant not in ("preloaded", "reloaded"):
         raise ValueError(f"unknown variant {variant!r}")
@@ -101,13 +108,12 @@ def join_tetris(
     sao = tuple(attrs.index(a) for a in gao)
     engine = TetrisEngine(
         len(attrs), depth, sao=sao, cache_resolvents=cache_resolvents,
-        stats=stats,
+        stats=stats, resolvent_limit=resolvent_limit,
     )
     preload = variant == "preloaded"
-    if one_pass is None:
-        one_pass = preload
     points = engine.run(
-        oracle, preload=preload, one_pass=one_pass, max_outputs=max_outputs
+        oracle, preload=preload, one_pass=one_pass, max_outputs=max_outputs,
+        mode=mode,
     )
     return JoinResult(sorted(points), attrs, stats, gao)
 
@@ -120,6 +126,7 @@ def iter_tetris(
     gao: Optional[Sequence[str]] = None,
     stats: Optional[ResolutionStats] = None,
     max_outputs: Optional[int] = None,
+    mode: Optional[str] = None,
 ):
     """Cursor-friendly Tetris: defer all work until first consumption.
 
@@ -131,6 +138,6 @@ def iter_tetris(
     """
     result = join_tetris(
         query, db, variant=variant, index_kind=index_kind, gao=gao,
-        stats=stats, max_outputs=max_outputs,
+        stats=stats, max_outputs=max_outputs, mode=mode,
     )
     yield from result.tuples

@@ -120,6 +120,7 @@ class Relation:
         }
         self._columns: Optional[Tuple[Tuple[int, ...], ...]] = None
         self._distinct_counts: Optional[Dict[str, int]] = None
+        self._column_ranges: Optional[Dict[str, Tuple[int, int]]] = None
         self._fingerprint: Optional[Tuple] = None
 
     @property
@@ -196,6 +197,22 @@ class Relation:
     def column(self, attr: str) -> Tuple[int, ...]:
         """One attribute's column, aligned with the canonical row order."""
         return self.columns()[self.schema.position(attr)]
+
+    def column_ranges(self) -> Dict[str, Tuple[int, int]]:
+        """Per-attribute ``(min, max)`` value ranges, cached.
+
+        The planner's range-overlap selectivity reads these: attributes
+        whose value ranges barely intersect across relations join far
+        below the independence estimate (the split-certificate family
+        is the extreme case — zero overlap, empty join).
+        """
+        if self._column_ranges is None:
+            ranges: Dict[str, Tuple[int, int]] = {}
+            if self._rows:
+                for attr, col in zip(self.schema.attrs, self.columns()):
+                    ranges[attr] = (min(col), max(col))
+            self._column_ranges = ranges
+        return self._column_ranges
 
     def project(self, attrs: Sequence[str]) -> "Relation":
         """π_attrs(R) as a fresh relation (duplicates removed)."""

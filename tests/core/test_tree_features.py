@@ -1,0 +1,202 @@
+"""The dyadic tree's kernel-support features: masks after discard,
+pinned and shallowest probes, batched walks, and the traversal frontier."""
+
+import random
+
+import pytest
+
+from repro.core.boxes import box_contains
+from repro.core.dyadic_tree import MultilevelDyadicTree, _MASK
+from repro.core.stores import ListStore
+from tests.helpers import random_packed_boxes
+
+
+def tree_of(boxes, ndim):
+    t = MultilevelDyadicTree(ndim)
+    for b in boxes:
+        t.add(b)
+    return t
+
+
+def unit_points(rng, count, ndim, depth):
+    return [
+        tuple((1 << depth) | rng.getrandbits(depth) for _ in range(ndim))
+        for _ in range(count)
+    ]
+
+
+class TestDiscard:
+    def test_discard_roundtrip(self):
+        boxes = random_packed_boxes(1, 30, 3, 4)
+        t = tree_of(boxes, 3)
+        size = len(t)
+        unique = list(dict.fromkeys(boxes))
+        for b in unique:
+            assert t.discard(b)
+            assert b not in t
+        assert len(t) == size - len(unique)
+        assert t.find_container(((1 << 4), (1 << 4), (1 << 4))) is None
+
+    def test_discard_absent_returns_false(self):
+        t = tree_of(random_packed_boxes(2, 5, 2, 3), 2)
+        assert not t.discard(((1 << 3) | 7, (1 << 3) | 7))
+
+    def test_masks_exact_after_discard(self):
+        boxes = random_packed_boxes(3, 40, 2, 4)
+        t = tree_of(boxes, 2)
+        rng = random.Random(0)
+        for b in rng.sample(list(dict.fromkeys(boxes)), 10):
+            t.discard(b)
+        # Root mask must exactly reflect the remaining level-0 lengths.
+        remaining = set(t)
+        expected_mask = 0
+        for box in remaining:
+            expected_mask |= 1 << (box[0].bit_length() - 1)
+        assert t._root[_MASK] == expected_mask
+        # And queries still agree with a fresh tree.
+        fresh = tree_of(remaining, 2)
+        rng2 = random.Random(1)
+        for p in unit_points(rng2, 50, 2, 4):
+            assert (t.find_container(p) is None) == (
+                fresh.find_container(p) is None
+            )
+
+    def test_version_counts_mutations(self):
+        t = MultilevelDyadicTree(2)
+        v0 = t.version
+        t.add((2, 3))
+        assert t.version == v0 + 1
+        t.add((2, 3))  # duplicate: no mutation
+        assert t.version == v0 + 1
+        t.discard((2, 3))
+        assert t.version == v0 + 2
+
+
+class TestProbeVariants:
+    @pytest.mark.parametrize("ndim", [1, 2, 3, 4, 5])
+    def test_find_container_matches_liststore(self, ndim):
+        boxes = random_packed_boxes(ndim, 60, ndim, 4)
+        tree = tree_of(boxes, ndim)
+        ref = ListStore(ndim)
+        for b in boxes:
+            ref.add(b)
+        rng = random.Random(7)
+        for p in unit_points(rng, 80, ndim, 4):
+            got = tree.find_container(p)
+            expected = ref.find_container(p)
+            assert (got is None) == (expected is None)
+            if got is not None:
+                assert box_contains(got, p)
+
+    def test_pinned_probe_complete_under_invariant(self):
+        # After a miss on the parent, the pinned probe must find every
+        # container of the first half.
+        ndim, depth = 3, 4
+        boxes = random_packed_boxes(9, 50, ndim, depth)
+        tree = tree_of(boxes, ndim)
+        rng = random.Random(5)
+        checked = 0
+        for _ in range(300):
+            axis = rng.randrange(ndim)
+            parent = list(
+                random_packed_boxes(rng.randrange(10_000), 1, ndim, depth - 1)[0]
+            )
+            b = tuple(parent)
+            if tree.find_container(b) is not None:
+                continue
+            half = b[:axis] + (b[axis] << 1,) + b[axis + 1:]
+            assert (
+                tree.find_container_pinned(half, axis) is None
+            ) == (tree.find_container(half) is None)
+            checked += 1
+        assert checked > 10
+
+    def test_shallowest_container_is_container(self):
+        boxes = random_packed_boxes(4, 60, 3, 4)
+        tree = tree_of(boxes, 3)
+        store = ListStore(3)
+        for b in boxes:
+            store.add(b)
+        rng = random.Random(2)
+        for p in unit_points(rng, 60, 3, 4):
+            got = tree.find_shallowest_container(p)
+            best = store.find_shallowest_container(p)
+            assert (got is None) == (best is None)
+            if got is not None:
+                assert box_contains(got, p)
+                # The ListStore optimum is a lower bound on total depth;
+                # the greedy tree answer must still be a genuine witness.
+                assert sum(c.bit_length() for c in best) <= sum(
+                    c.bit_length() for c in got
+                )
+
+    def test_batched_walk_matches_single_probes(self):
+        for ndim in (1, 2, 3, 4):
+            boxes = random_packed_boxes(ndim + 20, 50, ndim, 4)
+            tree = tree_of(boxes, ndim)
+            rng = random.Random(ndim)
+            points = unit_points(rng, 25, ndim, 4)
+            # Include a sibling pair — the engine's prefetch shape.
+            sib = points[0][:-1] + (points[0][-1] ^ 1,)
+            points.append(sib)
+            batch = tree.find_all_containers_many(points)
+            assert len(batch) == len(points)
+            for p, got in zip(points, batch):
+                assert sorted(got) == sorted(tree.find_all_containers(p))
+
+    def test_empty_batch(self):
+        tree = tree_of(random_packed_boxes(1, 5, 2, 3), 2)
+        assert tree.find_all_containers_many([]) == []
+
+
+class TestTraversalFrontier:
+    def test_probe_matches_plain_find_under_mutation(self):
+        ndim, depth = 3, 4
+        rng = random.Random(13)
+        boxes = random_packed_boxes(21, 30, ndim, depth)
+        tree = tree_of(boxes[:10], ndim)
+        frontier = tree.attach_frontier()
+        extra = iter(boxes[10:])
+        for step in range(200):
+            # Random traversal-shaped probe: unit prefix, partial comp,
+            # λ tail.
+            cursor = rng.randrange(ndim + 1)
+            comps = []
+            for i in range(ndim):
+                if i < cursor:
+                    comps.append((1 << depth) | rng.getrandbits(depth))
+                elif i == cursor:
+                    ln = rng.randrange(depth + 1)
+                    comps.append((1 << ln) | rng.getrandbits(ln))
+                else:
+                    comps.append(1)
+            box = tuple(comps)
+            got = frontier.sync_and_probe(box, cursor)
+            expected = tree.find_container(box)
+            assert (got is None) == (expected is None), step
+            if got is not None:
+                assert box_contains(got, box)
+            if step % 5 == 0:
+                nxt = next(extra, None)
+                if nxt is not None:
+                    tree.add(nxt)  # attach hook must keep frontier fresh
+        tree.detach_frontier()
+
+    def test_frontier_sees_boxes_added_mid_descent(self):
+        tree = MultilevelDyadicTree(2)
+        frontier = tree.attach_frontier()
+        unit = 1 << 3
+        probe = (unit | 5, (1 << 2) | 1)
+        assert frontier.sync_and_probe(probe, 1) is None
+        tree.add((unit | 5, 1))  # containing box arrives after the freeze
+        assert frontier.sync_and_probe(probe, 1) == (unit | 5, 1)
+
+    def test_frontier_with_eviction(self):
+        tree = MultilevelDyadicTree(2)
+        frontier = tree.attach_frontier()
+        unit = 1 << 3
+        probe = (unit | 5, unit | 6)  # comp1 = "110"
+        tree.add((unit | 5, (1 << 1) | 1))  # comp1 = "1" contains "110"
+        assert frontier.sync_and_probe(probe, 2) is not None
+        tree.discard((unit | 5, (1 << 1) | 1))
+        assert frontier.sync_and_probe(probe, 2) is None

@@ -9,9 +9,10 @@ from repro.engine import clear_plan_cache, execute, explain_text, plan_query
 from repro.workloads.generators import split_path_instance
 
 #: The frozen `repro explain` output for a two-atom path under assumed
-#: uniform statistics.  Every number is exact integer arithmetic (64 is a
-#: power of two, so even the AGM LP result rounds cleanly), which keeps
-#: the golden stable across platforms.
+#: uniform statistics.  Every quantity is exact integer arithmetic (64 is
+#: a power of two, so even the AGM LP result rounds cleanly) and the only
+#: fractional cost (leapfrog's 1.3 calibration × 432) is an exact binary
+#: product, which keeps the golden stable across platforms.
 GOLDEN = textwrap.dedent("""\
     # query: R(A, B) ⋈ S(B, C)
     EXPLAIN
@@ -28,11 +29,11 @@ GOLDEN = textwrap.dedent("""\
     │   └─ Ẑ ≈ 64  (AGM 4096, independence 64)
     ├─ candidates
     │   ├─ hash              cost≈       312  N + Σ intermediates ≈ 312 ◀
-    │   ├─ leapfrog          cost≈      1120  Õ(N + Σ prefix bindings) ≈ 320 (AGM 4096)
+    │   ├─ leapfrog          cost≈     561.6  Õ(N + Σ prefix bindings) ≈ 432 (AGM 4096)
     │   ├─ yannakakis        cost≈      1168  Õ(N + Z) = 3·128 + 64 (+6 passes)
     │   ├─ nested-loop       cost≈      2912  Σ prefix scans ≈ 4160
-    │   ├─ tetris-preloaded  cost≈     41472  Õ(N + Z) = (128 + 64)·18
-    │   └─ tetris-reloaded   cost≈    181248  Õ(|C| + Z), |Ĉ|=768 (N·d bound)
+    │   ├─ tetris-preloaded  cost≈     20736  Õ(N + Z) = (128 + 64)·18
+    │   └─ tetris-reloaded   cost≈     90624  Õ(|C| + Z), |Ĉ|=768 (N·d bound)
     └─ plan: hash  (index btree; predicted cost 312)
 """)
 
