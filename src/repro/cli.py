@@ -81,7 +81,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
         result = execute(
             query, db, algorithm=algorithm,
             index_kind=args.index_kind, gao=_parse_gao(args.gao),
-            limit=args.limit, decode=dictionary,
+            limit=args.limit, decode=dictionary, workers=args.workers,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -97,6 +97,8 @@ def _cmd_join(args: argparse.Namespace) -> int:
         f"via {result.backend} ({result.stats.summary()})",
         file=sys.stderr,
     )
+    if result.parallel is not None:
+        print(f"# parallel: {result.parallel.summary()}", file=sys.stderr)
     return 0
 
 
@@ -113,7 +115,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
             query, db, algorithm=args.algorithm,
             index_kind=args.index_kind, gao=_parse_gao(args.gao),
             probe_certificate=args.probe_certificate and db is not None,
-            assumed_rows=args.assume_rows,
+            assumed_rows=args.assume_rows, workers=args.workers,
         )
         result = None
         if args.execute:
@@ -209,13 +211,28 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
           f"{', '.join(order)})")
     if len(query.variables) <= 7:
         value, fh_order = fhtw(h)
-        print(f"fhtw         : {value:g}")
+        print(f"fhtw         : {value:g}  (elimination order "
+              f"{', '.join(fh_order)})")
     else:
-        value = None
+        value, fh_order = fhtw(h)  # treewidth-order upper bound
+        print(f"fhtw ≤       : {value:g}  (treewidth-order bound, "
+              f"{', '.join(fh_order)})")
+    from repro.relational.agm import bag_cover_number
+
+    decomposition = h.tree_decomposition(fh_order)
+    print("tree decomposition (bag ← parent, ρ* per bag):")
+    for v in decomposition.order:
+        bag = decomposition.bags[v]
+        parent = decomposition.parent[v]
+        cover = bag_cover_number(bag, h.edges)
+        link = f" ← {parent}" if parent is not None else " (root)"
+        print(
+            f"  {v}: {{{', '.join(sorted(bag))}}}{link}  ρ*={cover:g}"
+        )
     print("\nTable 1 guarantees for this query:")
     if acyclic:
         print("  Tetris-Preloaded : Õ(N + Z)        [Yannakakis bound]")
-    elif value is not None:
+    else:
         print(f"  Tetris-Preloaded : Õ(N^{value:g} + Z)   [fhtw bound]")
     if width == 1:
         print("  Tetris-Reloaded  : Õ(|C| + Z)      [Theorem 4.7]")
@@ -253,6 +270,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--gao", default=None, metavar="A,B,C",
             help="comma-separated global attribute order override",
+        )
+        p.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="shard-parallel execution on a pool of N worker "
+                 "processes (with --algorithm auto the planner decides "
+                 "serial vs. parallel; a named backend forces parallel)",
         )
         p.add_argument("--delimiter", default=",")
         p.add_argument("--skip-header", action="store_true")

@@ -39,7 +39,7 @@ rule check one or two int operations per dimension:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Iterable, Optional, Tuple
 
 from repro.core.boxes import Box, PackedBox
 
@@ -153,6 +153,36 @@ class ResolutionStats:
         self.resumes = 0
         self.evictions = 0
         self.witness_depth_sum = 0
+
+    def absorb(self, other: "ResolutionStats") -> None:
+        """Add another stats object's counters into this one, in place."""
+        self.resolutions += other.resolutions
+        self.ordered_resolutions += other.ordered_resolutions
+        for axis, count in other.by_axis.items():
+            self.by_axis[axis] = self.by_axis.get(axis, 0) + count
+        self.containment_queries += other.containment_queries
+        self.oracle_queries += other.oracle_queries
+        self.skeleton_calls += other.skeleton_calls
+        self.boxes_loaded += other.boxes_loaded
+        self.cache_hits += other.cache_hits
+        self.resumes += other.resumes
+        self.evictions += other.evictions
+        self.witness_depth_sum += other.witness_depth_sum
+
+    @classmethod
+    def merge(cls, parts: "Iterable[ResolutionStats]") -> "ResolutionStats":
+        """Sum every counter across per-shard stats objects.
+
+        The shard merger aggregates with this: the merged object reports
+        the total resolution work of a parallel run exactly as a serial
+        run over the union would (resolutions, oracle loads, resumes,
+        evictions, witness depth all add; ``mean_witness_depth`` stays a
+        weighted mean because both the sum and the resume count add).
+        """
+        merged = cls()
+        for part in parts:
+            merged.absorb(part)
+        return merged
 
     @property
     def mean_witness_depth(self) -> float:

@@ -144,7 +144,15 @@ def _extend_left_deep(
 
 @dataclass(frozen=True)
 class CostEstimate:
-    """One backend's predicted cost on an instance."""
+    """One backend's predicted cost on an instance.
+
+    ``parallel`` marks a *parallel-plan candidate*: the same backend run
+    shard-parallel on ``workers`` processes, priced with the replication
+    and shipping overheads of :meth:`CostModel.estimate_parallel` (a
+    pool of one worker is still a parallel plan — sharded, dealt,
+    merged — so the flag is explicit rather than inferred from the
+    count).
+    """
 
     backend: str
     applicable: bool
@@ -152,6 +160,8 @@ class CostEstimate:
     cost: float
     formula: str
     reason: str = ""
+    workers: int = 1
+    parallel: bool = False
 
 
 class CostModel:
@@ -165,6 +175,17 @@ class CostModel:
     #: Abstract-operation charge per binary join step (dict build,
     #: per-step list allocation) on top of the tuple-proportional work.
     STEP_OVERHEAD = 120.0
+
+    #: Parallel-plan pricing, in the same hash-probe units (measured at
+    #: ~0.8µs each on the bench workloads).  Dispatching a shard costs a
+    #: task pickle + pipe round trip (~0.2ms ≈ 250 units); a row on the
+    #: wire costs ~60ns to pickle+unpickle (≈ 0.07 units) — inputs are
+    #: priced slightly above that because the first ship also rebuilds
+    #: worker-side caches (amortized across repeats by the per-worker
+    #: relation cache), outputs above it for the parent-side merge.
+    PARALLEL_SHARD_OVERHEAD = 250.0
+    PARALLEL_SHIP_INPUT = 0.1
+    PARALLEL_SHIP_OUTPUT = 0.25
 
     # -- per-backend quantities ------------------------------------------------
 
@@ -224,14 +245,28 @@ class CostModel:
     ) -> float:
         """Σ (build + probe + intermediate) of the default left-deep plan.
 
-        Mirrors ``join_hash``'s size-ascending atom order and estimates
-        each intermediate under independence: joining on shared variables
-        divides the cross product by the larger distinct count per
-        variable.
+        Mirrors ``join_hash``'s connectivity-aware size-ascending atom
+        order and estimates each intermediate under independence:
+        joining on shared variables divides the cross product by the
+        larger distinct count per variable.
         """
-        order = sorted(
-            query.atoms, key=lambda a: stats.relation(a.name).cardinality
+        remaining = {a.name: a for a in query.atoms}
+        first = min(
+            remaining,
+            key=lambda n: (stats.relation(n).cardinality, n),
         )
+        order = [remaining.pop(first)]
+        bound = set(order[0].attrs)
+        while remaining:
+            connected = [
+                n for n, a in remaining.items() if bound & set(a.attrs)
+            ]
+            pool = connected if connected else list(remaining)
+            nxt = min(
+                pool, key=lambda n: (stats.relation(n).cardinality, n)
+            )
+            order.append(remaining.pop(nxt))
+            bound |= set(order[-1].attrs)
         acc_size = float(stats.relation(order[0].name).cardinality)
         acc_distinct = dict(stats.relation(order[0].name).distinct)
         total = acc_size
@@ -342,15 +377,116 @@ class CostModel:
             return CostEstimate(backend, True, q, factor * q, formula)
         raise ValueError(f"unknown backend {backend!r}")
 
+    # -- parallel-plan candidates ----------------------------------------------
+
+    def _replication(
+        self,
+        stats: QueryStats,
+        split_attrs: Tuple[str, ...],
+        num_shards: int,
+    ) -> float:
+        """Mean input-replication factor of a shard partition.
+
+        A relation clipped on all split attributes is scanned once
+        across the whole shard set; one clipped on a subset is
+        re-scanned by the shards that only differ on the missing
+        attributes.  Assuming split bits spread evenly over the split
+        attributes, an atom covering ``c`` of ``k`` split attributes is
+        replicated ``num_shards / 2^(c·bits/k)`` times; the model
+        averages that over relations weighted by cardinality.
+        """
+        if not split_attrs:
+            return float(num_shards)
+        bits = max(num_shards.bit_length() - 1, 0)
+        per_attr = bits / len(split_attrs)
+        total = 0.0
+        weighted = 0.0
+        for p in stats.relations:
+            covered = sum(1 for a in split_attrs if a in p.attrs)
+            factor = max(1.0, num_shards / 2.0 ** (covered * per_attr))
+            total += p.cardinality
+            weighted += factor * p.cardinality
+        return weighted / total if total else 1.0
+
+    def estimate_parallel(
+        self,
+        base: CostEstimate,
+        query: JoinQuery,
+        profile: StructureProfile,
+        stats: QueryStats,
+        workers: int,
+        num_shards: int,
+        split_attrs: Tuple[str, ...],
+    ) -> CostEstimate:
+        """Price a backend run shard-parallel on ``workers`` processes.
+
+        Speedup-aware: the backend's quantity splits into an
+        input-proportional share (which pays the replication factor of
+        partially-covered atoms) and the rest (output/intermediate work,
+        which partitions cleanly); both divide by the effective
+        parallelism ``min(workers, shards)``.  On top ride the flat
+        shard-dispatch charge and per-row shipping for inputs (amortized
+        by the per-worker cache) and outputs (returned and merged).
+        """
+        import dataclasses
+
+        if not base.applicable:
+            return dataclasses.replace(
+                base, workers=workers, parallel=True
+            )
+        p = max(1, min(workers, num_shards))
+        replication = self._replication(stats, split_attrs, num_shards)
+        n = float(stats.total_tuples)
+        z = stats.output_estimate
+        input_share = (
+            min(1.0, n / base.quantity) if base.quantity > 0 else 0.0
+        )
+        quantity = (
+            base.quantity
+            * (input_share * replication + (1.0 - input_share))
+            / p
+        )
+        overhead = (
+            self.PARALLEL_SHARD_OVERHEAD * num_shards
+            + self.PARALLEL_SHIP_INPUT * n
+            + self.PARALLEL_SHIP_OUTPUT * z
+        )
+        factor = self.calibration.get(base.backend, 1.0)
+        return CostEstimate(
+            base.backend,
+            True,
+            quantity,
+            factor * quantity + overhead,
+            f"{base.formula} ∥ ×{p} workers "
+            f"({num_shards} shards, repl {replication:.2g})",
+            workers=workers,
+            parallel=True,
+        )
+
     def estimate_all(
         self,
         query: JoinQuery,
         profile: StructureProfile,
         stats: QueryStats,
+        workers: Optional[int] = None,
+        num_shards: int = 1,
+        split_attrs: Tuple[str, ...] = (),
     ) -> Tuple[CostEstimate, ...]:
-        return tuple(
+        """Every candidate: serial per backend, plus — when a worker
+        count is on the table and the split produced > 1 shard — one
+        parallel candidate per backend at that worker count."""
+        serial = tuple(
             self.estimate(b, query, profile, stats) for b in BACKENDS
         )
+        if workers is None or workers < 1 or num_shards <= 1:
+            return serial
+        parallel = tuple(
+            self.estimate_parallel(
+                c, query, profile, stats, workers, num_shards, split_attrs
+            )
+            for c in serial
+        )
+        return serial + parallel
 
     # -- calibration hook ------------------------------------------------------
 

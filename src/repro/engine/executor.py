@@ -101,6 +101,8 @@ class ResultCursor:
         self.stats = stats
         self.gao = gao
         self.limit = limit
+        #: Filled by the shard-parallel path: the run's ParallelReport.
+        self.parallel = None
         self.rows_produced = 0
         self._source = rows  # the backend pipeline itself, for close()
         if limit is not None:
@@ -116,7 +118,16 @@ class ResultCursor:
     def __next__(self):
         if self._closed:
             raise StopIteration
-        row = next(self._rows)
+        try:
+            row = next(self._rows)
+        except StopIteration:
+            # The stream ended — by exhaustion or by the limit's islice
+            # cutting it off.  Close the underlying pipeline either way:
+            # a limit cut-off leaves it suspended (holding hash tables,
+            # and for parallel runs the worker pool's active slot) with
+            # nothing left to pull it.
+            self.close()
+            raise
         self.rows_produced += 1
         return row
 
@@ -167,6 +178,8 @@ class ExecutionResult:
     elapsed: float
     limit: Optional[int] = None
     decode: Optional[object] = field(default=None, repr=False)
+    #: The shard-parallel run's ParallelReport; None for serial plans.
+    parallel: Optional[object] = field(default=None, repr=False)
 
     def __len__(self) -> int:
         return len(self.tuples)
@@ -298,7 +311,8 @@ for _spec in (
     ),
     BackendSpec(
         "hash", _run_hash,
-        "left-deep binary hash-join plan (size-ascending order)",
+        "left-deep binary hash-join plan (connectivity-aware "
+        "size-ascending order)",
         streamer=_stream_hash,
     ),
     BackendSpec(
@@ -319,18 +333,58 @@ def _resolve_plan(
     gao: Optional[Sequence[str]],
     probe_certificate: bool,
     use_cache: bool,
+    workers: Optional[int],
     plan_kwargs: dict,
 ) -> Tuple[Plan, BackendSpec]:
     if plan is None:
         plan = plan_query(
             query, db, algorithm=algorithm, index_kind=index_kind,
             gao=gao, probe_certificate=probe_certificate,
-            use_cache=use_cache, **plan_kwargs,
+            use_cache=use_cache, workers=workers, **plan_kwargs,
         )
     spec = _REGISTRY.get(plan.backend)
     if spec is None:
         raise ValueError(f"no registered backend named {plan.backend!r}")
     return plan, spec
+
+
+def _parallel_cursor(
+    query: JoinQuery,
+    db: Database,
+    plan: Plan,
+    limit: Optional[int],
+    decode,
+) -> ResultCursor:
+    """The merged streaming cursor over a shard-parallel run.
+
+    Shards are dealt to the persistent worker pool lazily as the cursor
+    is consumed; per-shard ``ResolutionStats`` are absorbed into the
+    cursor's aggregate as each shard completes (shards are disjoint in
+    output space, so rows concatenate without deduplication).  Closing
+    the cursor early — the ``limit`` path — stops dealing and drains
+    in-flight shards.
+    """
+    from repro.parallel.merge import run_shards
+
+    outcomes, report = run_shards(query, db, plan, limit)
+    stats = ResolutionStats()
+
+    def rows() -> Iterator[Row]:
+        try:
+            for outcome in outcomes:
+                stats.absorb(outcome.stats)
+                yield from outcome.rows
+        finally:
+            close = getattr(outcomes, "close", None)
+            if close is not None:
+                close()
+
+    cursor = ResultCursor(
+        rows(), variables=query.variables, backend=plan.backend,
+        plan=plan, stats=stats, gao=plan.gao, limit=limit, decode=decode,
+    )
+    cursor.parallel = report
+    return cursor
 
 
 def execute_cursor(
@@ -344,6 +398,7 @@ def execute_cursor(
     decode=None,
     probe_certificate: bool = False,
     use_cache: bool = True,
+    workers: Optional[int] = None,
     **plan_kwargs,
 ) -> ResultCursor:
     """Plan a join and return a lazy :class:`ResultCursor` over its rows.
@@ -352,12 +407,15 @@ def execute_cursor(
     consuming a prefix does only the work that prefix needs.  ``limit``
     caps the row count, ``decode`` yields dictionary-decoded rows.
     Aggregates should consume cursors — no intermediate result set is
-    materialized on the way.
+    materialized on the way.  With ``workers=N`` (and a plan that went
+    parallel) rows stream shard by shard off the worker pool instead.
     """
     plan, spec = _resolve_plan(
         query, db, plan, algorithm, index_kind, gao,
-        probe_certificate, use_cache, plan_kwargs,
+        probe_certificate, use_cache, workers, plan_kwargs,
     )
+    if plan.num_shards > 1:
+        return _parallel_cursor(query, db, plan, limit, decode)
     if spec.streamer is not None:
         rows, stats, ran_gao = spec.streamer(query, db, plan, limit)
     else:
@@ -380,6 +438,7 @@ def execute(
     decode=None,
     probe_certificate: bool = False,
     use_cache: bool = True,
+    workers: Optional[int] = None,
     **plan_kwargs,
 ) -> ExecutionResult:
     """Plan (unless a plan is supplied) and run a join query.
@@ -391,18 +450,29 @@ def execute(
     ``decode=dictionary`` attaches a
     :class:`~repro.relational.io.ValueDictionary` so callers can read
     ``result.decoded_rows()`` lazily.
+
+    ``workers=N`` offers the planner a shard-parallel plan on N worker
+    processes: under ``algorithm="auto"`` the cost model decides
+    serial-vs-parallel; a forced backend plus ``workers`` always runs
+    parallel.  Parallel output is bit-for-bit the serial output (shards
+    partition the output space; the merged rows are re-sorted).
     """
     plan, spec = _resolve_plan(
         query, db, plan, algorithm, index_kind, gao,
-        probe_certificate, use_cache, plan_kwargs,
+        probe_certificate, use_cache, workers, plan_kwargs,
     )
     t0 = time.perf_counter()
-    if limit is None:
-        tuples, stats, ran_gao = spec.runner(query, db, plan)
+    report = None
+    if plan.num_shards > 1 or limit is not None:
+        # Close once materialized: with a limit the underlying pipeline
+        # is abandoned mid-stream, and a parallel cursor must release
+        # its worker pool (draining in-flight shards) for the next run.
+        with execute_cursor(query, db, plan=plan, limit=limit) as cursor:
+            tuples = sorted(cursor.fetchall())
+            stats, ran_gao = cursor.stats, cursor.gao
+            report = cursor.parallel
     else:
-        cursor = execute_cursor(query, db, plan=plan, limit=limit)
-        tuples = sorted(cursor.fetchall())
-        stats, ran_gao = cursor.stats, cursor.gao
+        tuples, stats, ran_gao = spec.runner(query, db, plan)
     elapsed = time.perf_counter() - t0
     return ExecutionResult(
         tuples=tuples,
@@ -414,4 +484,5 @@ def execute(
         elapsed=elapsed,
         limit=limit,
         decode=decode,
+        parallel=report,
     )

@@ -63,19 +63,23 @@ def render_plan(plan: Plan) -> str:
         f"{_fmt(st.independence_estimate)})"
     )
     lines.append("├─ candidates")
-    width = max(len(c.backend) for c in plan.candidates)
+
+    def display(c) -> str:
+        return f"{c.backend} ∥{c.workers}" if c.parallel else c.backend
+
+    width = max(len(display(c)) for c in plan.candidates)
     ordered = sorted(plan.candidates, key=lambda c: c.cost)
     for i, c in enumerate(ordered):
         branch = "└─" if i == len(ordered) - 1 else "├─"
-        marker = " ◀" if c.backend == plan.backend else ""
+        marker = " ◀" if c == plan.chosen else ""
         if c.applicable:
             lines.append(
-                f"│   {branch} {c.backend:<{width}}  "
+                f"│   {branch} {display(c):<{width}}  "
                 f"cost≈{_fmt(c.cost):>10}  {c.formula}{marker}"
             )
         else:
             lines.append(
-                f"│   {branch} {c.backend:<{width}}  "
+                f"│   {branch} {display(c):<{width}}  "
                 f"{'—':>15}  not applicable: {c.reason}"
             )
     cached = ", cached plan" if plan.cache_hit else ""
@@ -83,12 +87,53 @@ def render_plan(plan: Plan) -> str:
         f"└─ plan: {plan.backend}  (index {plan.index_kind}; "
         f"predicted cost {_fmt(plan.predicted_cost)}{cached})"
     )
+    if plan.num_shards > 1:
+        lines.append(
+            f"    └─ parallel: {plan.workers} worker"
+            f"{'s' if plan.workers != 1 else ''} × {plan.num_shards} "
+            f"shards, split on ({', '.join(plan.split_attrs)})"
+        )
     return "\n".join(lines)
 
 
 #: Decoded output rows shown by ``repro explain --execute`` before the
 #: rendering elides the rest.
 _MAX_RENDERED_ROWS = 20
+
+#: Shards listed individually in the EXPLAIN shard tree (busiest first)
+#: before the rendering elides the rest.
+_MAX_RENDERED_SHARDS = 8
+
+
+def _render_shard_tree(report) -> List[str]:
+    """The parallel section of an executed plan: totals, then the shard
+    tree — every executed shard's dyadic cell, worker, output size and
+    in-worker compute time (busiest first)."""
+    split = ", ".join(report.split_attrs)
+    lines = [
+        f"├─ parallel    : {report.workers} workers × "
+        f"{report.executed_shards} shards run, {report.pruned_shards} "
+        f"pruned (split on {split})",
+        f"│   ├─ shipped  : {report.rows_shipped} rows, ref hits "
+        f"{report.ref_hits}/{report.refs_total}",
+        f"│   ├─ makespan : {report.makespan_seconds:.4f}s "
+        f"(busiest worker {report.max_worker_seconds:.4f}s, "
+        f"partition {report.partition_seconds:.4f}s, "
+        f"balance {report.balance:.2f})",
+    ]
+    details = sorted(report.shard_details, key=lambda d: -d[3])
+    shown = details[:_MAX_RENDERED_SHARDS]
+    for i, (desc, worker, rows, seconds) in enumerate(shown):
+        last = i == len(shown) - 1 and len(details) <= len(shown)
+        branch = "└─" if last else "├─"
+        lines.append(
+            f"│   {branch} {desc}  → worker {worker}: {rows} rows, "
+            f"{seconds:.4f}s"
+        )
+    hidden = len(details) - len(shown)
+    if hidden > 0:
+        lines.append(f"│   └─ … {hidden} more shards")
+    return lines
 
 
 def render_execution(result: ExecutionResult) -> str:
@@ -111,6 +156,8 @@ def render_execution(result: ExecutionResult) -> str:
         f"├─ tuples      : {tuple_note}",
         f"├─ wall time   : {result.elapsed:.4f}s",
     ]
+    if result.parallel is not None:
+        lines.extend(_render_shard_tree(result.parallel))
     if result.decode is None:
         lines.append(f"└─ engine work : {result.stats.summary()}")
     else:

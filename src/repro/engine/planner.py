@@ -58,7 +58,13 @@ def normalize_algorithm(name: str) -> str:
 
 @dataclass(frozen=True)
 class Plan:
-    """An executable decision: backend + physical knobs + the evidence."""
+    """An executable decision: backend + physical knobs + the evidence.
+
+    ``workers > 1`` (equivalently ``num_shards > 1``) marks a
+    shard-parallel plan: the executor partitions the output space into
+    ``num_shards`` dyadic shards on ``split_attrs`` and runs the chosen
+    backend on a pool of ``workers`` processes.
+    """
 
     backend: str
     index_kind: str
@@ -70,6 +76,9 @@ class Plan:
     stats: QueryStats
     algorithm: str
     cache_hit: bool = False
+    workers: int = 1
+    num_shards: int = 1
+    split_attrs: Tuple[str, ...] = ()
 
     @property
     def variant(self) -> Optional[str]:
@@ -156,6 +165,7 @@ def plan_query(
     probe_budget: int = 256,
     use_cache: bool = True,
     assumed_rows: int = 1000,
+    workers: Optional[int] = None,
 ) -> Plan:
     """Produce a :class:`Plan` for a query.
 
@@ -165,6 +175,13 @@ def plan_query(
     ``db``, else assumed uniform (``assumed_rows`` tuples per relation) —
     the no-data mode ``repro explain`` uses.  ``probe_certificate`` adds
     the bounded Tetris-Reloaded prefix run to the collected stats.
+
+    ``workers=N`` puts shard-parallel execution on the table: under
+    ``algorithm="auto"`` every backend is additionally priced as a
+    parallel candidate on N workers (replication + shipping overheads
+    included) and the overall cheapest wins — small queries stay serial;
+    a *forced* backend combined with ``workers`` always takes the
+    parallel plan (the caller asked for both).
     """
     algorithm = normalize_algorithm(algorithm)
     if gao is not None and sorted(gao) != sorted(query.variables):
@@ -179,12 +196,15 @@ def plan_query(
             )
         else:
             stats = assumed_stats(query, rows=assumed_rows)
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     key = (
         stats.fingerprint,
         algorithm,
         index_kind,
         tuple(gao) if gao is not None else None,
         probe_certificate,
+        workers,
         # Calibration content, not object identity: a recycled id must
         # never resurrect a plan priced under different constants.
         tuple(sorted(cost_model.calibration.items()))
@@ -197,16 +217,39 @@ def plan_query(
 
     profile = structure_of(query)
     model = cost_model if cost_model is not None else CostModel()
-    candidates = model.estimate_all(query, profile, stats)
+    num_shards = 1
+    split_attrs: Tuple[str, ...] = ()
+    if workers is not None:
+        from repro.parallel.partition import (
+            choose_split_attrs,
+            default_num_shards,
+        )
+
+        distinct: Dict[str, int] = {}
+        for p in stats.relations:
+            for a in p.attrs:
+                distinct[a] = max(distinct.get(a, 0), p.distinct_of(a))
+        split_attrs = choose_split_attrs(query, distinct)
+        if split_attrs:
+            num_shards = default_num_shards(workers)
+    candidates = model.estimate_all(
+        query, profile, stats,
+        workers=workers, num_shards=num_shards, split_attrs=split_attrs,
+    )
     if algorithm == "auto":
         chosen = _choose(candidates)
     else:
-        by_name = {c.backend: c for c in candidates}
-        chosen = by_name[algorithm]
+        # A forced backend with a worker count takes the parallel
+        # candidate; without one, the serial estimate as before.
+        want_parallel = workers is not None and num_shards > 1
+        by_key = {(c.backend, c.parallel): c for c in candidates}
+        chosen = by_key.get((algorithm, want_parallel),
+                            by_key[(algorithm, False)])
         if not chosen.applicable:
             raise ValueError(
                 f"backend {algorithm!r} is not applicable: {chosen.reason}"
             )
+    parallel = chosen.parallel
     plan = Plan(
         backend=chosen.backend,
         index_kind=index_kind if index_kind is not None else "btree",
@@ -217,6 +260,9 @@ def plan_query(
         structure=profile,
         stats=stats,
         algorithm=algorithm,
+        workers=chosen.workers if parallel else 1,
+        num_shards=num_shards if parallel else 1,
+        split_attrs=split_attrs if parallel else (),
     )
     if use_cache:
         _PLAN_CACHE.put(key, plan)

@@ -301,12 +301,21 @@ def collect_stats(
     profiles = []
     for atom in query.atoms:
         rel = db[atom.name]
+        counts = rel.distinct_counts()
+        # Key every per-attribute map by the *query* attribute names
+        # (positional translation): a relation whose schema names differ
+        # from the atom's variables must not silently degrade to
+        # distinct=1 everywhere.
         profiles.append(
             RelationProfile(
                 name=atom.name,
                 attrs=atom.attrs,
                 cardinality=len(rel),
-                distinct=dict(rel.distinct_counts()),
+                distinct={
+                    attr: counts[a]
+                    for attr, a in zip(atom.attrs, rel.attrs)
+                    if a in counts
+                },
                 ranges={
                     attr: rel.column_ranges()[a]
                     for attr, a in zip(atom.attrs, rel.attrs)

@@ -22,13 +22,30 @@ from repro.relational.query import Database, JoinQuery
 def _plan_order(
     query: JoinQuery, db: Database, atom_order: Optional[Sequence[str]]
 ) -> List[str]:
-    if atom_order is None:
-        return sorted(
-            (a.name for a in query.atoms), key=lambda n: len(db[n])
-        )
-    if sorted(atom_order) != sorted(a.name for a in query.atoms):
-        raise ValueError(f"{atom_order} does not enumerate the atoms")
-    return list(atom_order)
+    """Default join order: size-ascending, but connectivity-aware.
+
+    Start from the smallest atom, then repeatedly take the smallest
+    atom sharing an attribute with what's joined so far — a pure
+    size sort can interleave disconnected atoms and silently insert a
+    cross-product stage (clipped shard databases, where relative sizes
+    shift, hit this hard).  A cross product only happens when the query
+    hypergraph itself is disconnected.
+    """
+    if atom_order is not None:
+        if sorted(atom_order) != sorted(a.name for a in query.atoms):
+            raise ValueError(f"{atom_order} does not enumerate the atoms")
+        return list(atom_order)
+    remaining = {a.name: set(a.attrs) for a in query.atoms}
+    first = min(remaining, key=lambda n: (len(db[n]), n))
+    order = [first]
+    bound = set(remaining.pop(first))
+    while remaining:
+        connected = [n for n, attrs in remaining.items() if attrs & bound]
+        pool = connected if connected else list(remaining)
+        nxt = min(pool, key=lambda n: (len(db[n]), n))
+        order.append(nxt)
+        bound |= remaining.pop(nxt)
+    return order
 
 
 def iter_hash(
@@ -65,9 +82,9 @@ def join_hash(
 ) -> List[Tuple[int, ...]]:
     """Left-deep binary hash-join plan; outputs follow query.variables.
 
-    ``atom_order`` names atoms in join order; defaults to ascending
-    relation size (a common heuristic).  Materialized and sorted;
-    :func:`iter_hash` is the streaming form.
+    ``atom_order`` names atoms in join order; defaults to the
+    connectivity-aware size-ascending heuristic of :func:`_plan_order`.
+    Materialized and sorted; :func:`iter_hash` is the streaming form.
     """
     return sorted(set(iter_hash(query, db, atom_order=atom_order)))
 
@@ -80,12 +97,12 @@ def intermediate_sizes(
     """Sizes of every intermediate result of the left-deep plan.
 
     Used by the crossover benchmarks to show the Θ(N²) blowups that
-    worst-case-optimal joins avoid.
+    worst-case-optimal joins avoid.  Defaults to the same order
+    :func:`join_hash` executes, so the reported sizes are the real
+    plan's.
     """
     if atom_order is None:
-        atom_order = sorted(
-            (a.name for a in query.atoms), key=lambda n: len(db[n])
-        )
+        atom_order = _plan_order(query, db, None)
     sizes = []
     sub_atoms = []
     for name in atom_order:

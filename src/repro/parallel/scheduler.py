@@ -1,0 +1,304 @@
+"""The shard scheduler: persistent worker pools and dynamic dealing.
+
+A :class:`WorkerPool` owns N worker processes connected by duplex pipes
+and deals shards **dynamically**: every worker holds exactly one
+outstanding shard, and the next shard is dealt the moment a worker's
+result arrives.  With the partitioner's oversharding (more shards than
+workers) this is classic LPT-style list scheduling — a skewed shard
+delays one worker by one shard, never the whole run.
+
+Dealing is **cache-affine**: the pool mirrors each worker's relation
+cache (exactly — inserts are decided here, evictions are acknowledged on
+the next result from that worker, and a worker never holds two tasks, so
+the mirror cannot race).  A pending shard whose relations a free worker
+already holds is preferred, and known relations ship as content-key
+references instead of rows — the "repeated queries on the same data ship
+no rows" path.
+
+Pools persist for the process lifetime (:func:`get_pool` memoizes per
+worker count; ``atexit`` shuts them down), so a served workload pays
+process spawn once, not per query.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import time
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.parallel.partition import Shard
+from repro.parallel.workers import ShardResult, ShardTask, worker_main
+
+
+class WorkerError(RuntimeError):
+    """A shard failed in a worker (carries the worker's traceback)."""
+
+
+@dataclass
+class PendingShard:
+    """A clipped shard ready to deal: relations carry their cache keys."""
+
+    shard_id: int
+    shard: Shard
+    relations: Tuple[Tuple[str, Tuple, object], ...]  # (name, key, Relation)
+    weight: int  # clipped input size: the LPT priority
+
+
+def _preferred_start_method() -> str:
+    # fork shares the warm parent image (no re-import per worker); fall
+    # back to spawn where fork is unavailable (Windows, some macOS).
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+class WorkerPool:
+    """N persistent shard workers plus the parent-side cache mirror."""
+
+    def __init__(
+        self, num_workers: int, start_method: Optional[str] = None
+    ):
+        if num_workers < 1:
+            raise ValueError(f"need at least 1 worker, got {num_workers}")
+        ctx = mp.get_context(start_method or _preferred_start_method())
+        self.num_workers = num_workers
+        self._conns: List = []
+        self._procs: List = []
+        for i in range(num_workers):
+            parent_end, child_end = ctx.Pipe()
+            proc = ctx.Process(
+                target=worker_main,
+                args=(child_end,),
+                daemon=True,
+                name=f"repro-shard-worker-{i}",
+            )
+            proc.start()
+            child_end.close()
+            self._conns.append(parent_end)
+            self._procs.append(proc)
+        #: Mirror of each worker's relation cache, by content key.
+        self._known: List[set] = [set() for _ in range(num_workers)]
+        self.closed = False
+        #: True while a run owns the pipes.  The one-in/one-out protocol
+        #: cannot multiplex runs: a second concurrent run would receive
+        #: the first run's in-flight replies as its own shards.
+        self.active = False
+
+    # -- dealing ---------------------------------------------------------------
+
+    def _pick_job(self, wid: int, pending: List[PendingShard]) -> PendingShard:
+        """Pop the best pending shard for a worker: affinity, then LPT.
+
+        ``pending`` is kept heaviest-first.  Score prefers shards this
+        worker already caches, then unclaimed shards, then shards cached
+        by *another* worker — stealing re-ships rows, so it's the last
+        resort (and the right one: when only another worker's shards
+        remain, idling would straggle the run).  Ties break toward the
+        heavier shard.
+        """
+        known = self._known[wid]
+        others = [k for i, k in enumerate(self._known) if i != wid]
+        best_i = 0
+        best_score = None
+        for i, job in enumerate(pending):
+            own = sum(1 for _, key, _ in job.relations if key in known)
+            stolen = max(
+                (
+                    sum(1 for _, key, _ in job.relations if key in o)
+                    for o in others
+                ),
+                default=0,
+            )
+            # Own-cached first, then unclaimed, then steal (stealing
+            # re-ships rows — last resort, but better than idling).
+            score = (own, -stolen)
+            if best_score is None or score > best_score:
+                best_i, best_score = i, score
+                if own == len(job.relations):
+                    break  # fully cached and heaviest such — done
+        return pending.pop(best_i)
+
+    def run_shards(
+        self,
+        jobs: Sequence[PendingShard],
+        atoms: Tuple,
+        backend: str,
+        index_kind: str,
+        gao: Optional[Tuple[str, ...]],
+        limit: Optional[int],
+        report=None,
+    ) -> Iterator[Tuple[ShardResult, int, PendingShard]]:
+        """Deal shards dynamically; yield results in completion order.
+
+        Yields ``(result, worker_id, job)``.  Raises :class:`WorkerError`
+        on a shard failure or a dead worker.  Closing the generator early
+        (a merged cursor hitting its limit) stops dealing and *drains*
+        the in-flight shards so the one-in/one-out pipe protocol stays in
+        sync for the next run.
+
+        A pool runs one shard set at a time: the generator marks the
+        pool ``active`` while it owns the pipes, and every received
+        result is checked against the shard it was paired with —
+        callers acquire pools through :func:`get_pool`, which never
+        hands out an active one, so overlapping cursors each get their
+        own pool instead of cross-wiring each other's replies.
+        """
+        if self.closed:
+            raise WorkerError("worker pool is closed")
+        if self.active:
+            raise WorkerError(
+                "worker pool is already running a shard set "
+                "(acquire pools via get_pool)"
+            )
+        self.active = True
+        pending = sorted(jobs, key=lambda j: -j.weight)
+        free = list(range(self.num_workers))
+        busy: Dict[int, PendingShard] = {}
+        try:
+            while pending or busy:
+                while free and pending:
+                    wid = free.pop()
+                    job = self._pick_job(wid, pending)
+                    self._dispatch(
+                        wid, job, atoms, backend, index_kind, gao, limit,
+                        report,
+                    )
+                    busy[wid] = job
+                ready = mp_connection.wait(
+                    [self._conns[w] for w in busy]
+                )
+                for conn in ready:
+                    wid = self._conns.index(conn)
+                    result = self._receive(wid)
+                    job = busy.pop(wid)
+                    free.append(wid)
+                    if result.error is not None:
+                        raise WorkerError(
+                            f"shard {result.shard_id} failed in worker "
+                            f"{wid}:\n{result.error}"
+                        )
+                    if result.shard_id != job.shard_id:
+                        # Desynchronized pipe: never serve mismatched
+                        # results as if they belonged to this run.
+                        self._invalidate()
+                        raise WorkerError(
+                            f"worker {wid} answered shard "
+                            f"{result.shard_id} while {job.shard_id} "
+                            f"was in flight (protocol desync)"
+                        )
+                    yield result, wid, job
+        finally:
+            # Drain in-flight replies (dispatched but not yet received)
+            # so the next run starts from a synchronized protocol state.
+            for wid in list(busy):
+                try:
+                    self._receive(wid)
+                except WorkerError:
+                    pass
+            self.active = False
+
+    def _dispatch(
+        self, wid, job, atoms, backend, index_kind, gao, limit, report
+    ) -> None:
+        known = self._known[wid]
+        payloads = []
+        for name, key, rel in job.relations:
+            if key in known:
+                payloads.append((name, key, None))
+                if report is not None:
+                    report.ref_hits += 1
+            else:
+                payloads.append((name, key, rel))
+                known.add(key)
+                if report is not None:
+                    report.rows_shipped += len(rel)
+            if report is not None:
+                report.refs_total += 1
+        task = ShardTask(
+            shard_id=job.shard_id,
+            atoms=atoms,
+            payloads=tuple(payloads),
+            backend=backend,
+            index_kind=index_kind,
+            gao=gao,
+            limit=limit,
+        )
+        try:
+            self._conns[wid].send(task)
+        except (BrokenPipeError, OSError) as exc:
+            self._invalidate()
+            raise WorkerError(f"worker {wid} is gone: {exc}") from exc
+
+    def _receive(self, wid: int) -> ShardResult:
+        try:
+            result = self._conns[wid].recv()
+        except (EOFError, OSError) as exc:
+            self._invalidate()
+            raise WorkerError(
+                f"worker {wid} died mid-shard: {exc}"
+            ) from exc
+        for key in result.evicted:
+            self._known[wid].discard(key)
+        return result
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _invalidate(self) -> None:
+        """Tear down after a protocol failure; drop from the registry."""
+        self.close(graceful=False)
+        pools = _POOLS.get(self.num_workers)
+        if pools is not None and self in pools:
+            pools.remove(self)
+
+    def close(self, graceful: bool = True) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        for conn in self._conns:
+            if graceful:
+                try:
+                    conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+        deadline = time.monotonic() + (2.0 if graceful else 0.2)
+        for proc in self._procs:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+        for conn in self._conns:
+            conn.close()
+
+
+_POOLS: Dict[int, List[WorkerPool]] = {}
+
+
+def get_pool(num_workers: int) -> WorkerPool:
+    """An *idle* persistent pool for a worker count.
+
+    Pools are memoized and reused across queries (that's what keeps the
+    per-worker relation caches warm), but a pool mid-run is never handed
+    out again: a second parallel cursor consumed while the first is
+    still open gets its own pool, because the pipe protocol cannot carry
+    two runs at once.  Idle pools are recycled; extra pools accumulate
+    only while that many parallel runs are genuinely open at once.
+    """
+    pools = _POOLS.setdefault(num_workers, [])
+    pools[:] = [p for p in pools if not p.closed]
+    for pool in pools:
+        if not pool.active:
+            return pool
+    pool = WorkerPool(num_workers)
+    pools.append(pool)
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Close every memoized pool (registered atexit; callable in tests)."""
+    for pools in _POOLS.values():
+        for pool in pools:
+            pool.close()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)

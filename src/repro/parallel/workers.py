@@ -1,0 +1,155 @@
+"""Shard worker processes: the remote end of the scheduler's pipes.
+
+Each worker is a long-lived process running :func:`worker_main` on its
+end of a duplex pipe.  The protocol is strictly one-in/one-out: every
+:class:`ShardTask` received produces exactly one :class:`ShardResult`
+(errors included, as a formatted traceback) — the scheduler relies on
+this to keep its per-worker bookkeeping exact, even while draining an
+abandoned run.
+
+Payloads are pickle-lean: a relation ships as schema + canonical rows
+only (``Relation.__getstate__`` drops every memoized view/column), and
+only the *first* time a given content key reaches a given worker — the
+worker keeps an LRU **relation cache keyed by content**
+(``Relation.cache_key``), so repeated queries over the same data ship
+references, no rows.  Evictions are reported back with each result so
+the scheduler's view of the cache never drifts.
+
+Workers execute through the engine's backend registry directly (the
+parent already planned: backend, index kind and GAO arrive in the task),
+skipping the per-shard planning pass — no treewidth search, no AGM LP in
+the hot loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+import traceback
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+Row = Tuple[int, ...]
+
+#: Worker-side relation cache capacity (entries).  Evicted keys ride
+#: back on the next result so the scheduler stops sending references to
+#: them.
+CACHE_ENTRIES = 256
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard's work order, self-contained on the wire.
+
+    ``payloads`` holds, per query atom, ``(name, cache key, relation or
+    None)`` — ``None`` means "you have this one cached".
+    """
+
+    shard_id: int
+    atoms: Tuple  # RelationSchema, in query-atom order
+    payloads: Tuple[Tuple[str, Tuple, Optional[object]], ...]
+    backend: str
+    index_kind: str
+    gao: Optional[Tuple[str, ...]]
+    limit: Optional[int]
+
+
+@dataclass
+class ShardResult:
+    """One shard's answer: rows, engine stats, and cache bookkeeping."""
+
+    shard_id: int
+    rows: List[Row]
+    stats: object  # ResolutionStats (kept untyped: workers import lazily)
+    compute_seconds: float
+    ref_hits: int
+    evicted: Tuple[Tuple, ...] = field(default_factory=tuple)
+    error: Optional[str] = None
+
+
+class _ShardPlan:
+    """The minimal plan shape the registered backend runners read."""
+
+    __slots__ = ("index_kind", "gao")
+
+    def __init__(self, index_kind: str, gao: Optional[Tuple[str, ...]]):
+        self.index_kind = index_kind
+        self.gao = gao
+
+
+def execute_shard(task: ShardTask, cache: OrderedDict) -> ShardResult:
+    """Run one shard against the backend registry; never raises."""
+    from repro.core.resolution import ResolutionStats
+    from repro.engine.executor import _REGISTRY
+    from repro.relational.query import Database, JoinQuery
+
+    # CPU time, not wall: on a host where workers outnumber free cores
+    # the OS time-slices them, and wall clocks would double-count the
+    # contention.  process_time is what the shard costs on any host.
+    t0 = time.process_time()
+    evicted: List[Tuple] = []
+    try:
+        relations = []
+        hits = 0
+        for _name, key, rel in task.payloads:
+            if rel is None:
+                rel = cache[key]
+                cache.move_to_end(key)
+                hits += 1
+            else:
+                cache[key] = rel
+                cache.move_to_end(key)
+                while len(cache) > CACHE_ENTRIES:
+                    old_key, _ = cache.popitem(last=False)
+                    evicted.append(old_key)
+            relations.append(rel)
+        query = JoinQuery(task.atoms)
+        db = Database(relations)
+        spec = _REGISTRY[task.backend]
+        plan = _ShardPlan(task.index_kind, task.gao)
+        if task.limit is not None and spec.streamer is not None:
+            rows_iter, stats, _gao = spec.streamer(
+                query, db, plan, task.limit
+            )
+            rows = list(itertools.islice(rows_iter, task.limit))
+            close = getattr(rows_iter, "close", None)
+            if close is not None:
+                close()
+        else:
+            rows, stats, _gao = spec.runner(query, db, plan)
+            if task.limit is not None:
+                rows = rows[: task.limit]
+        return ShardResult(
+            shard_id=task.shard_id,
+            rows=rows,
+            stats=stats,
+            compute_seconds=time.process_time() - t0,
+            ref_hits=hits,
+            evicted=tuple(evicted),
+        )
+    except Exception:
+        return ShardResult(
+            shard_id=task.shard_id,
+            rows=[],
+            stats=ResolutionStats(),
+            compute_seconds=time.process_time() - t0,
+            ref_hits=0,
+            evicted=tuple(evicted),
+            error=traceback.format_exc(),
+        )
+
+
+def worker_main(conn) -> None:
+    """The worker process loop: recv task / send result until ``None``."""
+    cache: OrderedDict = OrderedDict()
+    try:
+        while True:
+            task = conn.recv()
+            if task is None:
+                break
+            conn.send(execute_shard(task, cache))
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):
+        pass
+    finally:
+        conn.close()

@@ -123,6 +123,75 @@ class Relation:
         self._column_ranges: Optional[Dict[str, Tuple[int, int]]] = None
         self._fingerprint: Optional[Tuple] = None
 
+    @classmethod
+    def from_sorted_rows(
+        cls,
+        schema: RelationSchema,
+        rows: List[Tuple_],
+        domain: Domain,
+    ) -> "Relation":
+        """Trusted fast path: build a relation from already-clean rows.
+
+        ``rows`` must be schema-order tuples, sorted, duplicate-free and
+        inside ``domain`` — the invariants every bisect slice of an
+        existing relation's canonical view satisfies.  Skips the per-value
+        validation pass of ``__init__``; used by shard clipping and
+        unpickling, where the rows come from a relation that was already
+        validated once.
+        """
+        rel = cls.__new__(cls)
+        rel.schema = schema
+        rel.domain = domain
+        rel._tuples = frozenset(rows)
+        rel._rows = rows
+        rel._views = {schema.attrs: SortedView(schema.attrs, rows)}
+        rel._columns = None
+        rel._distinct_counts = None
+        rel._column_ranges = None
+        rel._fingerprint = None
+        return rel
+
+    # -- pickling: lean on the wire --------------------------------------------
+
+    def __getstate__(self):
+        """Ship only the canonical rows; every cache is dropped.
+
+        Memoized sorted views, columns and statistics are all derivable
+        from the rows, and on a busy relation they multiply the payload
+        several times over.  Workers rebuild them lazily on first use, so
+        a pickled relation costs one row list on the wire no matter how
+        many permutations the parent has materialized.
+        """
+        return (self.schema, self.domain, self._rows)
+
+    def __setstate__(self, state):
+        schema, domain, rows = state
+        self.schema = schema
+        self.domain = domain
+        self._tuples = frozenset(rows)
+        self._rows = rows
+        self._views = {schema.attrs: SortedView(schema.attrs, rows)}
+        self._columns = None
+        self._distinct_counts = None
+        self._column_ranges = None
+        self._fingerprint = None
+
+    def cache_key(self) -> Tuple:
+        """A cheap content key for the shard workers' relation caches.
+
+        Unlike :meth:`stats_fingerprint` this never forces the distinct
+        counts — just name, schema, domain, cardinality and the tuple-set
+        hash (which ``frozenset`` memoizes), so keying a clipped shard
+        payload costs one hash pass, not a statistics build.
+        """
+        return (
+            self.name,
+            self.schema.attrs,
+            self.domain.depth,
+            len(self._tuples),
+            hash(self._tuples),
+        )
+
     @property
     def name(self) -> str:
         return self.schema.name

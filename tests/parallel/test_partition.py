@@ -1,0 +1,195 @@
+"""Partitioning invariants: disjoint, covering, balanced, clip-exact."""
+
+import pickle
+
+import pytest
+
+from repro.core.intervals import PLAMBDA
+from repro.parallel.partition import (
+    Shard,
+    attr_distinct_bounds,
+    choose_split_attrs,
+    clip_database,
+    clip_relation,
+    default_num_shards,
+    partition_shards,
+)
+from repro.relational.query import evaluate_reference, triangle_query
+from repro.workloads.generators import (
+    graph_triangle_db,
+    random_graph_edges,
+    random_path_db,
+)
+
+
+@pytest.fixture
+def triangle_instance():
+    edges = random_graph_edges(40, 90, seed=11)
+    return graph_triangle_db(edges)
+
+
+def _in_shard(shard, query, db, row):
+    """Does an output row's projection land inside the shard's cell?"""
+    assignment = dict(zip(query.variables, row))
+    depth = db.domain.depth
+    for attr, p in shard.constraints:
+        lo, hi = shard.value_range(attr, depth)
+        if not (lo <= assignment[attr] <= hi):
+            return False
+    return True
+
+
+class TestPartition:
+    def test_shards_disjoint_and_cover_output(self, triangle_instance):
+        query, db = triangle_instance
+        shards = partition_shards(query, db, 8)
+        assert 1 < len(shards) <= 8
+        reference = evaluate_reference(query, db)
+        assert reference  # the instance must exercise the property
+        for row in reference:
+            owners = [
+                s for s in shards if _in_shard(s, query, db, row)
+            ]
+            assert len(owners) == 1, (row, owners)
+
+    def test_union_of_clipped_joins_is_the_join(self, triangle_instance):
+        query, db = triangle_instance
+        shards = partition_shards(query, db, 8)
+        reference = evaluate_reference(query, db)
+        merged = []
+        for shard in shards:
+            clipped = clip_database(query, db, shard)
+            if clipped is None:
+                continue
+            merged.extend(evaluate_reference(query, clipped))
+        assert sorted(merged) == reference
+        assert len(merged) == len(reference)  # disjoint: no duplicates
+
+    def test_balanced_loads(self):
+        query, db = graph_triangle_db(
+            random_graph_edges(120, 500, seed=5)
+        )
+        shards = partition_shards(query, db, 8)
+        weights = []
+        for shard in shards:
+            clipped = clip_database(query, db, shard)
+            weights.append(
+                clipped.total_tuples if clipped is not None else 0
+            )
+        # Heaviest-first splitting must not leave one dominant shard.
+        assert max(weights) < 0.5 * sum(weights)
+
+    def test_deterministic(self, triangle_instance):
+        query, db = triangle_instance
+        assert partition_shards(query, db, 8) == partition_shards(
+            query, db, 8
+        )
+
+    def test_single_shard_is_root(self, triangle_instance):
+        query, db = triangle_instance
+        (root,) = partition_shards(query, db, 1)
+        assert all(p == PLAMBDA for _, p in root.constraints)
+
+    def test_default_num_shards_oversharded_pow2(self):
+        assert default_num_shards(4) == 16
+        assert default_num_shards(3) == 16
+        assert default_num_shards(1) == 4
+
+
+class TestSplitChoice:
+    def test_split_attrs_cover_all_triangle_atoms(self, triangle_instance):
+        query, db = triangle_instance
+        attrs = choose_split_attrs(
+            query, attr_distinct_bounds(query, db)
+        )
+        # Two of {A, B, C} cover all three binary atoms.
+        assert len(attrs) == 2
+        for atom in query.atoms:
+            assert any(a in atom.attrs for a in attrs)
+
+    def test_constant_attribute_never_chosen(self):
+        query = triangle_query()
+        attrs = choose_split_attrs(
+            query, {"A": 1, "B": 50, "C": 50}
+        )
+        assert "A" not in attrs
+
+
+class TestClipping:
+    def test_clip_unconstrained_relation_is_shared(self, triangle_instance):
+        query, db = triangle_instance
+        shard = Shard((("Z", 0b10),))  # attribute not in the schema
+        rel = db["R"]
+        assert clip_relation(rel, shard, db.domain.depth) is rel
+
+    def test_clip_matches_filter_semantics(self, triangle_instance):
+        query, db = triangle_instance
+        depth = db.domain.depth
+        shards = partition_shards(query, db, 8)
+        rel = db["R"]
+        for shard in shards:
+            clipped = clip_relation(rel, shard, depth)
+            ranges = {
+                a: shard.value_range(a, depth)
+                for a, p in shard.constraints
+                if a in rel.schema.attrs and p != PLAMBDA
+            }
+            expected = sorted(
+                t
+                for t in rel.rows()
+                if all(
+                    lo <= t[rel.schema.position(a)] <= hi
+                    for a, (lo, hi) in ranges.items()
+                )
+            )
+            assert clipped.rows() == expected
+
+    def test_clip_on_non_leading_attribute(self):
+        query, db = random_path_db(2, 200, seed=3, depth=8)
+        depth = db.domain.depth
+        # Constrain A1, the *second* attribute of R0(A0, A1): forces the
+        # permuted-view path with the re-sort back to schema order.
+        shard = Shard((("A1", 0b10),))
+        rel = db["R0"]
+        clipped = clip_relation(rel, shard, depth)
+        half = 1 << (depth - 1)
+        expected = sorted(t for t in rel.rows() if t[1] < half)
+        assert clipped.rows() == expected
+
+
+class TestPickleLeanRelation:
+    def test_roundtrip_preserves_content(self, triangle_instance):
+        _, db = triangle_instance
+        rel = db["R"]
+        clone = pickle.loads(pickle.dumps(rel))
+        assert clone.rows() == rel.rows()
+        assert clone.schema == rel.schema
+        assert clone.domain == rel.domain
+        assert clone.tuples() == rel.tuples()
+
+    def test_caches_are_dropped_on_the_wire(self, triangle_instance):
+        _, db = triangle_instance
+        rel = db["R"]
+        baseline = len(pickle.dumps(rel))
+        # Warm several memoized views, columns and statistics.
+        rel.view(("B", "A"))
+        rel.columns()
+        rel.distinct_counts()
+        rel.column_ranges()
+        rel.stats_fingerprint()
+        assert len(rel.cached_view_orders()) > 1
+        warmed = len(pickle.dumps(rel))
+        assert warmed == baseline  # caches never reach the wire
+        clone = pickle.loads(pickle.dumps(rel))
+        assert clone.cached_view_orders() == (rel.schema.attrs,)
+        # ... and rebuild lazily on demand, identically.
+        assert clone.view(("B", "A")).rows == rel.view(("B", "A")).rows
+
+    def test_cache_key_tracks_content(self, triangle_instance):
+        _, db = triangle_instance
+        rel = db["R"]
+        clone = pickle.loads(pickle.dumps(rel))
+        assert clone.cache_key() == rel.cache_key()
+        assert db["S"].cache_key() != rel.cache_key() or (
+            db["S"].rows() == rel.rows() and db["S"].name == rel.name
+        )
