@@ -1,0 +1,367 @@
+"""Frozen PR-5-era interpreted kernels — the bench_compiled baseline.
+
+Verbatim copies of the interpreted hot loops as they stood before the
+per-plan compiled kernels landed: the recursive leapfrog intersection
+over row tuples (`repro.joins.leapfrog`), the generator-pipeline hash
+cascade (`repro.joins.hashjoin` + `repro.joins.pipeline`), and the
+frontier-resuming Tetris loop (`repro.core.tetris._run_resuming`).
+``benchmarks/bench_compiled.py`` races these against the live compiled
+kernels over the *same* pre-built data plane (sorted views, oracles), so
+the measured ratio isolates kernel dispatch — not index builds.
+
+Do not "fix" or modernize this module: it is a measurement baseline.
+The only permitted edits are ones required to keep it importable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+# -- leapfrog (frozen from repro.joins.leapfrog) --------------------------------
+
+
+def _seek(rows, k: int, lo: int, hi: int, v: int) -> int:
+    """First index in ``[lo, hi)`` whose row has ``row[k] >= v``."""
+    if lo >= hi or rows[lo][k] >= v:
+        return lo
+    step = 1
+    pos = lo
+    while pos + step < hi and rows[pos + step][k] < v:
+        pos += step
+        step <<= 1
+    lo = pos + 1
+    hi = pos + step if pos + step < hi else hi
+    while lo < hi:
+        mid = (lo + hi) >> 1
+        if rows[mid][k] < v:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def iter_leapfrog(query, db, gao) -> Iterator[Tuple[int, ...]]:
+    """The PR-5 recursive leapfrog enumeration over cached sorted views."""
+    gao = tuple(gao)
+    n = len(gao)
+    atom_rows: List[list] = []
+    atom_depth: List[dict] = []
+    for atom in query.atoms:
+        order = tuple(a for a in gao if a in atom.attrs)
+        atom_rows.append(db.sorted_view(atom.name, order).rows)
+        atom_depth.append({gao.index(a): d for d, a in enumerate(order)})
+
+    binding: List[int] = [0] * n
+    positions = [gao.index(v) for v in query.variables]
+    relevant = [
+        [(i, depths[level]) for i, depths in enumerate(atom_depth)
+         if level in depths]
+        for level in range(n)
+    ]
+
+    def recurse(level: int, ranges: List[Tuple[int, int]]):
+        if level == n:
+            yield tuple(binding[i] for i in positions)
+            return
+        atoms_here = relevant[level]
+        pos = {i: ranges[i][0] for i, _ in atoms_here}
+        while True:
+            v = None
+            aligned = True
+            for i, k in atoms_here:
+                p = pos[i]
+                if p >= ranges[i][1]:
+                    return
+                val = atom_rows[i][p][k]
+                if v is None or val > v:
+                    if v is not None:
+                        aligned = False
+                    v = val
+                elif val < v:
+                    aligned = False
+            if not aligned:
+                for i, k in atoms_here:
+                    lo, hi = ranges[i]
+                    p = _seek(atom_rows[i], k, pos[i], hi, v)
+                    pos[i] = p
+                    if p >= hi:
+                        return
+                continue
+            binding[level] = v
+            nxt = list(ranges)
+            ends = {}
+            for i, k in atoms_here:
+                lo, hi = ranges[i]
+                end = _seek(atom_rows[i], k, pos[i], hi, v + 1)
+                nxt[i] = (pos[i], end)
+                ends[i] = end
+            yield from recurse(level + 1, nxt)
+            for i, _ in atoms_here:
+                pos[i] = ends[i]
+
+    yield from recurse(0, [(0, len(rows)) for rows in atom_rows])
+
+
+# -- hash (frozen from repro.joins.hashjoin / pipeline) -------------------------
+
+
+def hash_stage(acc_attrs, right_attrs, right_rows):
+    right_attrs = list(right_attrs)
+    common = [a for a in acc_attrs if a in right_attrs]
+    new_attrs = [a for a in right_attrs if a not in acc_attrs]
+    rpos_common = [right_attrs.index(a) for a in common]
+    rpos_new = [right_attrs.index(a) for a in new_attrs]
+    lpos_common = [list(acc_attrs).index(a) for a in common]
+    table = {}
+    for t in right_rows:
+        key = tuple(t[i] for i in rpos_common)
+        table.setdefault(key, []).append(tuple(t[i] for i in rpos_new))
+    return table, lpos_common, new_attrs
+
+
+def probe(stream, table, lpos_common):
+    for t in stream:
+        key = tuple(t[i] for i in lpos_common)
+        for ext in table.get(key, ()):
+            yield t + ext
+
+
+def iter_hash(query, db, order: Sequence[str]) -> Iterator[Tuple[int, ...]]:
+    """The PR-5 generator-pipeline probe cascade for a given atom order."""
+    first = query.atom(order[0])
+    acc_attrs: List[str] = list(first.attrs)
+    stream: Iterator[tuple] = iter(db[first.name].rows())
+    for name in order[1:]:
+        atom = query.atom(name)
+        table, lpos_common, new_attrs = hash_stage(
+            acc_attrs, atom.attrs, db[name]
+        )
+        stream = probe(stream, table, lpos_common)
+        acc_attrs = acc_attrs + new_attrs
+    positions = [acc_attrs.index(v) for v in query.variables]
+    for t in stream:
+        yield tuple(t[i] for i in positions)
+
+
+# -- tetris (frozen from repro.core.tetris._run_resuming) -----------------------
+
+
+def run_resuming(
+    engine,
+    oracle,
+    max_outputs: Optional[int],
+    on_demand: bool,
+    trust_kb: bool = False,
+) -> list:
+    """The PR-5 frontier-resuming loop, as a standalone function.
+
+    A verbatim copy of ``TetrisEngine._run_resuming`` with ``self``
+    renamed to ``engine`` — every mode flag still branch-tested on every
+    traversal step, which is precisely what the compiled kernel folds
+    away.  The caller is responsible for preloading and for detaching
+    the traversal frontier afterwards (see ``bench_compiled``).
+    """
+    from repro.core.boxes import box_contains
+    from repro.core.resolution import Resolver, is_ordered_pair
+
+    kb = engine.knowledge_base
+    find_container = kb.find_container
+    find_pinned = getattr(kb, "find_container_pinned", None)
+    versioned = hasattr(kb, "version")
+    find_shallowest = getattr(kb, "find_shallowest_container", None)
+    kb_add = kb.add
+    stats = engine.stats
+    unit = engine._unit_marker
+    cache = engine.cache_resolvents
+    cache_resolvent = (
+        kb_add if engine.resolvent_limit is None else engine._cache_resolvent
+    )
+    resolver = engine._resolver
+    fast_resolve = type(resolver) is Resolver
+    record = engine.stats.record
+    uniform = engine.dims is None
+    n = engine.ndim
+    outputs: list = []
+    stats.skeleton_calls += 1
+    prefetch_key = None
+    prefetch_boxes: list = []
+    depth_bits = engine.depth + 1
+    corner = None
+    corner_covered = False
+    frontier = None
+    if uniform and hasattr(kb, "attach_frontier"):
+        frontier = kb.attach_frontier()
+        probe_fn = frontier.sync_and_probe
+
+    stack: list = []
+    current = engine._universe
+    cursor = engine._initial_cursor(current) if uniform else 0
+    pinned = None
+    result = (True, engine._universe)
+
+    while True:
+        if current is not None:
+            b = current
+            stats.containment_queries += 1
+            if frontier is not None:
+                witness = probe_fn(b, cursor, pinned)
+            else:
+                witness = (
+                    find_container(b)
+                    if pinned is None or find_pinned is None
+                    else find_pinned(b, pinned)
+                )
+            if witness is not None:
+                stats.cache_hits += 1
+                result = (True, witness)
+                current = None
+                continue
+            if (cursor == n) if uniform else engine._is_unit_box(b):
+                stats.resumes += 1
+                if trust_kb:
+                    gap_boxes = ()
+                elif prefetch_key == b:
+                    gap_boxes = prefetch_boxes
+                    prefetch_key = None
+                else:
+                    sibling = None
+                    if on_demand and stack:
+                        frame = stack[-1]
+                        if frame[4] == 0:
+                            sibling = frame[1]
+                    if sibling is not None:
+                        batch = engine._oracle_lookup_many(
+                            oracle, (b, sibling)
+                        )
+                        gap_boxes = batch[0]
+                        prefetch_key = sibling
+                        prefetch_boxes = batch[1]
+                    else:
+                        gap_boxes = engine._oracle_lookup(oracle, b)
+                if gap_boxes:
+                    loaded = 0
+                    for box in gap_boxes:
+                        if kb_add(box):
+                            loaded += 1
+                    stats.boxes_loaded += loaded
+                    witness = (
+                        find_shallowest(b)
+                        if find_shallowest is not None
+                        else None
+                    )
+                    if witness is None:
+                        witness = gap_boxes[0]
+                    stats.witness_depth_sum += (
+                        sum(p.bit_length() for p in witness) - n
+                    )
+                    result = (True, witness)
+                else:
+                    outputs.append(engine._emit(b))
+                    if (
+                        max_outputs is not None
+                        and len(outputs) >= max_outputs
+                    ):
+                        return outputs
+                    kb_add(b)
+                    stats.boxes_loaded += 1
+                    result = (True, b)
+                current = None
+                continue
+            if on_demand:
+                if corner is None:
+                    corner = tuple(
+                        [p << (depth_bits - p.bit_length()) for p in b]
+                    )
+                    corner_covered = False
+                if not corner_covered:
+                    stats.containment_queries += 1
+                    covered = (
+                        probe_fn(corner, cursor)
+                        if frontier is not None
+                        else find_container(corner)
+                    )
+                    if covered is not None:
+                        corner_covered = True
+                    else:
+                        gap_boxes = engine._oracle_lookup(oracle, corner)
+                        corner_covered = True
+                        if gap_boxes:
+                            loaded = 0
+                            for box in gap_boxes:
+                                if kb_add(box):
+                                    loaded += 1
+                            stats.boxes_loaded += loaded
+                            witness = None
+                            for box in gap_boxes:
+                                if box_contains(box, b):
+                                    witness = box
+                                    break
+                            if witness is not None:
+                                stats.resumes += 1
+                                stats.witness_depth_sum += (
+                                    sum(
+                                        p.bit_length()
+                                        for p in witness
+                                    )
+                                    - n
+                                )
+                                result = (True, witness)
+                                current = None
+                                continue
+                        else:
+                            outputs.append(engine._emit(corner))
+                            if (
+                                max_outputs is not None
+                                and len(outputs) >= max_outputs
+                            ):
+                                return outputs
+                            kb_add(corner)
+                            stats.boxes_loaded += 1
+            axis = cursor if uniform else engine._first_thick_generalized(b)
+            head = b[:axis]
+            tail = b[axis + 1:]
+            half = b[axis] << 1
+            b1 = head + (half,) + tail
+            b2 = head + (half | 1,) + tail
+            child_cursor = cursor
+            if uniform and half >= unit:
+                child_cursor = axis + 1
+                while child_cursor < n and b[child_cursor] >= unit:
+                    child_cursor += 1
+            stack.append([
+                b, b2, axis, None, 0, child_cursor,
+                kb.version if versioned else None,
+            ])
+            current = b1
+            cursor = child_cursor
+            pinned = axis
+            continue
+
+        if not stack:
+            return outputs
+
+        frame = stack[-1]
+        _, witness = result
+        b, b2, axis, w1, stage, child_cursor, ver = frame
+        if box_contains(witness, b):
+            stack.pop()
+            continue
+        if stage == 0:
+            frame[3] = witness
+            frame[4] = 1
+            current = b2
+            cursor = child_cursor
+            pinned = axis if ver is not None and ver == kb.version else None
+            corner = None
+            continue
+        if fast_resolve:
+            meet = list(map(max, w1, witness))
+            meet[axis] = w1[axis] >> 1
+            resolvent = tuple(meet)
+            record(axis, is_ordered_pair(w1, witness, axis))
+        else:
+            resolvent = resolver.resolve(w1, witness, axis)
+        if cache and resolvent != b:
+            cache_resolvent(resolvent)
+        stack.pop()
+        result = (True, resolvent)

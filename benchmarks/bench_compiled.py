@@ -1,0 +1,284 @@
+"""Compiled-kernel benchmark: per-plan codegen vs. the interpreted loops.
+
+Races the live compiled kernels (``repro.engine.codegen`` — nested-loop
+leapfrog over flat columns, scalar-keyed hash cascades, the
+constant-folded Tetris resume skeleton) against the PR-5-era interpreted
+kernels frozen verbatim in ``benchmarks/_interp_kernels.py``, on the
+Table 1 workload families:
+
+* **triangle** — random-graph triangle joins (rows 2–3) under leapfrog,
+  hash, and Tetris preloaded/reloaded;
+* **tw1** — treewidth-1 path joins (rows 4–5) under leapfrog, hash, and
+  Tetris-Reloaded (the certificate row);
+* **acyclic/star** — star joins and preloaded paths (row 1 /
+  Theorem D.8) under leapfrog, hash, and Tetris-Preloaded.
+
+Both sides consume the same pre-built data plane — cached sorted views
+for the pipeline backends, one shared oracle with materialized gap
+boxes for Tetris — so the ratio isolates the kernel hot path.  Kernels
+are compiled during the parity warm-up, so the timed loop measures the
+steady state a served workload sees (one compile per plan shape,
+amortized by the kernel LRU).  Outputs are asserted identical on every
+workload.  The headline number is the geometric mean of
+``interpreted_time / compiled_time``, recorded to
+``BENCH_compiled.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_compiled.py \
+        [--quick] [--repeats 3] [--output BENCH_compiled.json] \
+        [--min-speedup 1.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _star_db(rays: int, m: int, seed: int, depth: int):
+    """A random star join R1(H,A1) ⋈ ... ⋈ Rk(H,Ak) (acyclic, row 1)."""
+    import random
+
+    from repro.relational.query import star_query
+    from repro.workloads.generators import db_from_tuples
+
+    rng = random.Random(seed)
+    query = star_query(rays)
+    tuples = {
+        f"R{i}": sorted({
+            (rng.randrange(1 << (depth - 2)), rng.randrange(1 << depth))
+            for _ in range(m)
+        })
+        for i in range(1, rays + 1)
+    }
+    return query, db_from_tuples(query, tuples, depth)
+
+
+# -- per-backend runner pairs ---------------------------------------------------
+
+
+def _leapfrog_runners(query, db):
+    from benchmarks import _interp_kernels as frozen
+    from repro.indexes.oracle import default_gao
+    from repro.joins.leapfrog import iter_leapfrog
+
+    gao = default_gao(query)
+    # Warm the shared sorted views once; both sides read the same cache.
+    for atom in query.atoms:
+        db.sorted_view(atom.name, tuple(a for a in gao if a in atom.attrs))
+
+    def interp():
+        return list(frozen.iter_leapfrog(query, db, gao))
+
+    def compiled():
+        return list(iter_leapfrog(query, db, gao=gao, compiled=True))
+
+    return interp, compiled
+
+
+def _hash_runners(query, db):
+    from benchmarks import _interp_kernels as frozen
+    from repro.joins.hashjoin import _plan_order, iter_hash
+
+    order = _plan_order(query, db, None)
+    for atom in query.atoms:
+        db[atom.name].rows()
+
+    def interp():
+        return list(frozen.iter_hash(query, db, order))
+
+    def compiled():
+        return list(iter_hash(query, db, atom_order=order, compiled=True))
+
+    return interp, compiled
+
+
+def _preload(engine, oracle):
+    boxes = oracle.boxes()
+    if not engine._sao_identity:
+        to_internal = engine.to_internal
+        boxes = [to_internal(b) for b in boxes]
+    kb = engine.knowledge_base
+    add_many = getattr(kb, "add_many", None)
+    if add_many is not None:
+        engine.stats.boxes_loaded += add_many(boxes)
+    else:
+        for box in boxes:
+            if kb.add(box):
+                engine.stats.boxes_loaded += 1
+
+
+def _tetris_runners(query, db, preload: bool):
+    from benchmarks import _interp_kernels as frozen
+    from repro.core.resolution import ResolutionStats
+    from repro.core.tetris import TetrisEngine
+    from repro.joins.tetris_join import make_oracle
+
+    oracle, gao = make_oracle(query, db)
+    attrs = oracle.attrs
+    sao = tuple(attrs.index(a) for a in gao)
+    ndim, depth = len(attrs), db.domain.depth
+    oracle.boxes()  # materialize + memoize the lifted gap-box set
+
+    def make_engine():
+        return TetrisEngine(ndim, depth, sao=sao, stats=ResolutionStats())
+
+    def interp():
+        engine = make_engine()
+        if preload:
+            _preload(engine, oracle)
+        try:
+            return frozen.run_resuming(
+                engine, oracle, None, on_demand=not preload,
+                trust_kb=preload,
+            )
+        finally:
+            detach = getattr(
+                engine.knowledge_base, "detach_frontier", None
+            )
+            if detach is not None:
+                detach()
+
+    def compiled():
+        engine = make_engine()
+        return engine.run(oracle, preload=preload, compiled=True)
+
+    return interp, compiled
+
+
+def _workloads(quick: bool) -> List[Tuple[str, Callable]]:
+    """(name, setup) pairs; setup() returns (interp_run, compiled_run)."""
+    from repro.workloads.generators import (
+        graph_triangle_db,
+        random_graph_edges,
+        random_path_db,
+    )
+
+    tri_nodes, tri_edges = (120, 420) if quick else (300, 1400)
+    path_m, path_d = (700, 10) if quick else (2600, 12)
+    star_m, star_d = (500, 10) if quick else (2200, 12)
+
+    def triangle():
+        return graph_triangle_db(
+            random_graph_edges(tri_nodes, tri_edges, seed=3)
+        )
+
+    def tw1():
+        return random_path_db(3, path_m, seed=17, depth=path_d)
+
+    def star():
+        return _star_db(3, star_m, seed=11, depth=star_d)
+
+    return [
+        ("leapfrog_triangle",
+         lambda: _leapfrog_runners(*triangle())),
+        ("leapfrog_tw1_path",
+         lambda: _leapfrog_runners(*tw1())),
+        ("leapfrog_star",
+         lambda: _leapfrog_runners(*star())),
+        ("hash_triangle",
+         lambda: _hash_runners(*triangle())),
+        ("hash_tw1_path",
+         lambda: _hash_runners(*tw1())),
+        ("hash_star",
+         lambda: _hash_runners(*star())),
+        ("tetris_triangle_preloaded",
+         lambda: _tetris_runners(*triangle(), preload=True)),
+        ("tetris_triangle_reloaded",
+         lambda: _tetris_runners(*triangle(), preload=False)),
+        ("tetris_tw1_reloaded",
+         lambda: _tetris_runners(*tw1(), preload=False)),
+        ("tetris_acyclic_preloaded",
+         lambda: _tetris_runners(*tw1(), preload=True)),
+    ]
+
+
+def _time_best(fn: Callable, repeats: int) -> Tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def geometric_mean(xs: List[float]) -> float:
+    prod = 1.0
+    for x in xs:
+        prod *= x
+    return prod ** (1.0 / len(xs))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="compiled-kernels")
+    parser.add_argument("--output", default="BENCH_compiled.json")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--quick", action="store_true", help="small sizes")
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="exit non-zero when geomean(interp/compiled) falls below this",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"[{args.label}] compiled-kernel benchmark "
+          f"({'quick' if args.quick else 'full'}, best of {args.repeats})")
+    results: Dict[str, dict] = {}
+    for name, setup in _workloads(args.quick):
+        interp_run, compiled_run = setup()
+        # Warm-up doubles as the parity assertion (and compiles the
+        # kernel, so the timed loop sees the steady state).
+        interp_out = sorted(interp_run())
+        compiled_out = sorted(compiled_run())
+        assert interp_out == compiled_out, f"{name}: kernels disagree"
+        interp_s, _ = _time_best(interp_run, args.repeats)
+        compiled_s, _ = _time_best(compiled_run, args.repeats)
+        speedup = interp_s / compiled_s
+        results[name] = {
+            "interpreted_s": interp_s,
+            "compiled_s": compiled_s,
+            "speedup": speedup,
+            "outputs": len(compiled_out),
+        }
+        print(
+            f"  {name:28s} interp {interp_s * 1e3:9.2f} ms   "
+            f"compiled {compiled_s * 1e3:9.2f} ms   "
+            f"speedup {speedup:5.2f}×"
+        )
+    geomean = geometric_mean([r["speedup"] for r in results.values()])
+    print(f"  {'geomean speedup':28s} {geomean:.3f}×")
+
+    from repro.engine.codegen import kernel_cache_info
+
+    record = {
+        "label": args.label,
+        "quick": args.quick,
+        "repeats": args.repeats,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "workloads": results,
+        "geomean_speedup": geomean,
+        "kernel_caches": kernel_cache_info(),
+    }
+    with open(args.output, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.min_speedup is not None and geomean < args.min_speedup:
+        print(f"FAIL: geomean {geomean:.3f} < {args.min_speedup}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

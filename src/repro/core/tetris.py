@@ -483,6 +483,7 @@ class TetrisEngine:
         max_outputs: Optional[int] = None,
         return_boxes: bool = False,
         mode: Optional[str] = None,
+        compiled: Optional[bool] = None,
     ):
         """Solve the box cover problem, returning all uncovered points.
 
@@ -538,6 +539,20 @@ class TetrisEngine:
         # (corner construction, sibling unit-ness).
         on_demand = oracle is not None and not preload and self.dims is None
         try:
+            if compiled is not False:
+                # Resume mode runs as a per-configuration compiled kernel
+                # (mode flags, ndim/depth/SAO, KB capabilities folded to
+                # literals) when the shape is supported; the interpreted
+                # loop below stays the semantic reference and the
+                # fallback for exotic configurations.
+                from repro.engine.codegen import tetris_kernel
+
+                kernel = tetris_kernel(
+                    self, oracle, on_demand, preload,
+                    capped=max_outputs is not None,
+                )
+                if kernel is not None:
+                    return kernel(self, oracle, max_outputs)
             return self._run_resuming(
                 oracle, max_outputs, on_demand, trust_kb=preload
             )

@@ -20,6 +20,12 @@ rows and decodes them through a ValueDictionary.
         ...                                # rows pulled lazily
 """
 
+from repro.engine.codegen import (
+    KernelCache,
+    clear_kernel_caches,
+    kernel_cache_info,
+    kernel_cache_summary,
+)
 from repro.engine.cost import (
     BACKENDS,
     CostEstimate,
@@ -65,18 +71,22 @@ __all__ = [
     "CostModel",
     "DEFAULT_CALIBRATION",
     "ExecutionResult",
+    "KernelCache",
     "Plan",
     "QueryStats",
     "RelationProfile",
     "ResultCursor",
     "StructureProfile",
     "assumed_stats",
+    "clear_kernel_caches",
     "clear_plan_cache",
     "clear_stats_cache",
     "collect_stats",
     "execute",
     "execute_cursor",
     "explain_text",
+    "kernel_cache_info",
+    "kernel_cache_summary",
     "normalize_algorithm",
     "plan_cache_info",
     "plan_query",

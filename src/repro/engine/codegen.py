@@ -1,0 +1,772 @@
+"""Per-plan compiled kernels over flat columnar buffers.
+
+Every hot join loop in the repo is an interpreter: the leapfrog
+recursion re-reads ``relevant[level]`` participant lists per node, the
+hash pipeline threads each row through a chain of generator frames, and
+the Tetris resume skeleton re-tests mode flags (``uniform``,
+``on_demand``, ``trust_kb``, frontier presence) on every traversal
+step.  PR 4 showed the cure in miniature — the per-ndim ``exec``-compiled
+probe walks of :class:`~repro.core.dyadic_tree.MultilevelDyadicTree` —
+and this module generalizes it to whole backends: for each plan shape a
+specialized Python source is generated with the per-level dispatch,
+attribute-position lookups, packed-box bit arithmetic and mode branches
+**constant-folded**, then ``exec``-compiled once and memoized in a
+bounded LRU keyed by the plan's identity.
+
+Three kernel families:
+
+* :func:`leapfrog_kernel` — the generic-WCOJ intersection unrolled into
+  literal nested ``while`` loops, one per GAO level, galloping directly
+  over the relations' flat ``array('q')`` columns (no row-tuple
+  indexing, no recursion, no generator frames between levels).
+* :func:`hash_kernel` — the left-deep probe cascade as literal nested
+  ``for`` loops: stage tables are built with scalar keys when the join
+  key is a single attribute, and the final projection reads its
+  component references straight out of the stage tuples instead of
+  concatenating an accumulator tuple per row per stage.
+* :func:`tetris_kernel` — the frontier-resuming skeleton of
+  :meth:`~repro.core.tetris.TetrisEngine._run_resuming` with ``ndim``,
+  ``depth``, the SAO permutation, the oracle discipline
+  (preloaded/on-demand) and the knowledge-base capability probes all
+  baked in as literals; box splits and SAO translations are unrolled
+  per axis and the stats counters run as locals, flushed once on exit.
+
+Cache keys include the *attribute names*, not just the shape — two
+schemas that differ only in naming never share a kernel (the EXPLAIN
+surface would otherwise lie about which query a cached kernel belongs
+to).  Unsupported shapes (generalized dimension specs, tracing
+resolvers, bounded resolvent admission, ``return_boxes``) return
+``None`` and the caller falls back to the interpreted loop, which
+remains the semantic reference.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.boxes import box_contains
+from repro.core.resolution import Resolver, is_ordered_pair
+
+#: Compiled kernels kept per family cache before LRU eviction.  Small
+#: enough that a long-lived ``repro serve`` process stays bounded, large
+#: enough that a benchmark sweep over every Table-1 family never thrashes.
+KERNEL_CACHE_CAP = 256
+
+#: Tetris kernels are specialized per ndim with unrolled per-axis splits;
+#: beyond this the if/elif chains stop paying for themselves.
+_TETRIS_NDIM_CAP = 8
+
+
+class KernelCache:
+    """A bounded LRU of compiled kernels with hit/miss/eviction counters.
+
+    Negative results (``None`` — shape unsupported, caller should use
+    the interpreted loop) are cached too, so repeated dispatch of an
+    uncompilable plan costs one dict probe, not a re-analysis.
+    """
+
+    __slots__ = ("name", "capacity", "hits", "misses", "evictions",
+                 "_entries")
+
+    def __init__(self, name: str, capacity: int = KERNEL_CACHE_CAP):
+        if capacity < 1:
+            raise ValueError("kernel cache capacity must be at least 1")
+        self.name = name
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[tuple, Optional[Callable]]" = (
+            OrderedDict()
+        )
+
+    def lookup(self, key: tuple, build: Callable[[], Optional[Callable]]):
+        entries = self._entries
+        if key in entries:
+            self.hits += 1
+            entries.move_to_end(key)
+            return entries[key]
+        self.misses += 1
+        kernel = build()
+        entries[key] = kernel
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+        return kernel
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def cached_sources(self) -> Tuple[str, ...]:
+        """The generated source of every live compiled kernel (LRU order)."""
+        return tuple(
+            fn.source for fn in self._entries.values() if fn is not None
+        )
+
+    def info(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = self.misses = self.evictions = 0
+
+
+_LEAPFROG_CACHE = KernelCache("leapfrog")
+_HASH_CACHE = KernelCache("hash")
+_TETRIS_CACHE = KernelCache("tetris")
+
+_CACHES = (_LEAPFROG_CACHE, _HASH_CACHE, _TETRIS_CACHE)
+
+
+def kernel_cache_info() -> dict:
+    """Per-family cache statistics, keyed by kernel family name."""
+    return {cache.name: cache.info() for cache in _CACHES}
+
+
+def kernel_cache_summary() -> str:
+    """One EXPLAIN-ready line: live kernels, hits, misses, evictions."""
+    entries = sum(len(c) for c in _CACHES)
+    hits = sum(c.hits for c in _CACHES)
+    misses = sum(c.misses for c in _CACHES)
+    evictions = sum(c.evictions for c in _CACHES)
+    return (
+        f"{entries} cached, {hits} hits, {misses} misses, "
+        f"{evictions} evicted"
+    )
+
+
+def clear_kernel_caches() -> None:
+    """Drop every compiled kernel and reset the counters (tests, serve)."""
+    for cache in _CACHES:
+        cache.clear()
+
+
+def _compile(source: str, namespace: dict) -> Callable:
+    """``exec`` a generated ``def kernel(...)`` and return the function.
+
+    The source is attached as ``kernel.source`` for inspection (README's
+    "how do I read the generated code" path and the codegen tests).
+    """
+    ns = dict(namespace)
+    code = compile(source, "<repro-kernel>", "exec")
+    exec(code, ns)
+    fn = ns["kernel"]
+    fn.source = source
+    return fn
+
+
+# -- leapfrog -------------------------------------------------------------------
+
+
+def _seek(col, lo: int, hi: int, v: int) -> int:
+    """First index in ``[lo, hi)`` with ``col[idx] >= v`` (gallop + bisect).
+
+    The flat-column twin of :func:`repro.joins.leapfrog._seek` — same
+    exponential-probe-then-bisect shape, minus the per-row tuple
+    indexing.
+    """
+    if lo >= hi or col[lo] >= v:
+        return lo
+    step = 1
+    pos = lo
+    while pos + step < hi and col[pos + step] < v:
+        pos += step
+        step <<= 1
+    lo = pos + 1
+    if pos + step < hi:
+        hi = pos + step
+    while lo < hi:
+        mid = (lo + hi) >> 1
+        if col[mid] < v:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _leapfrog_source(
+    atoms: Sequence[Tuple[str, Tuple[str, ...]]],
+    gao: Tuple[str, ...],
+    variables: Tuple[str, ...],
+) -> Optional[str]:
+    """Generate the nested-loop leapfrog kernel for one (query, GAO).
+
+    ``kernel(views)`` takes the per-atom GAO-restricted
+    :class:`~repro.relational.relation.SortedView` objects (in atom
+    order) and streams output rows in exactly the interpreted
+    enumeration order.
+    """
+    n = len(gao)
+    orders = [
+        tuple(a for a in gao if a in attrs) for _name, attrs in atoms
+    ]
+    parts_by_level: List[List[Tuple[int, int]]] = []
+    for var in gao:
+        parts = [
+            (ai, order.index(var))
+            for ai, order in enumerate(orders)
+            if var in order
+        ]
+        if not parts:
+            return None  # unconstrained attribute: not a natural join
+        parts_by_level.append(parts)
+
+    lines: List[str] = ["def kernel(views):"]
+    w = lines.append
+    w("    seek = _seek")
+    needed = sorted({p for parts in parts_by_level for p in parts})
+    for ai, k in needed:
+        w(f"    c{ai}_{k} = views[{ai}].column({k})")
+    for ai in sorted({ai for ai, _ in needed}):
+        w(f"    n{ai} = len(views[{ai}].rows)")
+
+    def lo(ai: int, k: int) -> str:
+        return "0" if k == 0 else f"p{ai}_{k - 1}"
+
+    def hi(ai: int, k: int) -> str:
+        return f"n{ai}" if k == 0 else f"e{ai}_{k - 1}"
+
+    refs = [f"v{gao.index(v)}" for v in variables]
+    yield_expr = "(" + ", ".join(refs) + ("," if len(refs) == 1 else "") + ")"
+
+    def emit_level(level: int, ind: str) -> None:
+        parts = parts_by_level[level]
+        for ai, k in parts:
+            w(f"{ind}p{ai}_{k} = {lo(ai, k)}")
+        cond = " and ".join(f"p{ai}_{k} < {hi(ai, k)}" for ai, k in parts)
+        w(f"{ind}while {cond}:")
+        body = ind + "    "
+        a0, k0 = parts[0]
+        w(f"{body}v{level} = c{a0}_{k0}[p{a0}_{k0}]")
+        if len(parts) == 1:
+            emit_runs_and_inner(level, parts, body)
+        else:
+            for j, (ai, k) in enumerate(parts[1:], start=1):
+                w(f"{body}t{level}_{j} = c{ai}_{k}[p{ai}_{k}]")
+            aligned = " == ".join(
+                [f"v{level}"]
+                + [f"t{level}_{j}" for j in range(1, len(parts))]
+            )
+            w(f"{body}if {aligned}:")
+            emit_runs_and_inner(level, parts, body + "    ")
+            w(f"{body}else:")
+            alt = body + "    "
+            # m = max over participants; everyone strictly below seeks.
+            w(f"{alt}m = v{level}")
+            for j in range(1, len(parts)):
+                w(f"{alt}if t{level}_{j} > m:")
+                w(f"{alt}    m = t{level}_{j}")
+            for j, (ai, k) in enumerate(parts):
+                val = f"v{level}" if j == 0 else f"t{level}_{j}"
+                w(f"{alt}if {val} < m:")
+                w(
+                    f"{alt}    p{ai}_{k} = seek(c{ai}_{k}, p{ai}_{k}, "
+                    f"{hi(ai, k)}, m)"
+                )
+
+    def emit_runs_and_inner(
+        level: int, parts: List[Tuple[int, int]], ind: str
+    ) -> None:
+        # Narrow each participant to its run of v (run-length-1 fast
+        # path: keys are near-unique in practice, skip the gallop).
+        for ai, k in parts:
+            w(f"{ind}e{ai}_{k} = p{ai}_{k} + 1")
+            w(
+                f"{ind}if e{ai}_{k} < {hi(ai, k)} and "
+                f"c{ai}_{k}[e{ai}_{k}] == v{level}:"
+            )
+            w(
+                f"{ind}    e{ai}_{k} = seek(c{ai}_{k}, e{ai}_{k}, "
+                f"{hi(ai, k)}, v{level} + 1)"
+            )
+        if level + 1 == n:
+            w(f"{ind}yield {yield_expr}")
+        else:
+            emit_level(level + 1, ind)
+        for ai, k in parts:
+            w(f"{ind}p{ai}_{k} = e{ai}_{k}")
+
+    emit_level(0, "    ")
+    return "\n".join(lines) + "\n"
+
+
+def leapfrog_kernel(query, gao: Tuple[str, ...]) -> Optional[Callable]:
+    """The compiled leapfrog kernel for ``(query, gao)``, or ``None``.
+
+    Keyed by the atoms' names *and* attribute tuples plus the GAO and
+    output variable order — renaming an attribute is a different kernel.
+    """
+    key = (
+        gao,
+        query.variables,
+        tuple((a.name, a.attrs) for a in query.atoms),
+    )
+
+    def build() -> Optional[Callable]:
+        source = _leapfrog_source(
+            [(a.name, a.attrs) for a in query.atoms], gao, query.variables
+        )
+        if source is None:
+            return None
+        return _compile(source, {"_seek": _seek})
+
+    return _LEAPFROG_CACHE.lookup(key, build)
+
+
+# -- hash -----------------------------------------------------------------------
+
+
+def _tuple_expr(items: Sequence[str]) -> str:
+    return "(" + ", ".join(items) + ("," if len(items) == 1 else "") + ")"
+
+
+def _hash_source(
+    atom_specs: Sequence[Tuple[str, Tuple[str, ...]]],
+    variables: Tuple[str, ...],
+) -> str:
+    """Generate the probe-cascade kernel for one ordered left-deep plan.
+
+    ``kernel(rels)`` takes the per-atom row lists in plan order, builds
+    each stage's table inline (scalar-keyed when the join key is one
+    attribute), and yields the projected output rows — the same stream,
+    in the same order, as the interpreted pipeline.
+    """
+    first_attrs = list(atom_specs[0][1])
+    acc = list(first_attrs)
+    # acc position -> (stage level, index into that stage's tuple).
+    src_of: List[Tuple[int, int]] = [
+        (0, j) for j in range(len(first_attrs))
+    ]
+    lines: List[str] = ["def kernel(rels):"]
+    w = lines.append
+    w("    E = ()")
+    probe_loops: List[str] = []  # one loop header per stage, in order
+    for s, (_name, attrs) in enumerate(atom_specs[1:], start=1):
+        right = list(attrs)
+        common = [a for a in acc if a in right]
+        new = [a for a in right if a not in acc]
+        rpos_common = [right.index(a) for a in common]
+        rpos_new = [right.index(a) for a in new]
+        key_srcs = [src_of[acc.index(a)] for a in common]
+        val_expr = _tuple_expr([f"r[{i}]" for i in rpos_new])
+        if common:
+            if len(rpos_common) == 1:
+                rkey = f"r[{rpos_common[0]}]"
+                lkey = f"x{key_srcs[0][0]}[{key_srcs[0][1]}]"
+            else:
+                rkey = _tuple_expr([f"r[{i}]" for i in rpos_common])
+                lkey = _tuple_expr(
+                    [f"x{lvl}[{idx}]" for lvl, idx in key_srcs]
+                )
+            w(f"    t{s} = {{}}")
+            w(f"    for r in rels[{s}]:")
+            w(f"        k = {rkey}")
+            w(f"        l = t{s}.get(k)")
+            w("        if l is None:")
+            w(f"            t{s}[k] = [{val_expr}]")
+            w("        else:")
+            w(f"            l.append({val_expr})")
+            w(f"    g{s} = t{s}.get")
+            probe_loops.append(f"for x{s} in g{s}({lkey}, E):")
+        else:
+            # Disconnected hypergraph: a genuine cross-product stage.
+            w(f"    a{s} = [{val_expr} for r in rels[{s}]]")
+            probe_loops.append(f"for x{s} in a{s}:")
+        acc.extend(new)
+        src_of.extend((s, j) for j in range(len(new)))
+    out_refs = []
+    for v in variables:
+        lvl, idx = src_of[acc.index(v)]
+        out_refs.append(f"x{lvl}[{idx}]")
+    ind = "    "
+    w(f"{ind}for x0 in rels[0]:")
+    ind += "    "
+    for loop in probe_loops:
+        w(ind + loop)
+        ind += "    "
+    w(ind + "yield " + _tuple_expr(out_refs))
+    return "\n".join(lines) + "\n"
+
+
+def hash_kernel(
+    atom_specs: Sequence[Tuple[str, Tuple[str, ...]]],
+    variables: Tuple[str, ...],
+) -> Optional[Callable]:
+    """The compiled hash-cascade kernel for one ordered plan, or ``None``.
+
+    ``atom_specs`` is the plan-ordered ``(name, attrs)`` sequence; the
+    key carries names and attributes, so renamed schemas never collide.
+    """
+    key = (tuple((n, tuple(a)) for n, a in atom_specs), tuple(variables))
+
+    def build() -> Optional[Callable]:
+        return _compile(_hash_source(atom_specs, tuple(variables)), {})
+
+    return _HASH_CACHE.lookup(key, build)
+
+
+# -- tetris ---------------------------------------------------------------------
+
+
+def _tetris_source(
+    n: int,
+    depth: int,
+    sao: Tuple[int, ...],
+    fetch: bool,
+    capped: bool,
+    cache_resolvents: bool,
+    has_frontier: bool,
+    has_pinned: bool,
+    versioned: bool,
+    has_shallowest: bool,
+) -> str:
+    """Generate the specialized frontier-resuming loop.
+
+    A literal transcription of
+    :meth:`~repro.core.tetris.TetrisEngine._run_resuming` with every
+    mode branch resolved at generation time: ``ndim``/``depth``/the unit
+    marker are literals, the box split is unrolled per axis, SAO
+    translation (oracle probes, output emission) is folded into literal
+    index tuples, stats counters are locals flushed once in ``finally``,
+    and no per-leaf result tuple is ever allocated.  ``fetch`` is the
+    on-demand (Reloaded) discipline — corner probing and sibling
+    prefetch included; without it an uncovered leaf is an output by
+    construction (preloaded runs, or no oracle at all).
+    """
+    unit = 1 << depth
+    depth_bits = depth + 1
+    identity = sao == tuple(range(n))
+    inv = [0] * n
+    for pos, dim in enumerate(sao):
+        inv[dim] = pos
+
+    def tup(f) -> str:
+        items = [f(i) for i in range(n)]
+        return "(" + ", ".join(items) + ("," if n == 1 else "") + ")"
+
+    universe = tup(lambda i: "1")
+    emit_b = tup(
+        lambda i: f"b[{i}] ^ {unit}"
+        if identity
+        else f"b[{inv[i]}] ^ {unit}"
+    )
+    emit_corner = tup(
+        lambda i: f"corner[{i}] ^ {unit}"
+        if identity
+        else f"corner[{inv[i]}] ^ {unit}"
+    )
+
+    def to_ext(var: str) -> str:
+        return tup(lambda i: f"{var}[{inv[i]}]")
+
+    def to_int(var: str) -> str:
+        return tup(lambda i: f"{var}[{sao[i]}]")
+
+    def witness_depth(var: str) -> str:
+        return (
+            " + ".join(f"{var}[{i}].bit_length()" for i in range(n))
+            + f" - {n}"
+        )
+
+    lines: List[str] = ["def kernel(engine, oracle, max_outputs):"]
+
+    def w(indent: int, text: str = "") -> None:
+        lines.append("    " * indent + text if text else "")
+
+    w(1, "kb = engine.knowledge_base")
+    w(1, "stats = engine.stats")
+    w(1, "kb_add = kb.add")
+    w(1, "record = stats.record")
+    if has_frontier:
+        w(1, "frontier = kb.attach_frontier()")
+        w(1, "probe = frontier.sync_and_probe")
+    else:
+        w(1, "find_container = kb.find_container")
+        if has_pinned:
+            w(1, "find_pinned = kb.find_container_pinned")
+    if fetch:
+        w(1, "oracle_containing = oracle.containing")
+        w(1, "oracle_many = oracle.containing_many")
+        if has_shallowest:
+            w(1, "find_shallowest = kb.find_shallowest_container")
+        w(1, "prefetch_key = None")
+        w(1, "prefetch_boxes = []")
+        w(1, "corner = None")
+        w(1, "corner_covered = False")
+    w(1, "outputs = []")
+    w(1, "out_append = outputs.append")
+    w(1, "cq = hits = resumes = loaded = wdepth = oq = 0")
+    w(1, "stats.skeleton_calls += 1")
+    w(1, "stack = []")
+    w(1, f"current = {universe}")
+    w(1, f"cursor = {n if depth == 0 else 0}")
+    w(1, "pinned = None")
+    w(1, "res_w = current")
+    w(1, "try:")
+    w(2, "while True:")
+    w(3, "if current is not None:")
+    w(4, "b = current")
+    w(4, "cq += 1")
+    if has_frontier:
+        w(4, "witness = probe(b, cursor, pinned)")
+    elif has_pinned:
+        w(4, "if pinned is None:")
+        w(5, "witness = find_container(b)")
+        w(4, "else:")
+        w(5, "witness = find_pinned(b, pinned)")
+    else:
+        w(4, "witness = find_container(b)")
+    w(4, "if witness is not None:")
+    w(5, "hits += 1")
+    w(5, "res_w = witness")
+    w(5, "current = None")
+    w(5, "continue")
+    w(4, f"if cursor == {n}:")
+    w(5, "resumes += 1")
+    if not fetch:
+        # Preloaded runs (or no oracle): an uncovered leaf is an output
+        # by construction — the oracle has nothing left to add.
+        w(5, "gap_boxes = ()")
+    else:
+        w(5, "if prefetch_key == b:")
+        w(6, "gap_boxes = prefetch_boxes")
+        w(6, "prefetch_key = None")
+        w(5, "else:")
+        w(6, "sibling = None")
+        w(6, "if stack:")
+        w(7, "frame = stack[-1]")
+        w(7, "if frame[4] == 0:")
+        w(8, "sibling = frame[1]")
+        w(6, "if sibling is not None:")
+        w(7, "oq += 2")
+        if identity:
+            w(7, "found = oracle_many((b, sibling))")
+            w(7, "gap_boxes = found[0]")
+            w(7, "prefetch_boxes = found[1]")
+        else:
+            w(7, f"found = oracle_many(({to_ext('b')}, "
+                 f"{to_ext('sibling')}))")
+            w(7, f"gap_boxes = [{to_int('g')} for g in found[0]]")
+            w(7, f"prefetch_boxes = [{to_int('g')} for g in found[1]]")
+        w(7, "prefetch_key = sibling")
+        w(6, "else:")
+        w(7, "oq += 1")
+        if identity:
+            w(7, "gap_boxes = oracle_containing(b)")
+        else:
+            w(7, f"gap_boxes = [{to_int('g')} for g in "
+                 f"oracle_containing({to_ext('b')})]")
+    w(5, "if gap_boxes:")
+    w(6, "for box in gap_boxes:")
+    w(7, "if kb_add(box):")
+    w(8, "loaded += 1")
+    if has_shallowest and fetch:
+        w(6, "witness = find_shallowest(b)")
+        w(6, "if witness is None:")
+        w(7, "witness = gap_boxes[0]")
+    else:
+        w(6, "witness = gap_boxes[0]")
+    w(6, f"wdepth += {witness_depth('witness')}")
+    w(6, "res_w = witness")
+    w(5, "else:")
+    w(6, f"out_append({emit_b})")
+    if capped:
+        w(6, "if max_outputs is not None and "
+             "len(outputs) >= max_outputs:")
+        w(7, "return outputs")
+    w(6, "kb_add(b)")
+    w(6, "loaded += 1")
+    w(6, "res_w = b")
+    w(5, "current = None")
+    w(5, "continue")
+    if fetch:
+        # Corner probing: the 0-half descent chain below b converges to
+        # b's corner; probe it now so gap boxes land at the boundary.
+        w(4, "if corner is None:")
+        w(5, f"corner = {tup(lambda i: f'b[{i}] << ({depth_bits} - b[{i}].bit_length())')}")
+        w(5, "corner_covered = False")
+        w(4, "if not corner_covered:")
+        w(5, "cq += 1")
+        if has_frontier:
+            w(5, "covered = probe(corner, cursor)")
+        else:
+            w(5, "covered = find_container(corner)")
+        w(5, "if covered is not None:")
+        w(6, "corner_covered = True")
+        w(5, "else:")
+        w(6, "oq += 1")
+        if identity:
+            w(6, "gap_boxes = oracle_containing(corner)")
+        else:
+            w(6, f"gap_boxes = [{to_int('g')} for g in "
+                 f"oracle_containing({to_ext('corner')})]")
+        w(6, "corner_covered = True")
+        w(6, "if gap_boxes:")
+        w(7, "for box in gap_boxes:")
+        w(8, "if kb_add(box):")
+        w(9, "loaded += 1")
+        w(7, "witness = None")
+        w(7, "for box in gap_boxes:")
+        w(8, "if box_contains(box, b):")
+        w(9, "witness = box")
+        w(9, "break")
+        w(7, "if witness is not None:")
+        w(8, "resumes += 1")
+        w(8, f"wdepth += {witness_depth('witness')}")
+        w(8, "res_w = witness")
+        w(8, "current = None")
+        w(8, "continue")
+        w(6, "else:")
+        w(7, f"out_append({emit_corner})")
+        if capped:
+            w(7, "if max_outputs is not None and "
+                 "len(outputs) >= max_outputs:")
+            w(8, "return outputs")
+        w(7, "kb_add(corner)")
+        w(7, "loaded += 1")
+    # Split at the cursor axis, unrolled per ndim.
+    w(4, "half = b[cursor] << 1")
+    for axis in range(n):
+        head = "if" if axis == 0 else "elif"
+        cond = f"{head} cursor == {axis}:" if n > 1 else "if cursor == 0:"
+        w(4, cond)
+        b1 = tup(lambda i, a=axis: "half" if i == a else f"b[{i}]")
+        b2 = tup(lambda i, a=axis: "half | 1" if i == a else f"b[{i}]")
+        w(5, f"b1 = {b1}")
+        w(5, f"b2 = {b2}")
+    w(4, "child_cursor = cursor")
+    w(4, f"if half >= {unit}:")
+    w(5, "child_cursor = cursor + 1")
+    w(5, f"while child_cursor < {n} and b[child_cursor] >= {unit}:")
+    w(6, "child_cursor += 1")
+    ver = "kb.version" if versioned else "None"
+    w(4, f"stack.append([b, b2, cursor, None, 0, child_cursor, {ver}])")
+    w(4, "current = b1")
+    w(4, "pinned = cursor")
+    w(4, "cursor = child_cursor")
+    w(4, "continue")
+    w(3, "if not stack:")
+    w(4, "return outputs")
+    # The covering pop is the hot unwind path; it needs only frame[0],
+    # so the full 7-slot unpack is deferred until the frame survives.
+    w(3, "frame = stack[-1]")
+    w(3, "witness = res_w")
+    w(3, "if box_contains(witness, frame[0]):")
+    w(4, "stack.pop()")
+    w(4, "continue")
+    w(3, "b, b2, axis, w1, stage, child_cursor, ver = frame")
+    w(3, "if stage == 0:")
+    w(4, "frame[3] = witness")
+    w(4, "frame[4] = 1")
+    w(4, "current = b2")
+    w(4, "cursor = child_cursor")
+    if versioned:
+        w(4, "pinned = axis if ver == kb.version else None")
+    else:
+        w(4, "pinned = None")
+    if fetch:
+        w(4, "corner = None")
+    w(4, "continue")
+    w(3, "meet = list(map(max, w1, witness))")
+    w(3, "meet[axis] = w1[axis] >> 1")
+    w(3, "resolvent = tuple(meet)")
+    w(3, "record(axis, is_ordered_pair(w1, witness, axis))")
+    if cache_resolvents:
+        w(3, "if resolvent != b:")
+        w(4, "kb_add(resolvent)")
+    w(3, "stack.pop()")
+    w(3, "res_w = resolvent")
+    w(1, "finally:")
+    w(2, "stats.containment_queries += cq")
+    w(2, "stats.cache_hits += hits")
+    w(2, "stats.resumes += resumes")
+    w(2, "stats.boxes_loaded += loaded")
+    w(2, "stats.witness_depth_sum += wdepth")
+    w(2, "stats.oracle_queries += oq")
+    return "\n".join(lines) + "\n"
+
+
+def tetris_kernel(
+    engine,
+    oracle,
+    on_demand: bool,
+    trust_kb: bool,
+    capped: bool,
+) -> Optional[Callable]:
+    """The compiled resume-mode kernel for one engine configuration.
+
+    Returns ``None`` for shapes the generator does not cover —
+    generalized dimension specs, tracing resolvers, bounded resolvent
+    admission, ``return_boxes`` output, oracles without a batched walk,
+    or ``ndim`` past the unroll cap — and the caller runs the
+    interpreted :meth:`~repro.core.tetris.TetrisEngine._run_resuming`.
+    """
+    if engine.dims is not None:
+        return None
+    if engine.resolvent_limit is not None:
+        return None
+    if type(engine._resolver) is not Resolver:
+        return None
+    if engine._return_boxes:
+        return None
+    if not 1 <= engine.ndim <= _TETRIS_NDIM_CAP:
+        return None
+    # Preloaded runs never consult the oracle at a leaf; on-demand runs
+    # need the batched containing_many walk the generator binds.
+    fetch = on_demand and oracle is not None
+    if not fetch and not trust_kb and oracle is not None:
+        return None  # interpreted fallback for exotic flag combinations
+    if fetch and (
+        getattr(oracle, "containing", None) is None
+        or getattr(oracle, "containing_many", None) is None
+    ):
+        return None
+    kb = engine.knowledge_base
+    has_frontier = hasattr(kb, "attach_frontier")
+    has_pinned = getattr(kb, "find_container_pinned", None) is not None
+    versioned = hasattr(kb, "version")
+    has_shallowest = (
+        getattr(kb, "find_shallowest_container", None) is not None
+    )
+    key = (
+        engine.ndim,
+        engine.depth,
+        engine.sao,
+        fetch,
+        capped,
+        engine.cache_resolvents,
+        has_frontier,
+        has_pinned,
+        versioned,
+        has_shallowest,
+    )
+
+    def build() -> Optional[Callable]:
+        source = _tetris_source(
+            engine.ndim,
+            engine.depth,
+            engine.sao,
+            fetch,
+            capped,
+            engine.cache_resolvents,
+            has_frontier,
+            has_pinned,
+            versioned,
+            has_shallowest,
+        )
+        return _compile(
+            source,
+            {
+                "box_contains": box_contains,
+                "is_ordered_pair": is_ordered_pair,
+            },
+        )
+
+    return _TETRIS_CACHE.lookup(key, build)

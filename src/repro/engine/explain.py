@@ -150,11 +150,14 @@ def render_execution(result: ExecutionResult) -> str:
         else f"{len(result.tuples)} "
         f"(predicted Ẑ ≈ {_fmt(plan.stats.output_estimate)})"
     )
+    from repro.engine.codegen import kernel_cache_summary
+
     lines = [
         "execution",
         f"├─ backend     : {result.backend}",
         f"├─ tuples      : {tuple_note}",
         f"├─ wall time   : {result.elapsed:.4f}s",
+        f"├─ kernels     : {kernel_cache_summary()}",
     ]
     if result.parallel is not None:
         lines.extend(_render_shard_tree(result.parallel))

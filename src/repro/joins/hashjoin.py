@@ -52,14 +52,30 @@ def iter_hash(
     query: JoinQuery,
     db: Database,
     atom_order: Optional[Sequence[str]] = None,
+    compiled: Optional[bool] = None,
 ) -> Iterator[Tuple[int, ...]]:
     """Stream the left-deep plan's output lazily (unsorted).
 
     Hash tables for every non-leading atom are built up front (they hash
     base relations, never intermediates); the probe cascade then streams,
-    so no intermediate result is ever materialized.
+    so no intermediate result is ever materialized.  By default the
+    whole cascade — table builds included — runs as one compiled kernel
+    (:func:`repro.engine.codegen.hash_kernel`) with scalar join keys and
+    constant-folded projections; ``compiled=False`` forces the
+    interpreted generator pipeline, the semantic reference.
     """
     order = _plan_order(query, db, atom_order)
+    if compiled is not False:
+        from repro.engine.codegen import hash_kernel
+
+        specs = [
+            (name, query.atom(name).attrs) for name in order
+        ]
+        kernel = hash_kernel(specs, query.variables)
+        if kernel is not None:
+            rels = [db[name].rows() for name in order]
+            yield from kernel(rels)
+            return
     first = query.atom(order[0])
     acc_attrs: List[str] = list(first.attrs)
     stream: Iterator[tuple] = iter(db[first.name].rows())
@@ -79,6 +95,7 @@ def join_hash(
     query: JoinQuery,
     db: Database,
     atom_order: Optional[Sequence[str]] = None,
+    compiled: Optional[bool] = None,
 ) -> List[Tuple[int, ...]]:
     """Left-deep binary hash-join plan; outputs follow query.variables.
 
@@ -86,7 +103,9 @@ def join_hash(
     connectivity-aware size-ascending heuristic of :func:`_plan_order`.
     Materialized and sorted; :func:`iter_hash` is the streaming form.
     """
-    return sorted(set(iter_hash(query, db, atom_order=atom_order)))
+    return sorted(
+        set(iter_hash(query, db, atom_order=atom_order, compiled=compiled))
+    )
 
 
 def intermediate_sizes(

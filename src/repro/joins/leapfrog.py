@@ -59,12 +59,17 @@ def iter_leapfrog(
     query: JoinQuery,
     db: Database,
     gao: Optional[Sequence[str]] = None,
+    compiled: Optional[bool] = None,
 ) -> Iterator[Tuple[int, ...]]:
     """Stream the join output lazily (unsorted, duplicate-free).
 
     Rows follow ``query.variables`` component order but are produced in
     GAO enumeration order; consuming a prefix does only the work needed
-    for that prefix.
+    for that prefix.  By default the intersection runs as a per-plan
+    compiled kernel over the views' flat columns
+    (:func:`repro.engine.codegen.leapfrog_kernel`); ``compiled=False``
+    forces the interpreted recursion below, which is the semantic
+    reference the parity tests pin the kernel against.
     """
     gao = tuple(gao) if gao is not None else default_gao(query)
     if sorted(gao) != sorted(query.variables):
@@ -75,11 +80,23 @@ def iter_leapfrog(
     # come from the relation's shared view cache — one sort per
     # (relation, order) for the lifetime of the database, not per join.
     n = len(gao)
-    atom_rows: List[list] = []
+    views = [
+        db.sorted_view(
+            atom.name, tuple(a for a in gao if a in atom.attrs)
+        )
+        for atom in query.atoms
+    ]
+    if compiled is not False:
+        from repro.engine.codegen import leapfrog_kernel
+
+        kernel = leapfrog_kernel(query, gao)
+        if kernel is not None:
+            yield from kernel(views)
+            return
+    atom_rows: List[list] = [view.rows for view in views]
     atom_depth: List[dict] = []  # gao level -> column index in the atom
-    for atom in query.atoms:
-        order = tuple(a for a in gao if a in atom.attrs)
-        atom_rows.append(db.sorted_view(atom.name, order).rows)
+    for view in views:
+        order = view.attr_order
         atom_depth.append({gao.index(a): d for d, a in enumerate(order)})
 
     binding: List[int] = [0] * n
@@ -153,10 +170,11 @@ def join_leapfrog(
     query: JoinQuery,
     db: Database,
     gao: Optional[Sequence[str]] = None,
+    compiled: Optional[bool] = None,
 ) -> List[Tuple[int, ...]]:
     """Evaluate a join with the generic WCOJ algorithm, materialized.
 
     Output tuples follow ``query.variables`` order regardless of the GAO
     and are sorted; :func:`iter_leapfrog` is the streaming form.
     """
-    return sorted(iter_leapfrog(query, db, gao=gao))
+    return sorted(iter_leapfrog(query, db, gao=gao, compiled=compiled))

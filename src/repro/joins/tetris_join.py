@@ -83,6 +83,7 @@ def join_tetris(
     max_outputs: Optional[int] = None,
     mode: Optional[str] = None,
     resolvent_limit: Optional[int] = None,
+    compiled: Optional[bool] = None,
 ) -> JoinResult:
     """Evaluate a natural join with Tetris.
 
@@ -113,7 +114,7 @@ def join_tetris(
     preload = variant == "preloaded"
     points = engine.run(
         oracle, preload=preload, one_pass=one_pass, max_outputs=max_outputs,
-        mode=mode,
+        mode=mode, compiled=compiled,
     )
     return JoinResult(sorted(points), attrs, stats, gao)
 
@@ -127,6 +128,7 @@ def iter_tetris(
     stats: Optional[ResolutionStats] = None,
     max_outputs: Optional[int] = None,
     mode: Optional[str] = None,
+    compiled: Optional[bool] = None,
 ):
     """Cursor-friendly Tetris: defer all work until first consumption.
 
@@ -138,6 +140,6 @@ def iter_tetris(
     """
     result = join_tetris(
         query, db, variant=variant, index_kind=index_kind, gao=gao,
-        stats=stats, max_outputs=max_outputs, mode=mode,
+        stats=stats, max_outputs=max_outputs, mode=mode, compiled=compiled,
     )
     yield from result.tuples

@@ -1,23 +1,49 @@
 """Relation instances: columnar, order-cached sets of integer tuples.
 
 The data plane under every index and join backend.  A ``Relation`` keeps
-its tuples once in a canonical sorted row list plus (lazily) one column
-tuple per attribute, and memoizes a :class:`SortedView` per attribute
-permutation.  Views are computed once and shared **zero-copy** with every
-consumer — B-tree builds, the dyadic/kd indexes, Leapfrog's tries and
-``select_prefix`` all read the same cached lists instead of re-sorting,
-which is what keeps repeated executions of a served workload from paying
-O(N log N) per query on the storage layer.
+its data in **flat columnar buffers** — one ``array('q')`` per attribute,
+aligned with the canonical (schema-order) sorted row order — plus a
+lazily materialized row-tuple list for consumers that walk tuples, and
+memoizes a :class:`SortedView` per attribute permutation.  Views are
+computed once and shared **zero-copy** with every consumer — B-tree
+builds, the dyadic/kd indexes, Leapfrog's tries and ``select_prefix``
+all read the same cached lists instead of re-sorting, which is what
+keeps repeated executions of a served workload from paying O(N log N)
+per query on the storage layer.
+
+The flat buffers are the relation's canonical storage and interchange
+format: pickling ships the raw column bytes (a memcpy each way, no
+per-tuple encode/decode), the compiled kernels of
+:mod:`repro.engine.codegen` gallop over the per-level column arrays
+directly, and ``multiprocessing.shared_memory`` can attach to the same
+byte layout without a translation step.  The view cache is bounded
+(:data:`Relation.VIEW_CACHE_CAP`, LRU) so long-lived server processes
+holding many relations cannot grow a per-permutation cache without
+bound; the canonical schema-order view is pinned.
 """
 
 from __future__ import annotations
 
 import bisect
+from array import array
+from collections import OrderedDict
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.relational.schema import Domain, RelationSchema
 
 Tuple_ = Tuple[int, ...]
+
+#: The array typecode of every flat column buffer: signed 64-bit, the
+#: widest value any packed box or domain code needs, and the layout
+#: shared-memory attachment expects.
+COLUMN_TYPECODE = "q"
+
+
+def _columns_of(rows: Sequence[Tuple_], arity: int) -> Tuple[array, ...]:
+    """Flat per-attribute buffers for a row list (one pass via zip)."""
+    if rows:
+        return tuple(array(COLUMN_TYPECODE, col) for col in zip(*rows))
+    return tuple(array(COLUMN_TYPECODE) for _ in range(arity))
 
 
 class SortedView:
@@ -25,21 +51,35 @@ class SortedView:
 
     ``rows`` holds the relation's tuples permuted into ``attr_order``
     layout and sorted lexicographically — the exact layout a B-tree with
-    that search-key order stores.  The list is **shared** by every
-    consumer of the owning relation: treat it as read-only.
+    that search-key order stores.  ``column(k)`` exposes the k-th
+    attribute of the same layout as a flat ``array('q')`` buffer (built
+    lazily, memoized): the per-level arrays the compiled leapfrog
+    kernels gallop over.  Both are **shared** by every consumer of the
+    owning relation: treat them as read-only.
     """
 
-    __slots__ = ("attr_order", "rows")
+    __slots__ = ("attr_order", "rows", "_cols")
 
     def __init__(self, attr_order: Tuple[str, ...], rows: List[Tuple_]):
         self.attr_order = attr_order
         self.rows = rows
+        self._cols: Optional[Tuple[array, ...]] = None
 
     def __len__(self) -> int:
         return len(self.rows)
 
     def __iter__(self) -> Iterator[Tuple_]:
         return iter(self.rows)
+
+    def columns(self) -> Tuple[array, ...]:
+        """Flat per-attribute buffers aligned with ``rows`` (lazy, cached)."""
+        if self._cols is None:
+            self._cols = _columns_of(self.rows, len(self.attr_order))
+        return self._cols
+
+    def column(self, k: int) -> array:
+        """The k-th attribute's flat buffer in this view's sort order."""
+        return self.columns()[k]
 
     def prefix_range(self, prefix: Sequence[int]) -> Tuple[int, int]:
         """``[lo, hi)`` row range whose tuples extend ``prefix``.
@@ -80,13 +120,22 @@ class SortedView:
 class Relation:
     """A relation instance: a set of tuples over a schema and shared domain.
 
-    Storage is columnar and order-cached: tuples live once in a canonical
-    (schema-order) sorted row list, per-attribute columns materialize
-    lazily, and any other sort order is computed on first request and
-    memoized as a :class:`SortedView`.  Instances are immutable after
-    construction, so every cached artifact is valid for the lifetime of
-    the relation.
+    Storage is columnar and order-cached: the canonical representation
+    is one flat ``array('q')`` buffer per attribute in schema order,
+    sorted by the canonical row order; the row-tuple list, the tuple
+    set and any other sort order materialize lazily and are memoized.
+    Instances are immutable after construction, so every cached artifact
+    is valid for the lifetime of the relation.
+
+    Sorted-view memoization is a bounded LRU (:data:`VIEW_CACHE_CAP`
+    entries; the canonical view is pinned) with an eviction counter, so
+    a long-lived process serving many GAOs over one relation keeps a
+    working set, not an unbounded history.
     """
+
+    #: Max memoized :class:`SortedView` permutations per relation (the
+    #: pinned canonical view does not count against the cap).
+    VIEW_CACHE_CAP = 16
 
     def __init__(
         self,
@@ -111,14 +160,25 @@ class Relation:
                         f"in relation {schema.name}"
                     )
             seen.add(t)
-        self._tuples = frozenset(seen)
         rows: List[Tuple_] = sorted(seen)
+        self._init_from_rows(rows, tuples_set=frozenset(seen))
+
+    def _init_from_rows(
+        self,
+        rows: Optional[List[Tuple_]],
+        cols: Optional[Tuple[array, ...]] = None,
+        nrows: Optional[int] = None,
+        tuples_set: Optional[frozenset] = None,
+    ) -> None:
+        """Shared constructor tail: seed storage, empty caches."""
         self._rows = rows
-        # The canonical (schema-order) view shares the row list zero-copy.
-        self._views: Dict[Tuple[str, ...], SortedView] = {
-            schema.attrs: SortedView(schema.attrs, rows)
-        }
-        self._columns: Optional[Tuple[Tuple[int, ...], ...]] = None
+        self._cols = cols
+        self._nrows = len(rows) if rows is not None else int(nrows or 0)
+        self._tuples = tuples_set
+        self._views: "OrderedDict[Tuple[str, ...], SortedView]" = (
+            OrderedDict()
+        )
+        self.view_evictions = 0
         self._distinct_counts: Optional[Dict[str, int]] = None
         self._column_ranges: Optional[Dict[str, Tuple[int, int]]] = None
         self._fingerprint: Optional[Tuple] = None
@@ -135,46 +195,45 @@ class Relation:
         ``rows`` must be schema-order tuples, sorted, duplicate-free and
         inside ``domain`` — the invariants every bisect slice of an
         existing relation's canonical view satisfies.  Skips the per-value
-        validation pass of ``__init__``; used by shard clipping and
-        unpickling, where the rows come from a relation that was already
-        validated once.
+        validation pass of ``__init__``; used by shard clipping, where
+        the rows come from a relation that was already validated once.
         """
         rel = cls.__new__(cls)
         rel.schema = schema
         rel.domain = domain
-        rel._tuples = frozenset(rows)
-        rel._rows = rows
-        rel._views = {schema.attrs: SortedView(schema.attrs, rows)}
-        rel._columns = None
-        rel._distinct_counts = None
-        rel._column_ranges = None
-        rel._fingerprint = None
+        rel._init_from_rows(rows)
         return rel
 
-    # -- pickling: lean on the wire --------------------------------------------
+    # -- pickling: flat buffers on the wire ------------------------------------
 
     def __getstate__(self):
-        """Ship only the canonical rows; every cache is dropped.
+        """Ship the flat column buffers as raw bytes; every cache is dropped.
 
-        Memoized sorted views, columns and statistics are all derivable
-        from the rows, and on a busy relation they multiply the payload
-        several times over.  Workers rebuild them lazily on first use, so
-        a pickled relation costs one row list on the wire no matter how
-        many permutations the parent has materialized.
+        A pickled relation costs one ``tobytes`` memcpy per column on
+        the way out and one ``frombytes`` on the way in — no per-tuple
+        encode/decode — which is what makes shipping a relation to a
+        shard worker two orders of magnitude cheaper in CPU than
+        pickling the row-tuple list.  Memoized sorted views, columns and
+        statistics are all derivable, so workers rebuild them lazily on
+        first use.
         """
-        return (self.schema, self.domain, self._rows)
+        return (
+            self.schema,
+            self.domain,
+            self._nrows,
+            tuple(c.tobytes() for c in self.columns()),
+        )
 
     def __setstate__(self, state):
-        schema, domain, rows = state
+        schema, domain, nrows, blobs = state
         self.schema = schema
         self.domain = domain
-        self._tuples = frozenset(rows)
-        self._rows = rows
-        self._views = {schema.attrs: SortedView(schema.attrs, rows)}
-        self._columns = None
-        self._distinct_counts = None
-        self._column_ranges = None
-        self._fingerprint = None
+        cols = []
+        for blob in blobs:
+            col = array(COLUMN_TYPECODE)
+            col.frombytes(blob)
+            cols.append(col)
+        self._init_from_rows(None, cols=tuple(cols), nrows=nrows)
 
     def cache_key(self) -> Tuple:
         """A cheap content key for the shard workers' relation caches.
@@ -188,8 +247,8 @@ class Relation:
             self.name,
             self.schema.attrs,
             self.domain.depth,
-            len(self._tuples),
-            hash(self._tuples),
+            self._nrows,
+            hash(self.tuples()),
         )
 
     @property
@@ -205,15 +264,18 @@ class Relation:
         return self.schema.arity
 
     def __len__(self) -> int:
-        return len(self._tuples)
+        return self._nrows
 
     def __contains__(self, t: Sequence[int]) -> bool:
-        return tuple(t) in self._tuples
+        return tuple(t) in self.tuples()
 
     def __iter__(self) -> Iterator[Tuple_]:
-        return iter(self._rows)
+        return iter(self.rows())
 
     def tuples(self) -> frozenset:
+        """The tuple set (lazy after unpickling, memoized)."""
+        if self._tuples is None:
+            self._tuples = frozenset(self.rows())
         return self._tuples
 
     def rows(self) -> List[Tuple_]:
@@ -221,22 +283,53 @@ class Relation:
 
         This is the same list every schema-order consumer (the dyadic and
         kd indexes above all) reads — callers must treat it as read-only.
+        After unpickling only the flat buffers exist; the row list is
+        re-materialized here in one C-level ``zip`` pass and memoized.
         """
+        if self._rows is None:
+            if self._nrows:
+                self._rows = list(zip(*self._cols))
+            else:
+                self._rows = []
         return self._rows
 
     def view(self, attr_order: Sequence[str]) -> SortedView:
         """The memoized :class:`SortedView` for an attribute permutation.
 
-        Computed once per permutation per relation; every later request —
-        from any consumer — returns the same object.
+        Computed once per permutation per relation and LRU-retained:
+        every later request — from any consumer — returns the same
+        object while it stays within the :data:`VIEW_CACHE_CAP` working
+        set.  The canonical schema-order view shares the row list
+        zero-copy and is never evicted.
         """
         key = tuple(attr_order)
         cached = self._views.get(key)
-        if cached is None:
-            perm = self.schema.permutation(key)
-            rows = sorted(tuple(t[i] for i in perm) for t in self._rows)
-            cached = SortedView(key, rows)
+        if cached is not None:
+            self._views.move_to_end(key)
+            return cached
+        if key == self.schema.attrs:
+            cached = SortedView(key, self.rows())
+            # Pinned: insert at the cold end so LRU eviction (which
+            # skips the canonical key) keeps it without inspecting it.
             self._views[key] = cached
+            self._views.move_to_end(key, last=False)
+            return cached
+        perm = self.schema.permutation(key)
+        rows = sorted(tuple(t[i] for i in perm) for t in self.rows())
+        cached = SortedView(key, rows)
+        self._views[key] = cached
+        canonical = self.schema.attrs
+        while len(self._views) > self.VIEW_CACHE_CAP + (
+            1 if canonical in self._views else 0
+        ):
+            oldest = next(iter(self._views))
+            if oldest == canonical:
+                self._views.move_to_end(canonical, last=False)
+                oldest = next(
+                    k for k in self._views if k != canonical
+                )
+            del self._views[oldest]
+            self.view_evictions += 1
         return cached
 
     def cached_view_orders(self) -> Tuple[Tuple[str, ...], ...]:
@@ -254,18 +347,26 @@ class Relation:
         """
         return self.view(attr_order).rows
 
-    def columns(self) -> Tuple[Tuple[int, ...], ...]:
-        """Per-attribute columns aligned with :meth:`rows`, built lazily."""
-        if self._columns is None:
-            if self._rows:
-                self._columns = tuple(zip(*self._rows))
-            else:
-                self._columns = tuple(() for _ in self.schema.attrs)
-        return self._columns
+    def columns(self) -> Tuple[array, ...]:
+        """Flat per-attribute buffers aligned with :meth:`rows`.
 
-    def column(self, attr: str) -> Tuple[int, ...]:
-        """One attribute's column, aligned with the canonical row order."""
+        These ``array('q')`` buffers are the canonical storage: what
+        pickling ships, what compiled kernels index, and the byte layout
+        a shared-memory segment can hold.  Built lazily when the
+        relation was constructed from rows; present from the start after
+        unpickling.
+        """
+        if self._cols is None:
+            self._cols = _columns_of(self.rows(), self.schema.arity)
+        return self._cols
+
+    def column(self, attr: str) -> array:
+        """One attribute's flat buffer, aligned with the canonical rows."""
         return self.columns()[self.schema.position(attr)]
+
+    def column_bytes(self) -> Tuple[bytes, ...]:
+        """The raw per-column byte payloads (the wire / shared-memory form)."""
+        return tuple(c.tobytes() for c in self.columns())
 
     def column_ranges(self) -> Dict[str, Tuple[int, int]]:
         """Per-attribute ``(min, max)`` value ranges, cached.
@@ -277,7 +378,7 @@ class Relation:
         """
         if self._column_ranges is None:
             ranges: Dict[str, Tuple[int, int]] = {}
-            if self._rows:
+            if self._nrows:
                 for attr, col in zip(self.schema.attrs, self.columns()):
                     ranges[attr] = (min(col), max(col))
             self._column_ranges = ranges
@@ -286,7 +387,7 @@ class Relation:
     def project(self, attrs: Sequence[str]) -> "Relation":
         """π_attrs(R) as a fresh relation (duplicates removed)."""
         positions = [self.schema.position(a) for a in attrs]
-        out = {tuple(t[i] for i in positions) for t in self._tuples}
+        out = {tuple(t[i] for i in positions) for t in self.rows()}
         schema = RelationSchema(f"π({self.name})", tuple(attrs))
         return Relation(schema, out, self.domain)
 
@@ -329,9 +430,9 @@ class Relation:
                 self.name,
                 self.schema.attrs,
                 self.domain.depth,
-                len(self._tuples),
+                self._nrows,
                 tuple(counts[a] for a in self.schema.attrs),
-                hash(self._tuples),
+                hash(self.tuples()),
             )
         return self._fingerprint
 

@@ -1,0 +1,239 @@
+"""Compiled-kernel tests: parity matrix, cache isolation, LRU bounds.
+
+The compiled kernels of :mod:`repro.engine.codegen` must be invisible
+except for speed: every (backend × Table-1 family × worker count ×
+Tetris mode) cell is checked byte-identical against the interpreted
+loops (``compiled=False``), cache keys must keep attribute-renamed
+schemas apart, and the per-family LRU must stay bounded with honest
+hit/miss/eviction counters.
+"""
+
+import functools
+from dataclasses import asdict
+
+import pytest
+
+from repro.engine import (
+    clear_kernel_caches,
+    execute,
+    kernel_cache_info,
+    kernel_cache_summary,
+    render_execution,
+)
+from repro.engine.codegen import (
+    _HASH_CACHE,
+    _LEAPFROG_CACHE,
+    _TETRIS_CACHE,
+    KernelCache,
+)
+from repro.joins.hashjoin import join_hash
+from repro.joins.leapfrog import join_leapfrog
+from repro.joins.tetris_join import join_tetris
+from repro.relational.query import JoinQuery, star_query
+from repro.relational.schema import RelationSchema
+from repro.workloads.generators import (
+    db_from_tuples,
+    graph_triangle_db,
+    random_graph_edges,
+    random_path_db,
+)
+
+
+@functools.lru_cache(maxsize=None)
+def _family(name):
+    if name == "triangle":
+        return graph_triangle_db(random_graph_edges(40, 110, seed=3))
+    if name == "tw1":
+        return random_path_db(3, 90, seed=17, depth=7)
+    if name == "star":
+        import random
+
+        rng = random.Random(11)
+        query = star_query(3)
+        tuples = {
+            f"R{i}": sorted({
+                (rng.randrange(1 << 5), rng.randrange(1 << 7))
+                for _ in range(80)
+            })
+            for i in (1, 2, 3)
+        }
+        return query, db_from_tuples(query, tuples, 7)
+    raise ValueError(name)
+
+
+FAMILIES = ("triangle", "tw1", "star")
+
+
+def _interpreted(algorithm, query, db):
+    """The semantic reference: the interpreted loop, kernels forced off."""
+    if algorithm == "leapfrog":
+        return join_leapfrog(query, db, compiled=False)
+    if algorithm == "hash":
+        return join_hash(query, db, compiled=False)
+    variant = algorithm.split("-", 1)[1]
+    return join_tetris(query, db, variant=variant, compiled=False).tuples
+
+
+# -- parity matrix --------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize(
+    "algorithm", ["leapfrog", "hash", "tetris-preloaded", "tetris-reloaded"]
+)
+def test_compiled_matches_interpreted(algorithm, family, workers):
+    query, db = _family(family)
+    expected = sorted(_interpreted(algorithm, query, db))
+    result = execute(
+        query, db, algorithm=algorithm,
+        workers=workers if workers > 1 else None,
+    )
+    assert sorted(result.tuples) == expected
+
+
+@pytest.mark.parametrize("variant", ["preloaded", "reloaded"])
+@pytest.mark.parametrize("family", FAMILIES)
+def test_tetris_kernel_stats_are_bit_identical(variant, family):
+    """Not just the output: every ResolutionStats counter must match."""
+    query, db = _family(family)
+    interp = join_tetris(query, db, variant=variant, compiled=False)
+    comp = join_tetris(query, db, variant=variant, compiled=True)
+    assert comp.tuples == interp.tuples
+    assert asdict(comp.stats) == asdict(interp.stats)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"mode": "onepass"},
+        {"mode": "faithful"},
+        {"resolvent_limit": 10_000},
+    ],
+    ids=["onepass", "faithful", "resolvent-limit"],
+)
+def test_unsupported_tetris_shapes_fall_back_correctly(kwargs):
+    """Shapes the codegen declines still answer through the interpreter."""
+    query, db = _family("triangle")
+    expected = join_tetris(query, db, compiled=False).tuples
+    got = join_tetris(query, db, compiled=True, **kwargs)
+    assert got.tuples == expected
+
+
+def test_capped_tetris_run_matches_interpreted_prefix():
+    query, db = _family("tw1")
+    interp = join_tetris(query, db, max_outputs=5, compiled=False)
+    comp = join_tetris(query, db, max_outputs=5, compiled=True)
+    assert comp.tuples == interp.tuples
+    assert len(comp.tuples) <= 5
+
+
+# -- cache-key isolation --------------------------------------------------------
+
+
+def test_attribute_renaming_gets_distinct_kernels():
+    """Schemas differing only in attribute names must not share a kernel.
+
+    R(a,b) ⋈ S(b,c) is a path; R(a,b) ⋈ S(a,c) is a star.  Same relation
+    names, same arities, same data — a shared kernel would answer one of
+    them wrong.
+    """
+    path = JoinQuery(
+        [RelationSchema("R", ("a", "b")), RelationSchema("S", ("b", "c"))]
+    )
+    star = JoinQuery(
+        [RelationSchema("R", ("a", "b")), RelationSchema("S", ("a", "c"))]
+    )
+    tuples = {"R": [(1, 2)], "S": [(2, 3)]}
+    db_path = db_from_tuples(path, tuples, 3)
+    db_star = db_from_tuples(star, tuples, 3)
+
+    clear_kernel_caches()
+    assert join_hash(path, db_path, compiled=True) == [(1, 2, 3)]
+    assert join_hash(star, db_star, compiled=True) == []
+    assert join_leapfrog(path, db_path, compiled=True) == [(1, 2, 3)]
+    assert join_leapfrog(star, db_star, compiled=True) == []
+
+    info = kernel_cache_info()
+    assert info["hash"]["entries"] == 2
+    assert info["hash"]["hits"] == 0
+    assert info["leapfrog"]["entries"] == 2
+    assert info["leapfrog"]["hits"] == 0
+
+
+def test_repeat_plans_hit_the_kernel_cache():
+    query, db = _family("triangle")
+    clear_kernel_caches()
+    first = join_leapfrog(query, db, compiled=True)
+    before = kernel_cache_info()["leapfrog"]
+    again = join_leapfrog(query, db, compiled=True)
+    after = kernel_cache_info()["leapfrog"]
+    assert again == first
+    assert after["entries"] == before["entries"]
+    assert after["hits"] == before["hits"] + 1
+
+
+# -- KernelCache mechanics ------------------------------------------------------
+
+
+def _fake_kernel(tag):
+    def fn():
+        return tag
+
+    fn.source = tag
+    return fn
+
+
+def test_kernel_cache_lru_evicts_least_recent():
+    cache = KernelCache("test", capacity=2)
+    a = cache.lookup(("a",), lambda: _fake_kernel("A"))
+    cache.lookup(("b",), lambda: _fake_kernel("B"))
+    # Hit refreshes recency and must not rebuild.
+    assert cache.lookup(("a",), lambda: pytest.fail("rebuilt on hit")) is a
+    cache.lookup(("c",), lambda: _fake_kernel("C"))  # evicts the LRU: "b"
+    assert cache.info() == {
+        "entries": 2, "capacity": 2, "hits": 1, "misses": 3, "evictions": 1,
+    }
+    rebuilt = cache.lookup(("b",), lambda: _fake_kernel("B2"))
+    assert rebuilt.source == "B2"
+    assert cache.info()["evictions"] == 2  # rebuilding "b" evicted "a"
+
+
+def test_kernel_cache_negative_results_are_cached():
+    cache = KernelCache("test", capacity=4)
+    assert cache.lookup(("no",), lambda: None) is None
+    assert cache.lookup(("no",), lambda: pytest.fail("re-analyzed")) is None
+    info = cache.info()
+    assert (info["hits"], info["misses"]) == (1, 1)
+    # None entries hold no source.
+    assert cache.cached_sources() == ()
+
+
+def test_kernel_cache_clear_resets_entries_and_counters():
+    cache = KernelCache("test", capacity=2)
+    cache.lookup(("a",), lambda: _fake_kernel("A"))
+    cache.lookup(("a",), lambda: _fake_kernel("A"))
+    cache.clear()
+    assert cache.info() == {
+        "entries": 0, "capacity": 2, "hits": 0, "misses": 0, "evictions": 0,
+    }
+
+
+def test_generated_sources_are_inspectable():
+    query, db = _family("triangle")
+    clear_kernel_caches()
+    join_leapfrog(query, db, compiled=True)
+    join_hash(query, db, compiled=True)
+    join_tetris(query, db, compiled=True)
+    for cache in (_LEAPFROG_CACHE, _HASH_CACHE, _TETRIS_CACHE):
+        sources = cache.cached_sources()
+        assert len(sources) == 1
+        assert "def kernel" in sources[0]
+
+
+def test_explain_surfaces_kernel_cache_stats():
+    query, db = _family("tw1")
+    result = execute(query, db, algorithm="leapfrog")
+    text = render_execution(result)
+    assert "kernels" in text
+    assert kernel_cache_summary() in text

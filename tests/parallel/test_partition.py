@@ -177,11 +177,11 @@ class TestPickleLeanRelation:
         rel.distinct_counts()
         rel.column_ranges()
         rel.stats_fingerprint()
-        assert len(rel.cached_view_orders()) > 1
+        assert len(rel.cached_view_orders()) >= 1
         warmed = len(pickle.dumps(rel))
         assert warmed == baseline  # caches never reach the wire
         clone = pickle.loads(pickle.dumps(rel))
-        assert clone.cached_view_orders() == (rel.schema.attrs,)
+        assert clone.cached_view_orders() == ()  # every view is lazy
         # ... and rebuild lazily on demand, identically.
         assert clone.view(("B", "A")).rows == rel.view(("B", "A")).rows
 

@@ -55,6 +55,8 @@ class TestSortedViews:
 
     def test_cached_view_orders_reports_materializations(self):
         rel = _random_relation(2)
+        assert rel.cached_view_orders() == ()  # all views are lazy now
+        rel.sorted_by(rel.attrs)
         assert rel.cached_view_orders() == (rel.attrs,)
         rel.sorted_by(("A2", "A1", "A0"))
         assert ("A2", "A1", "A0") in rel.cached_view_orders()
@@ -106,7 +108,7 @@ class TestSelectPrefix:
         rel = Relation(schema, [], Domain(3))
         assert rel.select_prefix(("B", "A"), (1,)) == []
         assert rel.rows() == []
-        assert rel.columns() == ((), ())
+        assert tuple(tuple(c) for c in rel.columns()) == ((), ())
 
 
 class TestColumns:
@@ -121,8 +123,8 @@ class TestColumns:
     def test_column_by_attr(self):
         schema = RelationSchema("R", ("X", "Y"))
         rel = Relation(schema, [(1, 2), (0, 3)], Domain(2))
-        assert rel.column("X") == (0, 1)
-        assert rel.column("Y") == (3, 2)
+        assert tuple(rel.column("X")) == (0, 1)
+        assert tuple(rel.column("Y")) == (3, 2)
         with pytest.raises(KeyError):
             rel.column("Z")
 
@@ -171,3 +173,48 @@ class TestDatabaseSortedView:
         view = db.sorted_view("R", order)
         assert view is rel.view(order)
         assert view.rows == _seed_sorted_by(rel, order)
+
+
+class TestViewCacheLRU:
+    def test_view_cache_is_bounded_with_eviction_counter(self):
+        import itertools
+
+        rel = _random_relation(9, n=40, arity=4, depth=5)
+        perms = list(itertools.permutations(rel.schema.attrs))  # 24 orders
+        for perm in perms:
+            rel.view(perm)
+        cap = Relation.VIEW_CACHE_CAP
+        assert len(rel.cached_view_orders()) <= cap + 1  # +1: pinned canonical
+        assert rel.view_evictions >= len(perms) - cap - 1
+
+    def test_canonical_view_is_pinned_through_churn(self):
+        import itertools
+
+        rel = _random_relation(10, n=20, arity=4, depth=5)
+        canonical = rel.view(rel.schema.attrs)
+        for perm in itertools.permutations(rel.schema.attrs):
+            rel.view(perm)
+        assert rel.schema.attrs in rel.cached_view_orders()
+        assert rel.view(rel.schema.attrs) is canonical
+
+    def test_evicted_order_is_rebuilt_identically(self):
+        import itertools
+
+        rel = _random_relation(11, n=30, arity=4, depth=5)
+        perms = list(itertools.permutations(rel.schema.attrs))
+        first = perms[1]  # not the canonical order
+        rel.view(first)
+        for perm in perms[2:]:
+            rel.view(perm)
+        assert first not in rel.cached_view_orders()  # LRU dropped it
+        assert rel.view(first).rows == _seed_sorted_by(rel, first)
+
+    def test_recently_touched_order_survives_churn(self):
+        import itertools
+
+        rel = _random_relation(12, n=20, arity=4, depth=5)
+        hot = ("A1", "A0", "A3", "A2")
+        for perm in itertools.permutations(rel.schema.attrs):
+            rel.view(perm)
+            rel.view(hot)  # refresh recency on every insertion
+        assert hot in rel.cached_view_orders()
