@@ -1,0 +1,46 @@
+"""The frozen pre-observability execute path — the PR-6 baseline.
+
+``bench_obs.py`` races :func:`repro.engine.execute` (which now wraps
+every query in tracer/metrics bookkeeping) against this module, which
+reproduces what the executor did *before* the observability layer
+landed: resolve the backend spec, run it, and for parallel plans merge
+and sort the shard outputs.  No spans, no snapshots, no slow-query
+check — the two code paths do identical join work, so any timing gap is
+the observability layer's overhead.
+
+Kept deliberately minimal and separate from ``src/`` so future executor
+changes don't silently drag the baseline along.
+"""
+
+from __future__ import annotations
+
+
+def plain_execute(query, db, plan):
+    """Run ``plan`` the way the PR-6 executor did; return (rows, stats).
+
+    Serial plans dispatch straight to the backend runner (rows come back
+    in the backend's order, exactly like ``execute``); parallel plans
+    stream the shard outcomes off the pool and sort the merged rows,
+    mirroring the executor's materialized parallel path.
+    """
+    from repro.engine.executor import _REGISTRY
+
+    if plan.num_shards > 1:
+        from repro.core.resolution import ResolutionStats
+        from repro.parallel.merge import run_shards
+
+        outcomes, report = run_shards(query, db, plan, None)
+        stats = ResolutionStats()
+        rows = []
+        try:
+            for outcome in outcomes:
+                stats.absorb(outcome.stats)
+                rows.extend(outcome.rows)
+        finally:
+            close = getattr(outcomes, "close", None)
+            if close is not None:
+                close()
+        return sorted(rows), stats
+    spec = _REGISTRY[plan.backend]
+    tuples, stats, _gao = spec.runner(query, db, plan)
+    return tuples, stats

@@ -4,6 +4,8 @@ Subcommands::
 
     python -m repro join "R(A,B), S(B,C)" --csv R=r.csv --csv S=s.csv
     python -m repro explain "R(A,B), S(B,C)" [--csv ...] [--execute]
+    python -m repro explain "..." --csv ... --analyze [--trace-out t.json]
+    python -m repro calibrate [--log PATH] [--out PATH]
     python -m repro triangles edges.txt [--algorithm auto|tetris|...]
     python -m repro sat formula.cnf [--enumerate]
     python -m repro analyze "R(A,B), S(B,C), T(A,C)"
@@ -102,6 +104,17 @@ def _cmd_join(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_trace(tracer, path: str) -> None:
+    """Export a run's spans: ``.jsonl`` → raw log, else Chrome trace."""
+    from repro.obs.tracing import write_chrome_trace, write_jsonl
+
+    spans = tracer.serialized()
+    if path.endswith(".jsonl"):
+        write_jsonl(spans, path)
+    else:
+        write_chrome_trace(spans, path)
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.engine import execute, explain_text, plan_query
 
@@ -111,6 +124,26 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
+        if args.analyze:
+            if db is None:
+                print("error: --analyze needs --csv data", file=sys.stderr)
+                return 2
+            from repro.obs.analyze import analyze, render_analyze
+
+            report = analyze(
+                query, db, algorithm=args.algorithm,
+                index_kind=args.index_kind, gao=_parse_gao(args.gao),
+                workers=args.workers, decode=dictionary,
+                probe_certificate=args.probe_certificate,
+            )
+            print(f"# query: {query}")
+            print(explain_text(report.result.plan, report.result))
+            print(render_analyze(report))
+            if args.trace_out:
+                _write_trace(report.tracer, args.trace_out)
+                print(f"# trace written to {args.trace_out}",
+                      file=sys.stderr)
+            return 0
         plan = plan_query(
             query, db, algorithm=args.algorithm,
             index_kind=args.index_kind, gao=_parse_gao(args.gao),
@@ -128,6 +161,32 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         return 2
     print(f"# query: {query}")
     print(explain_text(plan, result))
+    if args.trace_out and result is not None and result.trace is not None:
+        _write_trace(result.trace, args.trace_out)
+        print(f"# trace written to {args.trace_out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import calibrate_from_log
+
+    model, info, saved = calibrate_from_log(args.log, args.out)
+    print(
+        f"calibration log : {info['usable_runs']} usable of "
+        f"{info['runs']} runs"
+    )
+    for backend, count in info["samples_per_backend"].items():
+        print(f"  {backend:<18s} {count} samples")
+    if saved is None:
+        print("nothing to fit — run `repro explain --analyze` first",
+              file=sys.stderr)
+        return 1
+    print(
+        f"cost error      : {info['error_before']:.3f} → "
+        f"{info['error_after']:.3f} bits (mean |log₂ actual/predicted|)"
+    )
+    print(f"unit_seconds    : {model.unit_seconds:.3e}")
+    print(f"saved           : {saved}")
     return 0
 
 
@@ -308,7 +367,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--execute", action="store_true",
         help="run the plan and append predicted-vs-actual stats",
     )
+    p_explain.add_argument(
+        "--analyze", action="store_true",
+        help="execute traced and annotate: per-stage wall time, "
+             "actual-vs-predicted cardinality and cost, metrics delta; "
+             "appends to the calibration log (see `repro calibrate`)",
+    )
+    p_explain.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the run's spans (.jsonl → raw log, anything else → "
+             "Chrome trace-event JSON for Perfetto)",
+    )
     p_explain.set_defaults(func=_cmd_explain)
+
+    p_cal = sub.add_parser(
+        "calibrate",
+        help="refit the cost model from accumulated --analyze runs",
+    )
+    p_cal.add_argument(
+        "--log", default=None, metavar="PATH",
+        help="calibration log to replay (default .repro/analyze_log.jsonl "
+             "or $REPRO_ANALYZE_LOG)",
+    )
+    p_cal.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="where to save the fitted constants (default "
+             ".repro/calibration.json or $REPRO_CALIBRATION)",
+    )
+    p_cal.set_defaults(func=_cmd_calibrate)
 
     p_tri = sub.add_parser("triangles", help="list triangles in a graph")
     p_tri.add_argument("edges", help="edge-list file (u v per line)")

@@ -38,8 +38,9 @@ rule check one or two int operations per dimension:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.core.boxes import Box, PackedBox
 
@@ -142,32 +143,36 @@ class ResolutionStats:
         self.by_axis[axis] = self.by_axis.get(axis, 0) + 1
 
     def reset(self) -> None:
-        self.resolutions = 0
-        self.ordered_resolutions = 0
-        self.by_axis.clear()
-        self.containment_queries = 0
-        self.oracle_queries = 0
-        self.skeleton_calls = 0
-        self.boxes_loaded = 0
-        self.cache_hits = 0
-        self.resumes = 0
-        self.evictions = 0
-        self.witness_depth_sum = 0
+        """Zero every counter, dicts included.
+
+        Field-driven (like :meth:`absorb`): a counter added to the
+        dataclass is reset without touching this method.
+        """
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, dict):
+                value.clear()
+            else:
+                setattr(self, f.name, 0)
 
     def absorb(self, other: "ResolutionStats") -> None:
-        """Add another stats object's counters into this one, in place."""
-        self.resolutions += other.resolutions
-        self.ordered_resolutions += other.ordered_resolutions
-        for axis, count in other.by_axis.items():
-            self.by_axis[axis] = self.by_axis.get(axis, 0) + count
-        self.containment_queries += other.containment_queries
-        self.oracle_queries += other.oracle_queries
-        self.skeleton_calls += other.skeleton_calls
-        self.boxes_loaded += other.boxes_loaded
-        self.cache_hits += other.cache_hits
-        self.resumes += other.resumes
-        self.evictions += other.evictions
-        self.witness_depth_sum += other.witness_depth_sum
+        """Add another stats object's counters into this one, in place.
+
+        Iterates the dataclass fields rather than naming them: every
+        numeric field sums, every dict field merges key-wise sums.  A
+        counter added by a future PR is therefore absorbed — and
+        survives the parallel shard merge — by construction; the
+        field-introspection test pins the two supported field kinds so
+        an incompatible field type fails loudly instead of silently.
+        """
+        for f in dataclasses.fields(self):
+            mine = getattr(self, f.name)
+            if isinstance(mine, dict):
+                theirs = getattr(other, f.name)
+                for key, count in theirs.items():
+                    mine[key] = mine.get(key, 0) + count
+            else:
+                setattr(self, f.name, mine + getattr(other, f.name))
 
     @classmethod
     def merge(cls, parts: "Iterable[ResolutionStats]") -> "ResolutionStats":
@@ -190,6 +195,29 @@ class ResolutionStats:
         if self.resumes == 0:
             return 0.0
         return self.witness_depth_sum / self.resumes
+
+    def as_metrics(self, prefix: str = "tetris") -> Dict[str, int]:
+        """The counters as registry-namespace entries.
+
+        Field-driven like :meth:`absorb`: scalar fields become
+        ``<prefix>.<field>`` and dict fields fan out one entry per key
+        (``tetris.resolutions.by_axis.2``), so new counters surface in
+        the unified metrics block without touching this method.
+        """
+        out: Dict[str, int] = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, dict):
+                base = (
+                    f"{prefix}.resolutions.{f.name}"
+                    if f.name == "by_axis"
+                    else f"{prefix}.{f.name}"
+                )
+                for key, count in value.items():
+                    out[f"{base}.{key}"] = count
+            else:
+                out[f"{prefix}.{f.name}"] = value
+        return out
 
     def summary(self) -> str:
         return (

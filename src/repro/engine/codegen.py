@@ -47,6 +47,8 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.boxes import box_contains
 from repro.core.resolution import Resolver, is_ordered_pair
+from repro.obs import tracing as _tracing
+from repro.obs.metrics import REGISTRY as _METRICS
 
 #: Compiled kernels kept per family cache before LRU eviction.  Small
 #: enough that a long-lived ``repro serve`` process stays bounded, large
@@ -88,7 +90,15 @@ class KernelCache:
             entries.move_to_end(key)
             return entries[key]
         self.misses += 1
-        kernel = build()
+        tracer = _tracing.current_tracer()
+        if tracer is not None:
+            # Span the build, not the probe: hits stay untraced (they
+            # are the steady state), compiles are the rare event worth
+            # a line on the timeline.
+            with tracer.span("kernel.compile", cache=self.name):
+                kernel = build()
+        else:
+            kernel = build()
         entries[key] = kernel
         if len(entries) > self.capacity:
             entries.popitem(last=False)
@@ -146,6 +156,25 @@ def clear_kernel_caches() -> None:
     """Drop every compiled kernel and reset the counters (tests, serve)."""
     for cache in _CACHES:
         cache.clear()
+
+
+def _collect_kernel_metrics() -> dict:
+    """Registry collector: the kernel caches under ``kernels.compile.*``."""
+    out = {
+        "kernels.compile.hits": 0,
+        "kernels.compile.misses": 0,
+        "kernels.compile.evictions": 0,
+        "kernels.cache.entries": 0,
+    }
+    for cache in _CACHES:
+        out["kernels.compile.hits"] += cache.hits
+        out["kernels.compile.misses"] += cache.misses
+        out["kernels.compile.evictions"] += cache.evictions
+        out["kernels.cache.entries"] += len(cache)
+    return out
+
+
+_METRICS.register_collector("kernels", _collect_kernel_metrics)
 
 
 def _compile(source: str, namespace: dict) -> Callable:

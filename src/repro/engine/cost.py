@@ -37,6 +37,7 @@ from repro.engine.stats import (
     apply_matching_selectivities,
     value_overlap_fraction,
 )
+from repro.obs.calibration import DEFAULT_UNIT_SECONDS, load_saved
 from repro.relational.hypergraph import Hypergraph, gao_for_acyclic
 from repro.relational.query import JoinQuery
 
@@ -165,12 +166,47 @@ class CostEstimate:
 
 
 class CostModel:
-    """Calibrated Table 1 cost estimates over query statistics."""
+    """Calibrated Table 1 cost estimates over query statistics.
 
-    def __init__(self, calibration: Optional[Mapping[str, float]] = None):
+    Constants resolve in three layers: the fitted defaults shipped with
+    the repo, then the **saved calibration file** the ANALYZE feedback
+    loop writes (``repro calibrate``; skipped with ``use_saved=False``),
+    then any explicit ``calibration`` mapping.  ``unit_seconds`` — the
+    measured wall time of one abstract cost unit — turns predicted
+    costs into predicted seconds (:meth:`predicted_seconds`), which is
+    what EXPLAIN ANALYZE holds against the measured run.
+    """
+
+    def __init__(
+        self,
+        calibration: Optional[Mapping[str, float]] = None,
+        unit_seconds: Optional[float] = None,
+        use_saved: bool = True,
+    ):
         self.calibration = dict(DEFAULT_CALIBRATION)
+        self.unit_seconds = DEFAULT_UNIT_SECONDS
+        if use_saved:
+            saved = load_saved()
+            if saved is not None:
+                self.calibration.update(
+                    {
+                        b: float(v)
+                        for b, v in saved["calibration"].items()
+                        if isinstance(v, (int, float)) and v > 0
+                    }
+                )
+                try:
+                    self.unit_seconds = float(saved["unit_seconds"])
+                except (KeyError, TypeError, ValueError):
+                    pass
         if calibration:
             self.calibration.update(calibration)
+        if unit_seconds is not None:
+            self.unit_seconds = unit_seconds
+
+    def predicted_seconds(self, cost: float) -> float:
+        """A predicted cost in wall seconds, via the calibrated unit."""
+        return cost * self.unit_seconds
 
     #: Abstract-operation charge per binary join step (dict build,
     #: per-step list allocation) on top of the tuple-proportional work.
@@ -509,7 +545,11 @@ class CostModel:
             if quantity > 0 and seconds > 0
         }
         if not per_unit:
-            return CostModel(self.calibration)
+            return CostModel(
+                self.calibration,
+                unit_seconds=self.unit_seconds,
+                use_saved=False,
+            )
         anchor = per_unit.get("hash")
         scale = (
             self.calibration["hash"] / anchor
@@ -518,4 +558,6 @@ class CostModel:
         )
         updated = dict(self.calibration)
         updated.update({b: v * scale for b, v in per_unit.items()})
-        return CostModel(updated)
+        return CostModel(
+            updated, unit_seconds=self.unit_seconds, use_saved=False
+        )

@@ -39,6 +39,9 @@ from typing import (
 
 from repro.core.resolution import ResolutionStats
 from repro.engine.planner import Plan, plan_query
+from repro.obs import slowlog as _slowlog
+from repro.obs import tracing as _tracing
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.relational.query import Database, JoinQuery
 
 Row = Tuple[int, ...]
@@ -103,6 +106,12 @@ class ResultCursor:
         self.limit = limit
         #: Filled by the shard-parallel path: the run's ParallelReport.
         self.parallel = None
+        #: The cursor's own Tracer when it opened one (cursor path with
+        #: tracing enabled and no ambient tracer); read after close().
+        self.trace = None
+        #: Invoked once on close — how a cursor-owned trace's root span
+        #: gets its end time at exhaustion or abandonment.
+        self.on_close: Optional[Callable[[], None]] = None
         self.rows_produced = 0
         self._source = rows  # the backend pipeline itself, for close()
         if limit is not None:
@@ -150,6 +159,9 @@ class ResultCursor:
         close = getattr(self._source, "close", None)
         if close is not None:
             close()
+        callback, self.on_close = self.on_close, None
+        if callback is not None:
+            callback()
 
     def __enter__(self) -> "ResultCursor":
         return self
@@ -180,6 +192,11 @@ class ExecutionResult:
     decode: Optional[object] = field(default=None, repr=False)
     #: The shard-parallel run's ParallelReport; None for serial plans.
     parallel: Optional[object] = field(default=None, repr=False)
+    #: This query's metrics delta (a MetricsSnapshot), when the registry
+    #: is enabled — what EXPLAIN's consolidated metrics block renders.
+    metrics: Optional[object] = field(default=None, repr=False)
+    #: The query's Tracer when it ran traced; None otherwise.
+    trace: Optional[object] = field(default=None, repr=False)
 
     def __len__(self) -> int:
         return len(self.tuples)
@@ -366,18 +383,30 @@ def _parallel_cursor(
     """
     from repro.parallel.merge import run_shards
 
+    # Capture the tracer by reference: the merge generator below may be
+    # pulled after the ambient context has been uninstalled.
+    tracer = _tracing.current_tracer()
     outcomes, report = run_shards(query, db, plan, limit)
     stats = ResolutionStats()
 
     def rows() -> Iterator[Row]:
+        merge_span = (
+            tracer.start("merge", shards=report.num_shards)
+            if tracer is not None
+            else None
+        )
+        produced = 0
         try:
             for outcome in outcomes:
                 stats.absorb(outcome.stats)
+                produced += len(outcome.rows)
                 yield from outcome.rows
         finally:
             close = getattr(outcomes, "close", None)
             if close is not None:
                 close()
+            if tracer is not None:
+                tracer.finish(merge_span, rows=produced)
 
     cursor = ResultCursor(
         rows(), variables=query.variables, backend=plan.backend,
@@ -410,21 +439,41 @@ def execute_cursor(
     materialized on the way.  With ``workers=N`` (and a plan that went
     parallel) rows stream shard by shard off the worker pool instead.
     """
-    plan, spec = _resolve_plan(
-        query, db, plan, algorithm, index_kind, gao,
-        probe_certificate, use_cache, workers, plan_kwargs,
-    )
-    if plan.num_shards > 1:
-        return _parallel_cursor(query, db, plan, limit, decode)
-    if spec.streamer is not None:
-        rows, stats, ran_gao = spec.streamer(query, db, plan, limit)
-    else:
-        tuples, stats, ran_gao = spec.runner(query, db, plan)
-        rows = iter(tuples)
-    return ResultCursor(
-        rows, variables=query.variables, backend=plan.backend, plan=plan,
-        stats=stats, gao=ran_gao, limit=limit, decode=decode,
-    )
+    # A directly-opened cursor under REPRO_TRACE gets its own tracer
+    # (ambient only while planning — the caller drives consumption);
+    # inside execute() the ambient tracer is already installed and the
+    # cursor's spans nest under the query's.
+    tracer = _tracing.current_tracer()
+    owns_tracer = tracer is None and _tracing.enabled()
+    if owns_tracer:
+        tracer = _tracing.Tracer()
+    with _tracing.use(tracer):
+        qspan = (
+            tracer.start("query", kind="cursor", algorithm=algorithm)
+            if owns_tracer
+            else None
+        )
+        plan, spec = _resolve_plan(
+            query, db, plan, algorithm, index_kind, gao,
+            probe_certificate, use_cache, workers, plan_kwargs,
+        )
+        if plan.num_shards > 1:
+            cursor = _parallel_cursor(query, db, plan, limit, decode)
+        else:
+            if spec.streamer is not None:
+                rows, stats, ran_gao = spec.streamer(query, db, plan, limit)
+            else:
+                tuples, stats, ran_gao = spec.runner(query, db, plan)
+                rows = iter(tuples)
+            cursor = ResultCursor(
+                rows, variables=query.variables, backend=plan.backend,
+                plan=plan, stats=stats, gao=ran_gao, limit=limit,
+                decode=decode,
+            )
+    if owns_tracer:
+        cursor.trace = tracer
+        cursor.on_close = lambda: tracer.finish(qspan)
+    return cursor
 
 
 def execute(
@@ -456,25 +505,79 @@ def execute(
     serial-vs-parallel; a forced backend plus ``workers`` always runs
     parallel.  Parallel output is bit-for-bit the serial output (shards
     partition the output space; the merged rows are re-sorted).
+
+    Observability happens here, once per query: with tracing on (or the
+    slow-query log armed) the whole run executes under a ``query`` span;
+    with the metrics registry enabled the result carries the query's
+    metrics delta.  Both checks are per-query flag reads — disabled,
+    this function is the PR-6 code path.
     """
-    plan, spec = _resolve_plan(
-        query, db, plan, algorithm, index_kind, gao,
-        probe_certificate, use_cache, workers, plan_kwargs,
+    tracer = _tracing.current_tracer()
+    owns_tracer = tracer is None and (
+        _tracing.enabled() or _slowlog.armed()
     )
-    t0 = time.perf_counter()
-    report = None
-    if plan.num_shards > 1 or limit is not None:
-        # Close once materialized: with a limit the underlying pipeline
-        # is abandoned mid-stream, and a parallel cursor must release
-        # its worker pool (draining in-flight shards) for the next run.
-        with execute_cursor(query, db, plan=plan, limit=limit) as cursor:
-            tuples = sorted(cursor.fetchall())
-            stats, ran_gao = cursor.stats, cursor.gao
-            report = cursor.parallel
+    if owns_tracer:
+        tracer = _tracing.Tracer()
+    metrics_on = _METRICS.enabled
+    before = _METRICS.snapshot() if metrics_on else None
+    wall0 = time.perf_counter()
+    with _tracing.use(tracer):
+        qspan = (
+            tracer.start("query", algorithm=algorithm)
+            if tracer is not None
+            else None
+        )
+        try:
+            plan, spec = _resolve_plan(
+                query, db, plan, algorithm, index_kind, gao,
+                probe_certificate, use_cache, workers, plan_kwargs,
+            )
+            t0 = time.perf_counter()
+            report = None
+            espan = (
+                tracer.start(
+                    "execute", backend=plan.backend, workers=plan.workers
+                )
+                if tracer is not None
+                else None
+            )
+            try:
+                if plan.num_shards > 1 or limit is not None:
+                    # Close once materialized: with a limit the
+                    # underlying pipeline is abandoned mid-stream, and a
+                    # parallel cursor must release its worker pool
+                    # (draining in-flight shards) for the next run.
+                    with execute_cursor(
+                        query, db, plan=plan, limit=limit
+                    ) as cursor:
+                        tuples = sorted(cursor.fetchall())
+                        stats, ran_gao = cursor.stats, cursor.gao
+                        report = cursor.parallel
+                else:
+                    tuples, stats, ran_gao = spec.runner(query, db, plan)
+                if espan is not None:
+                    espan.attrs["rows"] = len(tuples)
+            finally:
+                if tracer is not None:
+                    tracer.finish(espan)
+            elapsed = time.perf_counter() - t0
+            if qspan is not None:
+                qspan.attrs["backend"] = plan.backend
+        finally:
+            if tracer is not None:
+                tracer.finish(qspan)
+    if metrics_on:
+        _METRICS.inc_many(
+            {
+                "engine.queries": 1,
+                "engine.rows.returned": len(tuples),
+                **stats.as_metrics(),
+            }
+        )
+        delta = _METRICS.snapshot().since(before)
     else:
-        tuples, stats, ran_gao = spec.runner(query, db, plan)
-    elapsed = time.perf_counter() - t0
-    return ExecutionResult(
+        delta = None
+    result = ExecutionResult(
         tuples=tuples,
         variables=query.variables,
         stats=stats,
@@ -485,4 +588,15 @@ def execute(
         limit=limit,
         decode=decode,
         parallel=report,
+        metrics=delta,
+        trace=tracer,
     )
+    _slowlog.maybe_report(
+        f"{' ⋈ '.join(a.name for a in query.atoms)} "
+        f"backend={plan.backend} workers={plan.workers} "
+        f"rows={len(tuples)}",
+        time.perf_counter() - wall0,
+        tracer=tracer,
+        metrics_delta=delta.nonzero() if delta is not None else None,
+    )
+    return result

@@ -25,6 +25,8 @@ from repro.engine.cost import (
     structure_of,
 )
 from repro.engine.stats import QueryStats, assumed_stats, collect_stats
+from repro.obs import tracing as _tracing
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.relational.query import Database, JoinQuery
 
 #: Aliases accepted wherever an algorithm name is expected.
@@ -143,6 +145,18 @@ def plan_cache_info() -> Dict[str, int]:
     }
 
 
+def _collect_plan_cache_metrics() -> Dict[str, int]:
+    """Registry collector: the plan LRU under ``engine.plan_cache.*``."""
+    return {
+        "engine.plan_cache.hits": _PLAN_CACHE.hits,
+        "engine.plan_cache.misses": _PLAN_CACHE.misses,
+        "engine.plan_cache.entries": len(_PLAN_CACHE),
+    }
+
+
+_METRICS.register_collector("plan_cache", _collect_plan_cache_metrics)
+
+
 def _choose(
     candidates: Sequence[CostEstimate],
 ) -> CostEstimate:
@@ -183,6 +197,36 @@ def plan_query(
     a *forced* backend combined with ``workers`` always takes the
     parallel plan (the caller asked for both).
     """
+    with _tracing.span("plan", algorithm=algorithm) as sp:
+        plan = _plan_query_impl(
+            query, db, stats, algorithm, index_kind, gao, cost_model,
+            probe_certificate, probe_budget, use_cache, assumed_rows,
+            workers,
+        )
+        if sp is not None:
+            sp.attrs.update(
+                backend=plan.backend,
+                cache_hit=plan.cache_hit,
+                predicted_cost=plan.predicted_cost,
+                workers=plan.workers,
+            )
+        return plan
+
+
+def _plan_query_impl(
+    query: JoinQuery,
+    db: Optional[Database],
+    stats: Optional[QueryStats],
+    algorithm: str,
+    index_kind: Optional[str],
+    gao: Optional[Sequence[str]],
+    cost_model: Optional[CostModel],
+    probe_certificate: bool,
+    probe_budget: int,
+    use_cache: bool,
+    assumed_rows: int,
+    workers: Optional[int],
+) -> Plan:
     algorithm = normalize_algorithm(algorithm)
     if gao is not None and sorted(gao) != sorted(query.variables):
         raise ValueError(
@@ -198,6 +242,12 @@ def plan_query(
             stats = assumed_stats(query, rows=assumed_rows)
     if workers is not None and workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    # Resolve the model before keying: calibration content (including
+    # the ANALYZE loop's saved refits, which a default-built model picks
+    # up) is part of the plan's identity — a recycled object id or a
+    # ``repro calibrate`` run must never resurrect a plan priced under
+    # different constants.
+    model = cost_model if cost_model is not None else CostModel()
     key = (
         stats.fingerprint,
         algorithm,
@@ -205,10 +255,7 @@ def plan_query(
         tuple(gao) if gao is not None else None,
         probe_certificate,
         workers,
-        # Calibration content, not object identity: a recycled id must
-        # never resurrect a plan priced under different constants.
-        tuple(sorted(cost_model.calibration.items()))
-        if cost_model is not None else None,
+        tuple(sorted(model.calibration.items())),
     )
     if use_cache:
         cached = _PLAN_CACHE.get(key)
@@ -216,7 +263,6 @@ def plan_query(
             return dataclasses.replace(cached, cache_hit=True)
 
     profile = structure_of(query)
-    model = cost_model if cost_model is not None else CostModel()
     num_shards = 1
     split_attrs: Tuple[str, ...] = ()
     if workers is not None:

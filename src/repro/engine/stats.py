@@ -25,6 +25,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
+from repro.obs import tracing as _tracing
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.relational.query import Database, JoinQuery
 
 
@@ -251,11 +253,16 @@ class _StatsCache:
     def __init__(self, capacity: int = 256):
         self.capacity = capacity
         self._entries: "OrderedDict[Tuple, QueryStats]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
 
     def get(self, key: Tuple) -> Optional[QueryStats]:
         stats = self._entries.get(key)
         if stats is not None:
             self._entries.move_to_end(key)
+            self.hits += 1
+        else:
+            self.misses += 1
         return stats
 
     def put(self, key: Tuple, stats: QueryStats) -> None:
@@ -266,6 +273,8 @@ class _StatsCache:
 
     def clear(self) -> None:
         self._entries.clear()
+        self.hits = 0
+        self.misses = 0
 
 
 _STATS_CACHE = _StatsCache()
@@ -273,6 +282,18 @@ _STATS_CACHE = _StatsCache()
 
 def clear_stats_cache() -> None:
     _STATS_CACHE.clear()
+
+
+def _collect_stats_cache_metrics() -> Dict[str, int]:
+    """Registry collector: the stats LRU under ``engine.stats_cache.*``."""
+    return {
+        "engine.stats_cache.hits": _STATS_CACHE.hits,
+        "engine.stats_cache.misses": _STATS_CACHE.misses,
+        "engine.stats_cache.entries": len(_STATS_CACHE._entries),
+    }
+
+
+_METRICS.register_collector("stats_cache", _collect_stats_cache_metrics)
 
 
 def collect_stats(
@@ -298,6 +319,21 @@ def collect_stats(
     cached = _STATS_CACHE.get(key)
     if cached is not None:
         return cached
+    span = _tracing.span("stats.collect", relations=len(query.atoms))
+    with span:
+        return _collect_stats_uncached(
+            query, db, key, probe, probe_budget, probe_gao
+        )
+
+
+def _collect_stats_uncached(
+    query: JoinQuery,
+    db: Database,
+    key: Tuple,
+    probe: bool,
+    probe_budget: int,
+    probe_gao: Optional[Sequence[str]],
+) -> QueryStats:
     profiles = []
     for atom in query.atoms:
         rel = db[atom.name]
@@ -325,9 +361,10 @@ def collect_stats(
         )
     probe_result = None
     if probe:
-        probe_result = probe_certificate(
-            query, db, gao=probe_gao, budget=probe_budget
-        )
+        with _tracing.span("stats.probe", budget=probe_budget):
+            probe_result = probe_certificate(
+                query, db, gao=probe_gao, budget=probe_budget
+            )
     sizes = {p.name: p.cardinality for p in profiles}
     stats = QueryStats(
         relations=tuple(profiles),

@@ -1,0 +1,54 @@
+"""Observability: the metrics registry, span tracing, and ANALYZE loop.
+
+Submodules (import order matters — these four are stdlib-only, so every
+engine layer can instrument itself without import cycles):
+
+* :mod:`repro.obs.metrics` — the process-wide :data:`~repro.obs.metrics.REGISTRY`
+  of counters/gauges/histograms under dotted names, with snapshot/diff.
+* :mod:`repro.obs.tracing` — span trees over the query lifecycle,
+  propagated across the multiprocess pipe protocol; JSONL and Chrome
+  trace-event export.
+* :mod:`repro.obs.calibration` — the ANALYZE log and the cost-model
+  refit behind ``repro calibrate``.
+* :mod:`repro.obs.slowlog` — the ``REPRO_SLOW_QUERY_MS`` triage dump.
+
+:mod:`repro.obs.analyze` (EXPLAIN ANALYZE orchestration) imports the
+engine and is therefore *not* imported here — reach it explicitly.
+"""
+
+from repro.obs import calibration, metrics, slowlog, tracing
+from repro.obs.metrics import (
+    REGISTRY,
+    MetricsRegistry,
+    MetricsSnapshot,
+    render_metrics,
+)
+from repro.obs.tracing import (
+    Span,
+    SpanNode,
+    Tracer,
+    chrome_trace_events,
+    current_tracer,
+    render_tree,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "REGISTRY",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Span",
+    "SpanNode",
+    "Tracer",
+    "calibration",
+    "chrome_trace_events",
+    "current_tracer",
+    "metrics",
+    "render_metrics",
+    "render_tree",
+    "slowlog",
+    "tracing",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,182 @@
+"""EXPLAIN ANALYZE: execute a plan and annotate it with what happened.
+
+:func:`analyze` runs a query under a forced tracer and returns an
+:class:`AnalyzeReport`: the execution result, per-stage wall times from
+the span tree, actual-vs-predicted cardinality and cost (the cost model
+prices a plan in seconds via
+:meth:`~repro.engine.cost.CostModel.predicted_seconds`), and the record
+appended to the calibration log.  ``repro explain --analyze`` renders
+the report under the ordinary EXPLAIN tree; ``repro calibrate``
+(:func:`calibrate_from_log`) replays the accumulated log through
+:func:`repro.obs.calibration.fit` and saves constants every later
+``CostModel()`` picks up — the feedback loop that shrinks the very error
+ANALYZE prints.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs import calibration as _calibration
+from repro.obs import tracing as _tracing
+
+
+@dataclass
+class AnalyzeReport:
+    """One ANALYZE run: the result plus the predicted-vs-actual story."""
+
+    result: object  # ExecutionResult
+    tracer: object  # Tracer
+    #: Total wall seconds per span name (a stage may run many spans —
+    #: 16 shards, several kernel compiles — so values are sums).
+    stage_seconds: Dict[str, float]
+    predicted_rows: float
+    actual_rows: int
+    predicted_seconds: float
+    actual_seconds: float
+    #: |log₂(actual/predicted seconds)| — the calibration target.
+    error_bits: float
+    record: Dict = field(default_factory=dict)
+    log_path: Optional[str] = None
+
+
+def _stage_seconds(tracer) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    tracer._close_open()
+    for span in tracer.spans:
+        out[span.name] = out.get(span.name, 0.0) + span.duration
+    return out
+
+
+def analyze(
+    query,
+    db,
+    algorithm: str = "auto",
+    index_kind: Optional[str] = None,
+    gao=None,
+    workers: Optional[int] = None,
+    cost_model=None,
+    limit: Optional[int] = None,
+    decode=None,
+    probe_certificate: bool = False,
+    log_path: Optional[str] = None,
+    append_log: bool = True,
+) -> AnalyzeReport:
+    """Execute a query traced and measure the plan against reality.
+
+    The run always traces (ANALYZE is the one mode where span overhead
+    is the product, not a tax) and, with ``append_log`` (the default),
+    appends its measurement to the calibration log so ``repro
+    calibrate`` can refit from it.
+    """
+    from repro.engine.cost import CostModel
+    from repro.engine.executor import execute
+
+    model = cost_model if cost_model is not None else CostModel()
+    tracer = _tracing.current_tracer()
+    if tracer is None:
+        tracer = _tracing.Tracer()
+    with _tracing.use(tracer):
+        result = execute(
+            query, db, algorithm=algorithm, index_kind=index_kind,
+            gao=gao, workers=workers, limit=limit, decode=decode,
+            probe_certificate=probe_certificate, cost_model=model,
+        )
+    plan = result.plan
+    stages = _stage_seconds(tracer)
+    # The execute stage is the window the cost model prices: planning
+    # and stats collection are pipeline overhead, not Table 1 work.
+    actual_seconds = stages.get("execute", result.elapsed)
+    predicted_seconds = model.predicted_seconds(plan.predicted_cost)
+    if actual_seconds > 0 and predicted_seconds > 0:
+        error_bits = abs(math.log2(actual_seconds / predicted_seconds))
+    else:
+        error_bits = 0.0
+    record = {
+        "ts": time.time(),
+        "query": str(query),
+        "backend": result.backend,
+        "workers": plan.workers,
+        "seconds": actual_seconds,
+        "quantity": plan.chosen.quantity,
+        "predicted_cost": plan.predicted_cost,
+        "predicted_seconds": predicted_seconds,
+        "predicted_rows": plan.stats.output_estimate,
+        "actual_rows": len(result.tuples),
+        "cache_hit": plan.cache_hit,
+    }
+    report = AnalyzeReport(
+        result=result,
+        tracer=tracer,
+        stage_seconds=stages,
+        predicted_rows=plan.stats.output_estimate,
+        actual_rows=len(result.tuples),
+        predicted_seconds=predicted_seconds,
+        actual_seconds=actual_seconds,
+        error_bits=error_bits,
+        record=record,
+    )
+    if append_log:
+        report.log_path = _calibration.append_run(record, path=log_path)
+    return report
+
+
+def _ratio(actual: float, predicted: float) -> str:
+    if predicted <= 0 or actual <= 0:
+        return "n/a"
+    r = actual / predicted
+    return f"{r:.2f}×" if r >= 1 else f"1/{1 / r:.2f}×"
+
+
+def render_analyze(report: AnalyzeReport) -> str:
+    """The ANALYZE postscript: stages, cardinality, cost, metrics."""
+    from repro.obs.metrics import render_metrics
+    from repro.obs.tracing import render_tree
+
+    lines: List[str] = ["analyze"]
+    lines.append("├─ stages (wall time)")
+    lines.extend(render_tree(report.tracer.tree(), indent="│   "))
+    lines.append(
+        f"├─ cardinality : actual {report.actual_rows} vs "
+        f"predicted Ẑ ≈ {report.predicted_rows:.4g}  "
+        f"({_ratio(report.actual_rows, report.predicted_rows)})"
+    )
+    lines.append(
+        f"├─ cost        : actual {report.actual_seconds * 1e3:.3f} ms vs "
+        f"predicted {report.predicted_seconds * 1e3:.3f} ms  "
+        f"(error {report.error_bits:.2f} bits, "
+        f"{_ratio(report.actual_seconds, report.predicted_seconds)})"
+    )
+    metrics = getattr(report.result, "metrics", None)
+    if metrics is not None:
+        lines.append("├─ metrics")
+        lines.extend(render_metrics(metrics.nonzero(), indent="│   "))
+    if report.log_path is not None:
+        lines.append(f"└─ calibration log : appended to {report.log_path}")
+    else:
+        lines.append("└─ calibration log : not written")
+    return "\n".join(lines)
+
+
+def calibrate_from_log(
+    log_path: Optional[str] = None,
+    calibration_path: Optional[str] = None,
+    base_model=None,
+):
+    """Replay the ANALYZE log into a refit, saved cost model.
+
+    Returns ``(model, info, saved_path)``; ``info`` carries run counts
+    and the before/after :func:`~repro.obs.calibration.cost_error`.
+    With an empty log nothing is saved and ``saved_path`` is ``None``.
+    """
+    runs = _calibration.load_runs(log_path)
+    model, info = _calibration.fit(runs, base_model=base_model)
+    if info["usable_runs"] == 0:
+        return model, info, None
+    saved = _calibration.save_calibration(
+        model, path=calibration_path, info=info
+    )
+    return model, info, saved

@@ -1,0 +1,284 @@
+"""The unified metrics registry: every counter in the engine, one namespace.
+
+Before this module the engine's instrumentation was scattered: kernel
+cache hits lived on :class:`~repro.engine.codegen.KernelCache` objects,
+plan/stats cache hits on module-private LRUs, sorted-view evictions on
+each :class:`~repro.relational.relation.Relation`, shard shipping tallies
+on :class:`~repro.parallel.merge.ParallelReport`, and the resolution
+counters of Lemma 4.5 on per-query ``ResolutionStats``.  The registry
+absorbs them all behind dotted names::
+
+    engine.queries                    engine.plan_cache.hits
+    kernels.compile.misses            relation.view.evictions
+    tetris.resolutions.by_axis.0      parallel.ship.bytes
+
+Two ingestion paths keep the hot loops honest:
+
+* **Direct instruments** — :meth:`MetricsRegistry.inc`,
+  :meth:`~MetricsRegistry.gauge`, :meth:`~MetricsRegistry.observe` — for
+  per-query / per-shard events.  Each is one guarded dict update; with
+  the registry disabled (:func:`set_enabled`), one attribute test.
+  Nothing per-tuple ever calls them: kernels keep counting in locals and
+  flush once per query.
+* **Collectors** — callbacks registered by the subsystems that already
+  own counters (kernel caches, plan/stats caches).  They run only at
+  :meth:`~MetricsRegistry.snapshot` time, so steady-state execution pays
+  nothing for them.
+
+Snapshots are plain sorted mappings; :meth:`MetricsSnapshot.since`
+subtracts an earlier snapshot (counters and histograms diff, gauges keep
+the later value), which is how EXPLAIN attributes cache traffic to one
+query on a warm engine.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+#: Environment switch for the whole registry.  Metrics default ON: every
+#: instrument sits at per-query granularity, so the steady-state cost is
+#: a handful of dict increments per query, not per tuple.
+METRICS_ENV = "REPRO_METRICS"
+
+_COUNTER = "c"
+_GAUGE = "g"
+_HIST = "h"
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(METRICS_ENV, "1").lower() not in (
+        "0", "false", "off", "no",
+    )
+
+
+class MetricsSnapshot(Mapping):
+    """An immutable point-in-time view of the registry: name → value.
+
+    Histogram instruments expand into ``name.count`` / ``name.sum`` /
+    ``name.min`` / ``name.max`` scalar entries, so a snapshot is always
+    a flat mapping of dotted names to numbers.
+    """
+
+    __slots__ = ("_values", "_kinds")
+
+    def __init__(
+        self,
+        values: Dict[str, float],
+        kinds: Optional[Dict[str, str]] = None,
+    ):
+        self._values = dict(values)
+        self._kinds = dict(kinds) if kinds is not None else {}
+
+    def __getitem__(self, name: str) -> float:
+        return self._values[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._values))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def kind_of(self, name: str) -> str:
+        """``"c"`` (counter), ``"g"`` (gauge) or ``"h"`` (histogram)."""
+        return self._kinds.get(name, _COUNTER)
+
+    def since(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """What happened between ``earlier`` and this snapshot.
+
+        Counter-like entries subtract (clamped at zero, so an external
+        ``reset`` between snapshots cannot produce negative traffic);
+        gauges keep this snapshot's value.  Histogram ``.min``/``.max``
+        entries are running extremes, not counters: they appear in the
+        diff only when the histogram's ``.count`` moved — a query that
+        recorded no samples must not inherit an older run's extremes.
+        Names absent from the earlier snapshot count from zero.
+        """
+        out: Dict[str, float] = {}
+        for name, value in self._values.items():
+            kind = self._kinds.get(name)
+            if kind == _GAUGE:
+                out[name] = value
+            elif kind == _HIST and name.rsplit(".", 1)[-1] in (
+                "min", "max",
+            ):
+                base = name.rsplit(".", 1)[0]
+                moved = self._values.get(
+                    f"{base}.count", 0
+                ) > earlier._values.get(f"{base}.count", 0)
+                if moved:
+                    out[name] = value
+            else:
+                out[name] = max(0.0, value - earlier._values.get(name, 0))
+        return MetricsSnapshot(out, self._kinds)
+
+    def nonzero(self) -> "MetricsSnapshot":
+        """Only the entries with a non-zero value (rendering filter)."""
+        return MetricsSnapshot(
+            {k: v for k, v in self._values.items() if v},
+            self._kinds,
+        )
+
+    def group(self, prefix: str) -> Dict[str, float]:
+        """Entries under a dotted prefix, with the prefix stripped."""
+        dot = prefix + "."
+        return {
+            k[len(dot):]: v
+            for k, v in self._values.items()
+            if k.startswith(dot)
+        }
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._values)
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms under one dotted namespace."""
+
+    def __init__(self, enabled: Optional[bool] = None):
+        self.enabled = _env_enabled() if enabled is None else enabled
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        #: name → [count, sum, min, max]
+        self._hists: Dict[str, List[float]] = {}
+        self._collectors: Dict[str, Callable[[], Mapping[str, float]]] = {}
+
+    # -- direct instruments ----------------------------------------------------
+
+    def inc(self, name: str, delta: float = 1) -> None:
+        """Add to a monotonic counter (no-op while disabled)."""
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0) + delta
+
+    def inc_many(self, values: Mapping[str, float]) -> None:
+        """Fold a dict of counter deltas in (one enabled check for all)."""
+        if not self.enabled:
+            return
+        counters = self._counters
+        for name, delta in values.items():
+            if delta:
+                counters[name] = counters.get(name, 0) + delta
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time value (last write wins)."""
+        if not self.enabled:
+            return
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into a histogram (count/sum/min/max)."""
+        if not self.enabled:
+            return
+        h = self._hists.get(name)
+        if h is None:
+            self._hists[name] = [1, value, value, value]
+        else:
+            h[0] += 1
+            h[1] += value
+            if value < h[2]:
+                h[2] = value
+            if value > h[3]:
+                h[3] = value
+
+    # -- collectors ------------------------------------------------------------
+
+    def register_collector(
+        self, name: str, collect: Callable[[], Mapping[str, float]]
+    ) -> None:
+        """Attach a pull-time source of counter values.
+
+        ``collect()`` runs at snapshot time and returns ``{dotted name:
+        value}``.  Registration is keyed by ``name`` and idempotent —
+        re-importing a module replaces its collector instead of
+        duplicating it.
+        """
+        self._collectors[name] = collect
+
+    def unregister_collector(self, name: str) -> None:
+        self._collectors.pop(name, None)
+
+    # -- reading ---------------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Everything the registry knows right now, collectors included."""
+        values: Dict[str, float] = {}
+        kinds: Dict[str, str] = {}
+        for name, v in self._counters.items():
+            values[name] = v
+            kinds[name] = _COUNTER
+        for name, v in self._gauges.items():
+            values[name] = v
+            kinds[name] = _GAUGE
+        for name, (count, total, lo, hi) in self._hists.items():
+            values[f"{name}.count"] = count
+            values[f"{name}.sum"] = total
+            values[f"{name}.min"] = lo
+            values[f"{name}.max"] = hi
+            for suffix in ("count", "sum", "min", "max"):
+                kinds[f"{name}.{suffix}"] = _HIST
+        for collect in self._collectors.values():
+            for name, v in collect().items():
+                # Collector-owned caches report running totals: treat
+                # size-like names as gauges so since() keeps them
+                # readable, everything else as counters so they diff.
+                values[name] = v
+                kinds[name] = (
+                    _GAUGE
+                    if name.rsplit(".", 1)[-1] in ("entries", "capacity")
+                    else _COUNTER
+                )
+        return MetricsSnapshot(values, kinds)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """One instrument's current value (direct instruments only)."""
+        if name in self._counters:
+            return self._counters[name]
+        if name in self._gauges:
+            return self._gauges[name]
+        return default
+
+    def reset(self) -> None:
+        """Zero every direct instrument (collector sources are theirs)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._hists.clear()
+
+
+#: The process-wide registry every subsystem reports into.
+REGISTRY = MetricsRegistry()
+
+
+def set_enabled(on: bool) -> None:
+    """Flip the global registry's master switch (tests, benchmarks)."""
+    REGISTRY.enabled = on
+
+
+def enabled() -> bool:
+    return REGISTRY.enabled
+
+
+def snapshot() -> MetricsSnapshot:
+    return REGISTRY.snapshot()
+
+
+def render_metrics(
+    snap: MetricsSnapshot,
+    indent: str = "",
+    skip_zero: bool = True,
+) -> List[str]:
+    """A snapshot as aligned ``name : value`` lines, sorted by name."""
+    shown = snap.nonzero() if skip_zero else snap
+    names = list(shown)
+    if not names:
+        return [f"{indent}(no metrics recorded)"]
+    width = max(len(n) for n in names)
+    lines = []
+    for name in names:
+        value = shown[name]
+        if value == int(value) and abs(value) < 1e15:
+            text = str(int(value))
+        else:
+            text = f"{value:.6g}"
+        lines.append(f"{indent}{name:<{width}} : {text}")
+    return lines

@@ -1,0 +1,99 @@
+"""The slow-query log: the serving track's first triage tool.
+
+Set ``REPRO_SLOW_QUERY_MS=<budget>`` and every query whose wall time
+exceeds the budget dumps a report — the plan line, the full span tree
+(arming the slow log forces tracing on for every query, so the tree is
+there when a query finally blows the budget), and the query's metrics
+delta — to stderr, or to the file named by ``REPRO_SLOW_QUERY_LOG``
+(appended, so a long-lived process accumulates a triage log).
+
+The executor consults :func:`budget_ms` once per query; an unset budget
+costs one environment read.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import List, Optional
+
+SLOW_QUERY_MS_ENV = "REPRO_SLOW_QUERY_MS"
+SLOW_QUERY_LOG_ENV = "REPRO_SLOW_QUERY_LOG"
+
+
+def budget_ms() -> Optional[float]:
+    """The configured slow-query budget, or ``None`` when disarmed.
+
+    Read from the environment on every call — once per query — so a
+    serving process can be re-armed without a restart.
+    """
+    raw = os.environ.get(SLOW_QUERY_MS_ENV)
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value >= 0 else None
+
+
+def armed() -> bool:
+    return budget_ms() is not None
+
+
+def render_report(
+    description: str,
+    elapsed_s: float,
+    budget: float,
+    tracer=None,
+    metrics_delta=None,
+) -> str:
+    """The slow-query report text (also what the tests assert on)."""
+    lines: List[str] = [
+        f"SLOW QUERY ({elapsed_s * 1e3:.1f} ms > budget {budget:g} ms)",
+        f"├─ query : {description}",
+    ]
+    if tracer is not None and tracer.spans:
+        from repro.obs.tracing import render_tree
+
+        lines.append("├─ spans")
+        lines.extend(render_tree(tracer.tree(), indent="│   "))
+    if metrics_delta is not None:
+        from repro.obs.metrics import render_metrics
+
+        lines.append("└─ metrics")
+        lines.extend(render_metrics(metrics_delta, indent="    "))
+    else:
+        lines.append("└─ metrics : (registry disabled)")
+    return "\n".join(lines)
+
+
+def emit(report: str) -> None:
+    """Write a report to the configured sink (file or stderr)."""
+    path = os.environ.get(SLOW_QUERY_LOG_ENV)
+    if path:
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "a") as fh:
+            fh.write(report)
+            fh.write("\n\n")
+    else:
+        print(report, file=sys.stderr)
+
+
+def maybe_report(
+    description: str,
+    elapsed_s: float,
+    tracer=None,
+    metrics_delta=None,
+) -> Optional[str]:
+    """Emit a slow-query report if the budget is armed and exceeded."""
+    budget = budget_ms()
+    if budget is None or elapsed_s * 1e3 <= budget:
+        return None
+    report = render_report(
+        description, elapsed_s, budget, tracer, metrics_delta
+    )
+    emit(report)
+    return report

@@ -26,6 +26,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.resolution import ResolutionStats
+from repro.obs import tracing as _tracing
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.parallel.partition import (
     Shard,
     clip_relation,
@@ -61,6 +63,8 @@ class ParallelReport:
     executed_shards: int = 0
     output_rows: int = 0
     rows_shipped: int = 0
+    #: Nominal wire volume of shipped relations (8 bytes per value).
+    bytes_shipped: int = 0
     ref_hits: int = 0
     refs_total: int = 0
     partition_seconds: float = 0.0
@@ -248,8 +252,12 @@ def run_shards(
     every shard as a per-shard cap (no shard can contribute more than
     ``limit`` rows; the merged cursor enforces the global cut-off).
     """
+    tracer = _tracing.current_tracer()
     t0 = time.perf_counter()
-    shards, jobs, pruned = prepare_jobs(query, db, plan)
+    with _tracing.span("parallel.partition", shards=plan.num_shards) as sp:
+        shards, jobs, pruned = prepare_jobs(query, db, plan)
+        if sp is not None:
+            sp.attrs.update(jobs=len(jobs), pruned=pruned)
     report = ParallelReport(
         workers=plan.workers,
         num_shards=len(shards),
@@ -259,12 +267,27 @@ def run_shards(
     report.partition_seconds = time.perf_counter() - t0
 
     if not jobs:
+        _publish_report(report)
         return iter(()), report
 
     by_id = {job.shard_id: job for job in jobs}
+    # Capture the dispatch span's parent *now*, while the caller's span
+    # stack still reflects this query — the outcome generator below may
+    # run after the ambient context has moved on.
+    dispatch_parent = tracer.context()[1] if tracer is not None else None
 
     def outcomes() -> Iterator[ShardOutcome]:
         loop_start = time.perf_counter()
+        dispatch_span = None
+        trace_ctx = None
+        if tracer is not None:
+            dispatch_span = tracer.start(
+                "parallel.dispatch",
+                parent_id=dispatch_parent,
+                workers=plan.workers,
+                shards=len(jobs),
+            )
+            trace_ctx = (tracer.trace_id, dispatch_span.span_id)
         # Pool acquisition happens at first consumption, synchronously
         # with the dealer reserving it — get_pool never returns a pool
         # another open cursor is mid-run on, so interleaved parallel
@@ -278,9 +301,12 @@ def run_shards(
             gao=plan.gao,
             limit=limit,
             report=report,
+            trace=trace_ctx,
         )
         try:
             for result, worker_id, job in dealer:
+                if tracer is not None and result.spans:
+                    tracer.adopt(result.spans)
                 outcome = ShardOutcome(
                     shard=by_id[result.shard_id].shard,
                     shard_id=result.shard_id,
@@ -298,5 +324,30 @@ def run_shards(
             # shards, not wait for garbage collection.
             dealer.close()
             report.loop_seconds = time.perf_counter() - loop_start
+            if tracer is not None:
+                tracer.finish(
+                    dispatch_span,
+                    executed=report.executed_shards,
+                    rows=report.output_rows,
+                )
+            _publish_report(report)
 
     return outcomes(), report
+
+
+def _publish_report(report: ParallelReport) -> None:
+    """Fold one run's report into the process-wide metrics registry."""
+    if not _METRICS.enabled:
+        return
+    _METRICS.inc_many(
+        {
+            "parallel.runs": 1,
+            "parallel.shards.executed": report.executed_shards,
+            "parallel.shards.pruned": report.pruned_shards,
+            "parallel.ship.rows": report.rows_shipped,
+            "parallel.ship.bytes": report.bytes_shipped,
+            "parallel.ship.ref_hits": report.ref_hits,
+            "parallel.ship.refs_total": report.refs_total,
+        }
+    )
+    _METRICS.observe("parallel.makespan_seconds", report.makespan_seconds)

@@ -128,6 +128,7 @@ class WorkerPool:
         gao: Optional[Tuple[str, ...]],
         limit: Optional[int],
         report=None,
+        trace: Optional[Tuple[str, Optional[str]]] = None,
     ) -> Iterator[Tuple[ShardResult, int, PendingShard]]:
         """Deal shards dynamically; yield results in completion order.
 
@@ -162,7 +163,7 @@ class WorkerPool:
                     job = self._pick_job(wid, pending)
                     self._dispatch(
                         wid, job, atoms, backend, index_kind, gao, limit,
-                        report,
+                        report, trace,
                     )
                     busy[wid] = job
                 ready = mp_connection.wait(
@@ -199,7 +200,8 @@ class WorkerPool:
             self.active = False
 
     def _dispatch(
-        self, wid, job, atoms, backend, index_kind, gao, limit, report
+        self, wid, job, atoms, backend, index_kind, gao, limit, report,
+        trace=None,
     ) -> None:
         known = self._known[wid]
         payloads = []
@@ -213,6 +215,10 @@ class WorkerPool:
                 known.add(key)
                 if report is not None:
                     report.rows_shipped += len(rel)
+                    # Nominal wire volume: 8 bytes per column value.
+                    # Pickle framing varies; this stays comparable
+                    # across runs, which is what the metric is for.
+                    report.bytes_shipped += 8 * len(rel) * len(rel.attrs)
             if report is not None:
                 report.refs_total += 1
         task = ShardTask(
@@ -223,6 +229,7 @@ class WorkerPool:
             index_kind=index_kind,
             gao=gao,
             limit=limit,
+            trace=trace,
         )
         try:
             self._conns[wid].send(task)

@@ -43,7 +43,11 @@ class ShardTask:
     """One shard's work order, self-contained on the wire.
 
     ``payloads`` holds, per query atom, ``(name, cache key, relation or
-    None)`` — ``None`` means "you have this one cached".
+    None)`` — ``None`` means "you have this one cached".  ``trace`` is
+    the propagated span context of a traced query: ``(trace id, parent
+    span id)``; the worker's spans open under that parent so the merged
+    trace renders one tree across processes.  ``None`` (the default)
+    keeps the worker's hot path untouched.
     """
 
     shard_id: int
@@ -53,6 +57,7 @@ class ShardTask:
     index_kind: str
     gao: Optional[Tuple[str, ...]]
     limit: Optional[int]
+    trace: Optional[Tuple[str, Optional[str]]] = None
 
 
 @dataclass
@@ -66,6 +71,10 @@ class ShardResult:
     ref_hits: int
     evicted: Tuple[Tuple, ...] = field(default_factory=tuple)
     error: Optional[str] = None
+    #: Serialized worker-side spans (dicts), present only when the task
+    #: carried a trace context; the scheduler's parent tracer adopts
+    #: them verbatim.
+    spans: Tuple = field(default_factory=tuple)
 
 
 class _ShardPlan:
@@ -83,6 +92,18 @@ def execute_shard(task: ShardTask, cache: OrderedDict) -> ShardResult:
     from repro.core.resolution import ResolutionStats
     from repro.engine.executor import _REGISTRY
     from repro.relational.query import Database, JoinQuery
+
+    tracer = None
+    span = None
+    if task.trace is not None:
+        from repro.obs.tracing import Tracer
+
+        tracer = Tracer(trace_id=task.trace[0], parent_id=task.trace[1])
+        span = tracer.start(
+            f"shard[{task.shard_id}]",
+            shard=task.shard_id,
+            backend=task.backend,
+        )
 
     # CPU time, not wall: on a host where workers outnumber free cores
     # the OS time-slices them, and wall clocks would double-count the
@@ -120,6 +141,8 @@ def execute_shard(task: ShardTask, cache: OrderedDict) -> ShardResult:
             rows, stats, _gao = spec.runner(query, db, plan)
             if task.limit is not None:
                 rows = rows[: task.limit]
+        if tracer is not None:
+            tracer.finish(span, rows=len(rows), ref_hits=hits)
         return ShardResult(
             shard_id=task.shard_id,
             rows=rows,
@@ -127,8 +150,11 @@ def execute_shard(task: ShardTask, cache: OrderedDict) -> ShardResult:
             compute_seconds=time.process_time() - t0,
             ref_hits=hits,
             evicted=tuple(evicted),
+            spans=tuple(tracer.serialized()) if tracer is not None else (),
         )
     except Exception:
+        if tracer is not None:
+            tracer.finish(span, error=True)
         return ShardResult(
             shard_id=task.shard_id,
             rows=[],
@@ -137,6 +163,7 @@ def execute_shard(task: ShardTask, cache: OrderedDict) -> ShardResult:
             ref_hits=0,
             evicted=tuple(evicted),
             error=traceback.format_exc(),
+            spans=tuple(tracer.serialized()) if tracer is not None else (),
         )
 
 

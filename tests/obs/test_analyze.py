@@ -1,0 +1,237 @@
+"""EXPLAIN ANALYZE, the calibration loop, and the slow-query log."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import calibration
+
+
+@pytest.fixture()
+def obs_paths(tmp_path, monkeypatch):
+    """Isolate the calibration log + saved file under tmp_path."""
+    log = tmp_path / "analyze_log.jsonl"
+    saved = tmp_path / "calibration.json"
+    monkeypatch.setenv(calibration.ANALYZE_LOG_ENV, str(log))
+    monkeypatch.setenv(calibration.CALIBRATION_ENV, str(saved))
+    calibration.clear_saved_cache()
+    from repro.engine import clear_plan_cache
+
+    clear_plan_cache()
+    yield log, saved
+    calibration.clear_saved_cache()
+    clear_plan_cache()
+
+
+def _instance():
+    from repro.workloads.generators import (
+        graph_triangle_db,
+        random_graph_edges,
+    )
+
+    return graph_triangle_db(random_graph_edges(30, 80, seed=21))
+
+
+def test_analyze_measures_and_logs(obs_paths):
+    log, _ = obs_paths
+    from repro.obs.analyze import analyze, render_analyze
+
+    query, db = _instance()
+    report = analyze(query, db)
+    assert report.actual_rows == len(report.result.tuples)
+    assert report.actual_seconds > 0
+    assert report.predicted_seconds > 0
+    assert report.stage_seconds.get("execute", 0) > 0
+    assert "plan" in report.stage_seconds
+    # The record landed in the log, JSON-parseable, fit-usable.
+    assert report.log_path == str(log)
+    (line,) = log.read_text().strip().splitlines()
+    record = json.loads(line)
+    assert record["backend"] == report.result.backend
+    assert record["seconds"] == report.actual_seconds
+    assert record["quantity"] > 0
+    text = render_analyze(report)
+    assert "stages (wall time)" in text
+    assert "cardinality" in text
+    assert "cost" in text
+    assert "metrics" in text
+
+
+def test_analyze_without_logging(obs_paths):
+    log, _ = obs_paths
+    from repro.obs.analyze import analyze
+
+    query, db = _instance()
+    report = analyze(query, db, append_log=False)
+    assert report.log_path is None
+    assert not log.exists()
+
+
+def test_calibrate_shrinks_cost_error(obs_paths):
+    log, saved = obs_paths
+    from repro.engine.cost import CostModel
+    from repro.obs.analyze import analyze, calibrate_from_log
+
+    query, db = _instance()
+    for _ in range(3):
+        analyze(query, db)
+    model, info, saved_path = calibrate_from_log()
+    assert saved_path == str(saved)
+    assert info["usable_runs"] == 3
+    assert info["error_after"] <= info["error_before"]
+    # The saved constants feed back into every default-built model.
+    fresh = CostModel()
+    assert fresh.unit_seconds == model.unit_seconds
+    assert fresh.calibration == model.calibration
+    # And the refit error over the logged runs is what info reported.
+    runs = calibration.load_runs()
+    assert calibration.cost_error(runs, fresh) == pytest.approx(
+        info["error_after"]
+    )
+
+
+def test_calibrate_empty_log_saves_nothing(obs_paths):
+    _, saved = obs_paths
+    from repro.obs.analyze import calibrate_from_log
+
+    model, info, saved_path = calibrate_from_log()
+    assert saved_path is None
+    assert info["usable_runs"] == 0
+    assert not saved.exists()
+
+
+def test_saved_calibration_invalidates_plan_cache(obs_paths):
+    """A calibrate run must not resurrect plans priced under old constants."""
+    from repro.engine import execute
+    from repro.obs.analyze import analyze, calibrate_from_log
+
+    # Force a non-anchor backend: fitting only the anchor ("hash")
+    # leaves the relative factors untouched by construction, and an
+    # unchanged calibration legitimately keeps its cached plans.
+    query, db = _instance()
+    analyze(query, db, algorithm="leapfrog")
+    first = execute(query, db, algorithm="leapfrog")
+    assert first.plan.cache_hit  # warmed by the analyze run
+    calibrate_from_log()
+    after = execute(query, db, algorithm="leapfrog")
+    assert not after.plan.cache_hit  # new calibration → new plan key
+
+
+def test_malformed_log_lines_are_skipped(obs_paths):
+    log, _ = obs_paths
+    log.write_text(
+        "not json\n"
+        + json.dumps({"backend": "leapfrog", "seconds": 0.5,
+                      "quantity": 1000.0})
+        + "\n"
+        + json.dumps({"backend": "", "seconds": -1, "quantity": 0})
+        + "\n"
+    )
+    runs = calibration.load_runs()
+    assert len(runs) == 2  # parseable dicts
+    from repro.obs.analyze import calibrate_from_log
+
+    _, info, saved_path = calibrate_from_log()
+    assert info["usable_runs"] == 1
+    assert saved_path is not None
+
+
+# -- slow-query log ------------------------------------------------------------
+
+
+def test_slow_query_log_dumps_spans_and_metrics(tmp_path, monkeypatch):
+    from repro.engine import execute
+    from repro.obs import slowlog
+
+    out = tmp_path / "slow.log"
+    monkeypatch.setenv(slowlog.SLOW_QUERY_MS_ENV, "0")
+    monkeypatch.setenv(slowlog.SLOW_QUERY_LOG_ENV, str(out))
+    query, db = _instance()
+    result = execute(query, db)
+    assert result.trace is not None  # arming the budget forces tracing
+    text = out.read_text()
+    assert "SLOW QUERY" in text
+    assert "query" in text and "execute" in text  # span tree lines
+    assert "engine.queries" in text  # metrics delta
+
+
+def test_slow_query_log_quiet_under_budget(tmp_path, monkeypatch, capsys):
+    from repro.engine import execute
+    from repro.obs import slowlog
+
+    monkeypatch.setenv(slowlog.SLOW_QUERY_MS_ENV, "60000")
+    monkeypatch.delenv(slowlog.SLOW_QUERY_LOG_ENV, raising=False)
+    query, db = _instance()
+    execute(query, db)
+    assert "SLOW QUERY" not in capsys.readouterr().err
+
+
+# -- CLI surface ---------------------------------------------------------------
+
+
+@pytest.fixture()
+def cli_csvs(tmp_path):
+    import random
+
+    rng = random.Random(9)
+    for name in ("r", "s", "t"):
+        with open(tmp_path / f"{name}.csv", "w") as fh:
+            for _ in range(120):
+                fh.write(f"v{rng.randrange(30)},v{rng.randrange(30)}\n")
+    return tmp_path
+
+
+def test_cli_explain_analyze_and_calibrate(obs_paths, cli_csvs, capsys):
+    from repro.cli import main
+
+    args = [
+        "explain", "R(A,B), S(B,C), T(C,A)",
+        "--csv", f"R={cli_csvs / 'r.csv'}",
+        "--csv", f"S={cli_csvs / 's.csv'}",
+        "--csv", f"T={cli_csvs / 't.csv'}",
+        "--analyze",
+        "--trace-out", str(cli_csvs / "trace.json"),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "EXPLAIN" in out
+    assert "analyze" in out
+    assert "stages (wall time)" in out
+    assert "├─ metrics" in out
+    assert "cost        :" in out
+    trace = json.loads((cli_csvs / "trace.json").read_text())
+    assert trace["traceEvents"]
+    assert {e["ph"] for e in trace["traceEvents"]} == {"X"}
+
+    assert main(["calibrate"]) == 0
+    out = capsys.readouterr().out
+    assert "cost error" in out
+    assert "saved" in out
+    log, saved = obs_paths
+    assert saved.exists()
+
+
+def test_cli_analyze_needs_data(capsys):
+    from repro.cli import main
+
+    assert main(["explain", "R(A,B)", "--analyze"]) == 2
+    assert "needs --csv" in capsys.readouterr().err
+
+
+def test_cli_calibrate_empty_log(obs_paths, capsys):
+    from repro.cli import main
+
+    assert main(["calibrate"]) == 1
+    err = capsys.readouterr().err
+    assert "nothing to fit" in err
+
+
+def test_explain_text_has_consolidated_metrics_block():
+    from repro.engine import execute, explain_text
+
+    query, db = _instance()
+    result = execute(query, db)
+    text = explain_text(result.plan, result)
+    assert "├─ metrics" in text
+    assert "engine.queries" in text
