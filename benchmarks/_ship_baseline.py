@@ -1,0 +1,343 @@
+"""The pre-shm pickle-ship dispatch path, frozen as a benchmark baseline.
+
+``bench_shm.py`` races the live shared-memory data plane against the
+dispatch protocol PR 5 introduced and PR 6/7 shipped.  The classes below
+are that protocol, copied from the PR 7 revision of
+``repro.parallel.scheduler`` / ``workers`` / ``merge`` and trimmed only
+of the pool registry: materialized clips ride the pipes as pickled
+relations inside the task (``Connection.send`` serializes them), workers
+cache by content key, dealing is dynamic and cache-affine via the same
+``_pick_job`` scoring the live scheduler still uses.
+
+The point of the copy is **fidelity**: both sides of the race pay the
+same dataclass, deal-loop, cache-mirror and engine-dispatch costs, so
+the measured difference is the wire — parent-side clip materialization
++ pickling + pipe bytes + worker-side unpickling versus segment export
++ ref shipping + worker-side attach.  This module intentionally
+duplicates rather than imports the live code: the live path now exports
+segments and ships refs, and a baseline that silently inherited those
+improvements would benchmark shm against itself.  Keep it frozen.
+
+The workers don't run joins: both sides of the race register the same
+per-relation checksum scan (:func:`checksum_rows`), so the checksums
+double as a content-parity witness between the two wires.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import time
+import traceback
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Mirrors the worker-side relation cache capacity of the frozen path.
+CACHE_ENTRIES = 256
+
+
+def checksum_rows(relations) -> List[Tuple[int, ...]]:
+    """One row per relation: ``(index, cardinality, *column CRCs)``.
+
+    ``zlib.crc32`` reads the column buffers directly — C speed over an
+    ``array`` and a shared-memory ``memoryview`` alike — so the witness
+    covers every shipped byte while costing microseconds: the race
+    measures dispatch, not checksum arithmetic, yet a single wrong value
+    anywhere in any shipped column still breaks parity.
+    """
+    rows = []
+    for i, rel in enumerate(relations):
+        crcs = tuple(zlib.crc32(col) for col in rel.columns())
+        rows.append((i, len(rel)) + crcs)
+    return rows
+
+
+# -- the frozen wire format (PR 7 ShardTask/ShardResult) -----------------------
+
+
+@dataclass(frozen=True)
+class BaselineTask:
+    """PR 7's ``ShardTask``: payloads carry live relations or ``None``."""
+
+    shard_id: int
+    atoms: Tuple
+    payloads: Tuple[Tuple[str, Tuple, Optional[object]], ...]
+    backend: str
+    index_kind: str
+    gao: Optional[Tuple[str, ...]]
+    limit: Optional[int]
+    trace: Optional[Tuple[str, Optional[str]]] = None
+
+
+@dataclass
+class BaselineResult:
+    """PR 7's ``ShardResult``, unchanged."""
+
+    shard_id: int
+    rows: List[Tuple[int, ...]]
+    stats: object
+    compute_seconds: float
+    ref_hits: int
+    evicted: Tuple[Tuple, ...] = field(default_factory=tuple)
+    error: Optional[str] = None
+    spans: Tuple = field(default_factory=tuple)
+
+
+@dataclass
+class BaselineJob:
+    """PR 7's ``PendingShard``: relations carry their cache keys."""
+
+    shard_id: int
+    relations: Tuple[Tuple[str, Tuple, object], ...]  # (name, key, Relation)
+    weight: int
+
+
+class _BaselinePlan:
+    """The minimal plan shape registered backend runners read."""
+
+    __slots__ = ("index_kind", "gao")
+
+    def __init__(self, index_kind: str, gao=None):
+        self.index_kind = index_kind
+        self.gao = gao
+
+
+# -- the frozen worker (PR 7 execute_shard/worker_main) ------------------------
+
+
+def _execute_baseline_shard(task: BaselineTask, cache: OrderedDict):
+    """PR 7's worker body: cache by key, engine-registry dispatch."""
+    from repro.core.resolution import ResolutionStats
+    from repro.engine.executor import _REGISTRY
+    from repro.relational.query import Database, JoinQuery
+
+    t0 = time.process_time()
+    evicted: List[Tuple] = []
+    try:
+        relations = []
+        hits = 0
+        for _name, key, rel in task.payloads:
+            if rel is None:
+                rel = cache[key]
+                cache.move_to_end(key)
+                hits += 1
+            else:
+                cache[key] = rel
+                cache.move_to_end(key)
+                while len(cache) > CACHE_ENTRIES:
+                    old_key, _ = cache.popitem(last=False)
+                    evicted.append(old_key)
+            relations.append(rel)
+        query = JoinQuery(task.atoms)
+        db = Database(relations)
+        spec = _REGISTRY[task.backend]
+        plan = _BaselinePlan(task.index_kind, task.gao)
+        if task.limit is not None and spec.streamer is not None:
+            rows_iter, stats, _gao = spec.streamer(
+                query, db, plan, task.limit
+            )
+            rows = list(itertools.islice(rows_iter, task.limit))
+        else:
+            rows, stats, _gao = spec.runner(query, db, plan)
+            if task.limit is not None:
+                rows = rows[: task.limit]
+        return BaselineResult(
+            shard_id=task.shard_id,
+            rows=rows,
+            stats=stats,
+            compute_seconds=time.process_time() - t0,
+            ref_hits=hits,
+            evicted=tuple(evicted),
+        )
+    except Exception:
+        return BaselineResult(
+            shard_id=task.shard_id,
+            rows=[],
+            stats=ResolutionStats(),
+            compute_seconds=time.process_time() - t0,
+            ref_hits=0,
+            evicted=tuple(evicted),
+            error=traceback.format_exc(),
+        )
+
+
+def _baseline_worker_main(conn) -> None:
+    """PR 7's worker loop: recv task / send result until ``None``."""
+    cache: OrderedDict = OrderedDict()
+    try:
+        while True:
+            task = conn.recv()
+            if task is None:
+                break
+            conn.send(_execute_baseline_shard(task, cache))
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):
+        pass
+    finally:
+        conn.close()
+
+
+# -- the frozen prepare (PR 7 prepare_jobs: materialized clips) ----------------
+
+
+def baseline_prepare(
+    query, db, num_shards: int, split_attrs
+) -> List[BaselineJob]:
+    """Partition and clip with materialized copies — the frozen prepare.
+
+    Every relation of every shard is clipped into a materialized copy in
+    the parent (PR 7 had no slice plans), empty-clip shards are pruned
+    before dispatch, and each piece carries its content cache key.  No
+    memoization here: the benchmark times cold prepares explicitly and
+    re-calls this per round, exactly like the live side with a cleared
+    job cache.
+    """
+    from repro.parallel.partition import clip_relation, partition_shards
+
+    shards = partition_shards(query, db, num_shards, split_attrs or None)
+    depth = db.domain.depth
+    jobs: List[BaselineJob] = []
+    for shard_id, shard in enumerate(shards):
+        relations = []
+        weight = 0
+        for atom in query.atoms:
+            rel = db[atom.name]
+            attr_map = dict(zip(atom.attrs, rel.attrs))
+            piece = clip_relation(rel, shard, depth, attr_map)
+            if len(piece) == 0:
+                relations = None
+                break
+            relations.append((atom.name, piece.cache_key(), piece))
+            weight += len(piece)
+        if relations is None:
+            continue
+        jobs.append(
+            BaselineJob(
+                shard_id=shard_id,
+                relations=tuple(relations),
+                weight=weight,
+            )
+        )
+    return jobs
+
+
+# -- the frozen scheduler (PR 7 WorkerPool) ------------------------------------
+
+
+class BaselinePool:
+    """PR 7's ``WorkerPool``: dynamic cache-affine dealing, blob wire."""
+
+    def __init__(self, num_workers: int):
+        method = (
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        ctx = mp.get_context(method)
+        self.num_workers = num_workers
+        self._conns: List = []
+        self._procs: List = []
+        for i in range(num_workers):
+            parent_end, child_end = ctx.Pipe()
+            proc = ctx.Process(
+                target=_baseline_worker_main,
+                args=(child_end,),
+                daemon=True,
+                name=f"repro-baseline-worker-{i}",
+            )
+            proc.start()
+            child_end.close()
+            self._conns.append(parent_end)
+            self._procs.append(proc)
+        #: Mirror of each worker's relation cache, by content key.
+        self._known: List[set] = [set() for _ in range(num_workers)]
+        self.rows_shipped = 0
+        self.bytes_shipped = 0  # nominal, as PR 7 accounted it
+
+    def _pick_job(self, wid: int, pending: List[BaselineJob]) -> BaselineJob:
+        """PR 7's dealing score: affinity, then unclaimed, then steal."""
+        known = self._known[wid]
+        others = [k for i, k in enumerate(self._known) if i != wid]
+        best_i = 0
+        best_score = None
+        for i, job in enumerate(pending):
+            own = sum(1 for _, key, _ in job.relations if key in known)
+            stolen = max(
+                (
+                    sum(1 for _, key, _ in job.relations if key in o)
+                    for o in others
+                ),
+                default=0,
+            )
+            score = (own, -stolen)
+            if best_score is None or score > best_score:
+                best_i, best_score = i, score
+                if own == len(job.relations):
+                    break
+        return pending.pop(best_i)
+
+    def dispatch(
+        self,
+        jobs: Sequence[BaselineJob],
+        atoms,
+        backend: str,
+        index_kind: str = "btree",
+    ) -> Dict[int, List[Tuple[int, ...]]]:
+        """Deal every job dynamically; return ``{shard_id: rows}``."""
+        pending = sorted(jobs, key=lambda j: -j.weight)
+        results: Dict[int, List[Tuple[int, ...]]] = {}
+        free = list(range(self.num_workers))
+        busy: Dict[int, BaselineJob] = {}
+        while pending or busy:
+            while free and pending:
+                wid = free.pop()
+                job = self._pick_job(wid, pending)
+                known = self._known[wid]
+                payloads = []
+                for name, key, rel in job.relations:
+                    if key in known:
+                        payloads.append((name, key, None))
+                    else:
+                        payloads.append((name, key, rel))
+                        known.add(key)
+                        self.rows_shipped += len(rel)
+                        self.bytes_shipped += 8 * len(rel) * len(rel.attrs)
+                task = BaselineTask(
+                    shard_id=job.shard_id,
+                    atoms=atoms,
+                    payloads=tuple(payloads),
+                    backend=backend,
+                    index_kind=index_kind,
+                    gao=None,
+                    limit=None,
+                )
+                self._conns[wid].send(task)
+                busy[wid] = job
+            ready = mp_connection.wait([self._conns[w] for w in busy])
+            for conn in ready:
+                wid = self._conns.index(conn)
+                result = self._conns[wid].recv()
+                for key in result.evicted:
+                    self._known[wid].discard(key)
+                job = busy.pop(wid)
+                free.append(wid)
+                if result.error is not None:
+                    raise RuntimeError(
+                        f"baseline shard {result.shard_id} failed:\n"
+                        f"{result.error}"
+                    )
+                results[result.shard_id] = result.rows
+        return results
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+        for conn in self._conns:
+            conn.close()

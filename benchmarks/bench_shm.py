@@ -1,0 +1,395 @@
+"""Shared-memory dispatch benchmark: segment refs vs. the pickle wire.
+
+For every workload family of the parallel benchmark (triangle sparse +
+AGM-tight, acyclic path, star, dense cycle), one **dispatch round** —
+partition/clip, ship every shard's relations to a 4-worker pool,
+materialize them worker-side, checksum, reply — is raced over two wires:
+
+* **shm** (the live path): relations export once into named
+  shared-memory segments; the pipes carry segment refs and bisect
+  ranges; workers attach and build zero-copy column views.
+* **baseline** (``_ship_baseline.py``, frozen): the pre-shm protocol —
+  materialized clips pickled per cold ``(worker, content)`` pair.
+
+Both sides run the same checksum scan worker-side, so the race isolates
+dispatch, and the checksums assert *content parity* between the wires on
+every run.  ``cold`` rounds start from fresh pools, empty caches and an
+empty arena (pool spawn is excluded — both sides pay it identically);
+``warm`` rounds repeat the dispatch on warm caches, where the shm wire
+must converge to shipping zero bytes while attaching nothing new.
+Timings interleave baseline/shm per repeat and keep the per-side
+minimum; the headline is the geomean of per-family cold speedups.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_shm.py \
+        [--quick] [--repeats 3] [--workers 4] \
+        [--output BENCH_shm.json] [--min-speedup 1.15]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing as mp
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _ship_baseline import BaselinePool, baseline_prepare, checksum_rows
+
+WORKERS_DEFAULT = 4
+BACKEND = "shm-bench-scan"
+
+
+def _register_scan_backend() -> None:
+    """A runner that checksums its shard database instead of joining.
+
+    Registered **before** any pool exists: workers fork from this
+    process image, so the registry entry rides into every worker.
+    """
+    from repro.core.resolution import ResolutionStats
+    from repro.engine.executor import BackendSpec, register_backend
+
+    def _run_scan(query, db, plan):
+        rels = [db[a.name] for a in query.atoms]
+        # A shard holding an empty clip joins to nothing; mirroring that
+        # here keeps checksum parity across wires that prune such shards
+        # at different points (parent-side vs. on the worker).
+        if any(len(rel) == 0 for rel in rels):
+            return [], ResolutionStats(), None
+        rows = checksum_rows(rels)
+        return rows, ResolutionStats(), None
+
+    register_backend(
+        BackendSpec(
+            BACKEND, _run_scan,
+            "per-relation checksum scan (shm dispatch benchmark)",
+        )
+    )
+
+
+def _workloads(quick: bool):
+    """The parallel benchmark's five families, sized for a dispatch race.
+
+    Workers only checksum here (no joins run), so the race affords
+    larger cardinalities than ``bench_parallel`` — sizes where the
+    wires genuinely diverge: the pickle path pays per *row* (clip
+    materialization, content keys, pickling), the shm path per
+    *segment* (one export, one attach, bisect ranges).
+    """
+    from repro.relational.query import Database, star_query
+    from repro.relational.relation import Relation
+    from repro.relational.schema import Domain
+    from repro.workloads.generators import (
+        agm_tight_triangle,
+        dense_cycle_db,
+        graph_triangle_db,
+        random_graph_edges,
+        random_path_db,
+    )
+
+    out = []
+    edges = random_graph_edges(
+        420 if quick else 700, 5000 if quick else 12000, seed=3
+    )
+    out.append(("triangle_sparse", *graph_triangle_db(edges)))
+    out.append(
+        ("triangle_agm_tight", *agm_tight_triangle(48 if quick else 80))
+    )
+    out.append(
+        ("path3_acyclic",
+         *random_path_db(3, 5000 if quick else 12000, seed=7, depth=10))
+    )
+
+    def star_db(rays, n, seed, depth):
+        import random
+
+        rng = random.Random(seed)
+        q = star_query(rays)
+        rels = []
+        for atom in q.atoms:
+            rows = {
+                tuple(rng.randrange(1 << depth) for _ in atom.attrs)
+                for _ in range(n)
+            }
+            rels.append(Relation(atom, rows, Domain(depth)))
+        return q, Database(rels)
+
+    out.append(
+        ("star4_fanout",
+         *star_db(4, 5000 if quick else 12000, 11, 10))
+    )
+    out.append(
+        ("cycle4_fhtw",
+         *dense_cycle_db(4, 2000 if quick else 4000, depth=8, seed=5))
+    )
+    return out
+
+
+def _plan_for(query, db, workers: int):
+    from repro.engine import clear_plan_cache, plan_query
+
+    clear_plan_cache()
+    plan = plan_query(query, db, algorithm="hash", workers=workers)
+    if plan.num_shards <= 1:
+        raise AssertionError("workload did not produce a shard split")
+    return plan
+
+
+def _shm_dispatch(query, db, plan, pool, report) -> Dict[int, list]:
+    """One dispatch round over the live wire; returns shard checksums."""
+    from repro.parallel.merge import prepare_jobs
+
+    _shards, jobs, _pruned = prepare_jobs(query, db, plan)
+    out: Dict[int, list] = {}
+    for result, _wid, _job in pool.run_shards(
+        jobs,
+        atoms=query.atoms,
+        backend=BACKEND,
+        index_kind=plan.index_kind,
+        gao=None,
+        limit=None,
+        report=report,
+    ):
+        out[result.shard_id] = result.rows
+    return out
+
+
+def _fresh_report(plan):
+    from repro.parallel.merge import ParallelReport
+
+    return ParallelReport(
+        workers=plan.workers,
+        num_shards=plan.num_shards,
+        split_attrs=tuple(plan.split_attrs),
+    )
+
+
+def _flatten(results: Dict[int, list]) -> List[tuple]:
+    out = []
+    for shard_id in sorted(results):
+        for row in results[shard_id]:
+            out.append((shard_id,) + tuple(row))
+    return out
+
+
+def run_family(name, query, db, workers: int, repeats: int) -> dict:
+    from repro.parallel import clear_job_cache, shutdown_pools
+    from repro.parallel.scheduler import get_pool
+
+    plan = _plan_for(query, db, workers)
+    base_cold = shm_cold = float("inf")
+    base_warm = shm_warm = float("inf")
+    parity_base: Optional[List[tuple]] = None
+    cold_report = warm_report = None
+    base_ship_bytes = 0
+
+    for _rep in range(repeats):
+        # -- baseline cold: fresh pool, everything ships as blobs ------
+        bpool = BaselinePool(workers)
+        try:
+            t0 = time.perf_counter()
+            jobs = baseline_prepare(
+                query, db, plan.num_shards, plan.split_attrs
+            )
+            base_out = bpool.dispatch(jobs, query.atoms, BACKEND)
+            base_cold = min(base_cold, time.perf_counter() - t0)
+            base_ship_bytes = bpool.bytes_shipped
+            # -- baseline warm: same pool, reference dispatch ----------
+            t0 = time.perf_counter()
+            bpool.dispatch(
+                baseline_prepare(
+                    query, db, plan.num_shards, plan.split_attrs
+                ),
+                query.atoms,
+                BACKEND,
+            )
+            base_warm = min(base_warm, time.perf_counter() - t0)
+        finally:
+            bpool.close()
+
+        # -- shm cold: fresh pool, empty arena, cold job cache ---------
+        shutdown_pools()
+        clear_job_cache()
+        pool = get_pool(workers)
+        report = _fresh_report(plan)
+        t0 = time.perf_counter()
+        shm_out = _shm_dispatch(query, db, plan, pool, report)
+        dt = time.perf_counter() - t0
+        if dt < shm_cold:
+            shm_cold = dt
+            cold_report = report
+        # -- shm warm: same pool; converge to zero wire bytes ----------
+        for _ in range(5):
+            report = _fresh_report(plan)
+            t0 = time.perf_counter()
+            _shm_dispatch(query, db, plan, pool, report)
+            shm_warm = min(shm_warm, time.perf_counter() - t0)
+            if (
+                warm_report is None
+                or report.bytes_shipped <= warm_report.bytes_shipped
+            ):
+                warm_report = report
+            if report.bytes_shipped == 0:
+                break
+
+        flat_base = _flatten(base_out)
+        flat_shm = _flatten(shm_out)
+        if flat_base != flat_shm:
+            raise AssertionError(
+                f"{name}: wire parity broken — baseline and shm "
+                f"checksums disagree"
+            )
+        parity_base = flat_base
+
+    shutdown_pools()
+    assert parity_base is not None
+    assert cold_report is not None and warm_report is not None
+    entry = {
+        "n_tuples": db.total_tuples,
+        "num_shards": plan.num_shards,
+        "split_attrs": list(plan.split_attrs),
+        "cold": {
+            "baseline_s": base_cold,
+            "shm_s": shm_cold,
+            "speedup": base_cold / shm_cold,
+            "baseline_bytes_shipped": base_ship_bytes,
+            "shm_bytes_shipped": cold_report.bytes_shipped,
+            "shm_bytes_nominal": cold_report.bytes_nominal,
+            "shm_ships": cold_report.shm_ships,
+            "shm_attached_bytes": cold_report.shm_attached_bytes,
+            "shm_fallbacks": cold_report.shm_fallbacks,
+        },
+        "warm": {
+            "baseline_s": base_warm,
+            "shm_s": shm_warm,
+            "shm_bytes_shipped": warm_report.bytes_shipped,
+            "shm_attached_bytes": warm_report.shm_attached_bytes,
+            "ref_hits": warm_report.ref_hits,
+            "refs_total": warm_report.refs_total,
+        },
+    }
+    print(
+        f"  {name:20s} cold: baseline {base_cold * 1e3:8.1f} ms  "
+        f"shm {shm_cold * 1e3:8.1f} ms  "
+        f"({entry['cold']['speedup']:.2f}×)   wire: "
+        f"{base_ship_bytes // 1024} KiB → "
+        f"{cold_report.bytes_shipped} B  warm shm: "
+        f"{warm_report.bytes_shipped} B shipped"
+    )
+    return entry
+
+
+def geometric_mean(xs: List[float]) -> float:
+    prod = 1.0
+    for x in xs:
+        prod *= x
+    return prod ** (1.0 / len(xs))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="shm")
+    parser.add_argument("--output", default="BENCH_shm.json")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--quick", action="store_true", help="small sizes")
+    parser.add_argument("--workers", type=int, default=WORKERS_DEFAULT)
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="exit non-zero when the cold-dispatch geomean falls below "
+             "this",
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+    )
+    from repro.parallel.shm import shm_enabled
+
+    if not shm_enabled():
+        print(
+            f"[{args.label}] shared memory unavailable or disabled "
+            f"(REPRO_NO_SHM) — nothing to race, skipping"
+        )
+        return 0
+    if "fork" not in mp.get_all_start_methods():
+        print(
+            f"[{args.label}] no fork start method — the scan backend "
+            f"cannot ride into spawned workers, skipping"
+        )
+        return 0
+
+    # The race measures the shm plane itself, so every relation rides
+    # it; the production size floor (DEFAULT_MIN_BYTES) is a dispatch
+    # heuristic, not part of the wire under test.
+    os.environ.setdefault("REPRO_SHM_MIN_BYTES", "0")
+
+    _register_scan_backend()
+    print(
+        f"[{args.label}] shm-vs-pickle dispatch race "
+        f"({'quick' if args.quick else 'full'}, best of {args.repeats}, "
+        f"{args.workers} workers, parity asserted per round)"
+    )
+    results: Dict[str, dict] = {}
+    for name, query, db in _workloads(args.quick):
+        results[name] = run_family(
+            name, query, db, args.workers, args.repeats
+        )
+
+    speedups = [e["cold"]["speedup"] for e in results.values()]
+    headline = geometric_mean(speedups)
+    warm_bytes = max(
+        e["warm"]["shm_bytes_shipped"] for e in results.values()
+    )
+    cold_attached = min(
+        e["cold"]["shm_attached_bytes"] for e in results.values()
+    )
+    print(
+        f"  geomean cold-dispatch speedup ×{args.workers}: "
+        f"{headline:.2f}× over the pickle wire"
+    )
+    print(
+        f"  warm wire: ≤{warm_bytes} B shipped/family "
+        f"(cold attached ≥{cold_attached} B)"
+    )
+    if cold_attached <= 0:
+        print("FAIL: cold rounds attached no shared memory")
+        return 1
+
+    record = {
+        "label": args.label,
+        "quick": args.quick,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "workers": args.workers,
+        "repeats": args.repeats,
+        "results": results,
+        "geomean_cold_speedup": headline,
+        "warm_max_bytes_shipped": warm_bytes,
+        "note": (
+            "cold = fresh pools/caches/arena, dispatch round timed "
+            "(prepare + wire + worker-side materialize + checksum); "
+            "baseline = frozen pre-shm pickle-ship protocol from "
+            "_ship_baseline.py; parity asserted via per-shard relation "
+            "checksums"
+        ),
+    }
+    with open(args.output, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.min_speedup is not None and headline < args.min_speedup:
+        print(f"FAIL: geomean {headline:.2f} < {args.min_speedup}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

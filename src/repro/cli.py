@@ -25,6 +25,7 @@ row applies.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -62,9 +63,18 @@ def _load_join_db(args: argparse.Namespace):
     return query, db, dictionary
 
 
+def _apply_shm_flag(args: argparse.Namespace) -> None:
+    """``--no-shm`` is sugar for the ``REPRO_NO_SHM`` escape hatch."""
+    if getattr(args, "no_shm", False):
+        from repro.parallel.shm import NO_SHM_ENV
+
+        os.environ[NO_SHM_ENV] = "1"
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
     from repro.engine import execute
 
+    _apply_shm_flag(args)
     try:
         query, db, dictionary = _load_join_db(args)
     except ValueError as exc:
@@ -118,6 +128,7 @@ def _write_trace(tracer, path: str) -> None:
 def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.engine import execute, explain_text, plan_query
 
+    _apply_shm_flag(args)
     try:
         query, db, dictionary = _load_join_db(args)
     except ValueError as exc:
@@ -335,6 +346,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="shard-parallel execution on a pool of N worker "
                  "processes (with --algorithm auto the planner decides "
                  "serial vs. parallel; a named backend forces parallel)",
+        )
+        p.add_argument(
+            "--no-shm", action="store_true",
+            help="disable the shared-memory data plane for parallel "
+                 "execution (ship relations by value instead; same as "
+                 "REPRO_NO_SHM=1)",
         )
         p.add_argument("--delimiter", default=",")
         p.add_argument("--skip-header", action="store_true")

@@ -182,7 +182,14 @@ class CostModel:
         calibration: Optional[Mapping[str, float]] = None,
         unit_seconds: Optional[float] = None,
         use_saved: bool = True,
+        shm: Optional[bool] = None,
     ):
+        #: Whether parallel candidates are priced for the shared-memory
+        #: data plane (one-time attach) or the pickle-ship wire
+        #: (per-worker replication).  ``None`` — the default — resolves
+        #: against the live :func:`repro.parallel.shm.shm_enabled` at
+        #: estimate time, so ``REPRO_NO_SHM`` flips the pricing too.
+        self.shm = shm
         self.calibration = dict(DEFAULT_CALIBRATION)
         self.unit_seconds = DEFAULT_UNIT_SECONDS
         if use_saved:
@@ -226,6 +233,15 @@ class CostModel:
     PARALLEL_SHARD_OVERHEAD = 250.0
     PARALLEL_SHIP_INPUT = 0.04
     PARALLEL_SHIP_OUTPUT = 0.25
+
+    #: Flat charge per (atom × worker) for the shared-memory data
+    #: plane: one segment attach + header parse + zero-copy column
+    #: views (~50µs ≈ 60 units).  When shm is on, this *replaces* the
+    #: per-row input shipping term and the replication factor — input
+    #: bytes are laid out once in the parent and mapped, not copied per
+    #: worker — which is what makes the planner pick parallel plans
+    #: earlier on large inputs.
+    PARALLEL_SHM_ATTACH = 60.0
 
     # -- per-backend quantities ------------------------------------------------
 
@@ -461,12 +477,16 @@ class CostModel:
         """Price a backend run shard-parallel on ``workers`` processes.
 
         Speedup-aware: the backend's quantity splits into an
-        input-proportional share (which pays the replication factor of
-        partially-covered atoms) and the rest (output/intermediate work,
-        which partitions cleanly); both divide by the effective
+        input-proportional share and the rest (output/intermediate
+        work, which partitions cleanly); both divide by the effective
         parallelism ``min(workers, shards)``.  On top ride the flat
-        shard-dispatch charge and per-row shipping for inputs (amortized
-        by the per-worker cache) and outputs (returned and merged).
+        shard-dispatch charge and the output rows (returned and
+        merged).  The input side depends on the data plane: over the
+        pickle wire the input share pays the replication factor of
+        partially-covered atoms plus per-row shipping; over shared
+        memory the input is laid out once and mapped, so replication
+        collapses to 1 and shipping becomes the flat
+        :data:`PARALLEL_SHM_ATTACH` charge per (atom × worker).
         """
         import dataclasses
 
@@ -474,13 +494,29 @@ class CostModel:
             return dataclasses.replace(
                 base, workers=workers, parallel=True
             )
+        use_shm = self.shm
+        if use_shm is None:
+            from repro.parallel.shm import shm_enabled
+
+            use_shm = shm_enabled()
         p = max(1, min(workers, num_shards))
-        replication = self._replication(stats, split_attrs, num_shards)
         n = float(stats.total_tuples)
         z = stats.output_estimate
         input_share = (
             min(1.0, n / base.quantity) if base.quantity > 0 else 0.0
         )
+        if use_shm:
+            replication = 1.0
+            ship_input = (
+                self.PARALLEL_SHM_ATTACH * len(query.atoms) * p
+            )
+            plane = "shm"
+        else:
+            replication = self._replication(
+                stats, split_attrs, num_shards
+            )
+            ship_input = self.PARALLEL_SHIP_INPUT * n
+            plane = f"repl {replication:.2g}"
         quantity = (
             base.quantity
             * (input_share * replication + (1.0 - input_share))
@@ -488,7 +524,7 @@ class CostModel:
         )
         overhead = (
             self.PARALLEL_SHARD_OVERHEAD * num_shards
-            + self.PARALLEL_SHIP_INPUT * n
+            + ship_input
             + self.PARALLEL_SHIP_OUTPUT * z
         )
         factor = self.calibration.get(base.backend, 1.0)
@@ -498,7 +534,7 @@ class CostModel:
             quantity,
             factor * quantity + overhead,
             f"{base.formula} ∥ ×{p} workers "
-            f"({num_shards} shards, repl {replication:.2g})",
+            f"({num_shards} shards, {plane})",
             workers=workers,
             parallel=True,
         )

@@ -110,17 +110,35 @@ def _render_shard_tree(report) -> List[str]:
     tree — every executed shard's dyadic cell, worker, output size and
     in-worker compute time (busiest first)."""
     split = ", ".join(report.split_attrs)
+    resh = (
+        f" (+{report.rows_reshipped} re-shipped, "
+        f"{report.shards_stolen} stolen)"
+        if report.rows_reshipped or report.shards_stolen
+        else ""
+    )
     lines = [
         f"├─ parallel    : {report.workers} workers × "
         f"{report.executed_shards} shards run, {report.pruned_shards} "
         f"pruned (split on {split})",
-        f"│   ├─ shipped  : {report.rows_shipped} rows, ref hits "
+        f"│   ├─ shipped  : {report.rows_shipped} rows{resh}, "
+        f"{report.bytes_shipped} B wire "
+        f"(nominal {report.bytes_nominal} B), ref hits "
         f"{report.ref_hits}/{report.refs_total}",
+    ]
+    if report.shm_ships or report.shm_fallbacks:
+        lines.append(
+            f"│   ├─ shm      : {report.shm_ships} segment refs, "
+            f"{report.shm_attached_bytes} B attached in "
+            f"{report.shm_attaches} attaches "
+            f"({report.shm_attach_seconds:.4f}s), "
+            f"{report.shm_fallbacks} fallbacks"
+        )
+    lines.append(
         f"│   ├─ makespan : {report.makespan_seconds:.4f}s "
         f"(busiest worker {report.max_worker_seconds:.4f}s, "
         f"partition {report.partition_seconds:.4f}s, "
-        f"balance {report.balance:.2f})",
-    ]
+        f"balance {report.balance:.2f})"
+    )
     details = sorted(report.shard_details, key=lambda d: -d[3])
     shown = details[:_MAX_RENDERED_SHARDS]
     for i, (desc, worker, rows, seconds) in enumerate(shown):

@@ -248,6 +248,17 @@ def _plan_query_impl(
     # ``repro calibrate`` run must never resurrect a plan priced under
     # different constants.
     model = cost_model if cost_model is not None else CostModel()
+    # The shm data plane changes parallel pricing (attach charge vs.
+    # replication), so a flipped REPRO_NO_SHM must never resurrect a
+    # plan priced for the other wire.
+    shm_flag = None
+    if workers is not None:
+        if model.shm is not None:
+            shm_flag = model.shm
+        else:
+            from repro.parallel.shm import shm_enabled
+
+            shm_flag = shm_enabled()
     key = (
         stats.fingerprint,
         algorithm,
@@ -255,6 +266,7 @@ def _plan_query_impl(
         tuple(gao) if gao is not None else None,
         probe_certificate,
         workers,
+        shm_flag,
         tuple(sorted(model.calibration.items())),
     )
     if use_cache:

@@ -35,7 +35,9 @@ from repro.parallel.partition import (
     Shard,
     choose_split_attrs,
     clip_database,
+    clip_range,
     clip_relation,
+    clip_slice,
     partition_shards,
 )
 from repro.parallel.scheduler import (
@@ -44,22 +46,40 @@ from repro.parallel.scheduler import (
     get_pool,
     shutdown_pools,
 )
+from repro.parallel.shm import (
+    ARENA,
+    ShmArena,
+    ShmRef,
+    ShmSlice,
+    SlicePlan,
+    shm_enabled,
+    shm_min_bytes,
+)
 from repro.parallel.workers import ShardResult, ShardTask
 
 __all__ = [
+    "ARENA",
     "ParallelReport",
     "Shard",
     "ShardOutcome",
     "ShardResult",
     "ShardTask",
+    "ShmArena",
+    "ShmRef",
+    "ShmSlice",
+    "SlicePlan",
     "WorkerError",
     "WorkerPool",
     "choose_split_attrs",
     "clear_job_cache",
     "clip_database",
+    "clip_range",
     "clip_relation",
+    "clip_slice",
     "get_pool",
     "partition_shards",
     "run_shards",
+    "shm_enabled",
+    "shm_min_bytes",
     "shutdown_pools",
 ]

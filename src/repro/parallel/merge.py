@@ -31,9 +31,11 @@ from repro.obs.metrics import REGISTRY as _METRICS
 from repro.parallel.partition import (
     Shard,
     clip_relation,
+    clip_slice,
     partition_shards,
 )
 from repro.parallel.scheduler import PendingShard, get_pool
+from repro.parallel.shm import SlicePlan, shm_enabled, shm_min_bytes
 from repro.relational.query import Database, JoinQuery
 
 Row = Tuple[int, ...]
@@ -62,11 +64,33 @@ class ParallelReport:
     pruned_shards: int = 0
     executed_shards: int = 0
     output_rows: int = 0
+    #: Rows shipped by value the first time their content left the
+    #: parent.  Re-ships of content already resident on another worker
+    #: (work stealing) are tallied apart in :attr:`rows_reshipped`.
     rows_shipped: int = 0
-    #: Nominal wire volume of shipped relations (8 bytes per value).
+    #: Actual wire bytes of every cold payload — pickled blob lengths
+    #: plus the (tiny) pickled segment refs, measured at ship time.
     bytes_shipped: int = 0
+    #: The nominal figure the wire volume used to be reported as
+    #: (8 bytes per column value), kept for cross-run comparability.
+    bytes_nominal: int = 0
+    #: Steal-induced duplicate ships: rows pickled to a worker although
+    #: another worker already cached the same content.
+    rows_reshipped: int = 0
+    #: Shards dealt to a worker holding none of their relations while
+    #: another worker held some (the work-stealing last resort).
+    shards_stolen: int = 0
     ref_hits: int = 0
     refs_total: int = 0
+    #: Shared-memory data plane: payloads shipped as segment refs,
+    #: refs that fell back to pickle blobs (creation failure), segments
+    #: newly attached worker-side with their mapped bytes and attach
+    #: wall time.
+    shm_ships: int = 0
+    shm_fallbacks: int = 0
+    shm_attaches: int = 0
+    shm_attached_bytes: int = 0
+    shm_attach_seconds: float = 0.0
     partition_seconds: float = 0.0
     #: Wall time of the deal/collect loop, parent side.
     loop_seconds: float = 0.0
@@ -138,10 +162,16 @@ class ParallelReport:
             if self.refs_total
             else "0/0"
         )
+        shm = (
+            f" shm={self.shm_ships} refs"
+            f"/{self.shm_attached_bytes}B attached"
+            if self.shm_ships
+            else ""
+        )
         return (
             f"workers={self.workers} shards={self.executed_shards}"
             f"+{self.pruned_shards} pruned "
-            f"shipped={self.rows_shipped} rows (ref hits {hit}) "
+            f"shipped={self.rows_shipped} rows (ref hits {hit}){shm} "
             f"makespan={self.makespan_seconds:.4f}s "
             f"(busiest worker {self.max_worker_seconds:.4f}s)"
         )
@@ -191,15 +221,27 @@ def prepare_jobs(
 ) -> Tuple[Tuple[Shard, ...], List[PendingShard], int]:
     """Partition and clip: the dispatchable jobs plus the pruned count.
 
-    Memoized on content — query signature, relation fingerprints and the
-    plan's shard parameters — so repeated executions reuse the clipped
-    relations (zero-copy, including their memoized views).
+    Memoized on content — query signature, relation fingerprints, the
+    plan's shard parameters, and the shm configuration (slice payloads
+    exist only on the shm path) — so repeated executions reuse the
+    clipped relations (zero-copy, including their memoized views).
+
+    Where a shard's clip of a large-enough relation starts from the
+    schema-leading attribute (:func:`~repro.parallel.partition.
+    clip_slice`), the job carries a :class:`~repro.parallel.shm.
+    SlicePlan` — a bisected canonical-row range plus any residual
+    value-range filters — instead of a materialized copy: every shard of
+    every worker then reads the same shared base segment, and the parent
+    never builds the clipped rows at all.
     """
+    use_shm = shm_enabled()
+    min_bytes = shm_min_bytes() if use_shm else 0
     key = (
         tuple((a.name, a.attrs) for a in query.atoms),
         db.stats_fingerprint(),
         plan.num_shards,
         tuple(plan.split_attrs),
+        (use_shm, min_bytes),
     )
     cached = _JOB_CACHE.get(key)
     if cached is not None:
@@ -216,6 +258,23 @@ def prepare_jobs(
         for atom in query.atoms:
             rel = db[atom.name]
             attr_map = dict(zip(atom.attrs, rel.attrs))
+            rng = None
+            if use_shm and rel.nominal_bytes() >= min_bytes:
+                rng = clip_slice(rel, shard, depth, attr_map)
+            if rng is not None:
+                lo, hi, rest = rng
+                if hi <= lo:
+                    relations = None
+                    break
+                relations.append(
+                    (
+                        atom.name,
+                        ("shm-slice", rel.cache_key(), lo, hi, rest),
+                        SlicePlan(rel, lo, hi, rest),
+                    )
+                )
+                weight += hi - lo
+                continue
             piece = clip_relation(rel, shard, depth, attr_map)
             if len(piece) == 0:
                 relations = None
@@ -344,10 +403,21 @@ def _publish_report(report: ParallelReport) -> None:
             "parallel.runs": 1,
             "parallel.shards.executed": report.executed_shards,
             "parallel.shards.pruned": report.pruned_shards,
+            "parallel.shards.stolen": report.shards_stolen,
             "parallel.ship.rows": report.rows_shipped,
+            "parallel.ship.rows_reshipped": report.rows_reshipped,
             "parallel.ship.bytes": report.bytes_shipped,
+            "parallel.ship.bytes_nominal": report.bytes_nominal,
             "parallel.ship.ref_hits": report.ref_hits,
             "parallel.ship.refs_total": report.refs_total,
+            "parallel.shm.ships": report.shm_ships,
+            "parallel.shm.fallbacks": report.shm_fallbacks,
+            "parallel.shm.attaches": report.shm_attaches,
+            "parallel.shm.attached_bytes": report.shm_attached_bytes,
         }
     )
+    if report.shm_attach_seconds > 0.0:
+        _METRICS.observe(
+            "parallel.shm.attach_seconds", report.shm_attach_seconds
+        )
     _METRICS.observe("parallel.makespan_seconds", report.makespan_seconds)

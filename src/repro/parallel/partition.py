@@ -295,6 +295,99 @@ def partition_shards(
     return tuple(sorted(shards, key=Shard.sort_key))
 
 
+def clip_range(
+    rel: Relation,
+    shard: Shard,
+    depth: int,
+    attr_map: Optional[Mapping[str, str]] = None,
+) -> Optional[Tuple[int, int]]:
+    """The shard's clip as a canonical-row range, where one exists.
+
+    When exactly one schema attribute is constrained and it is the
+    schema-*leading* one, :func:`clip_relation`'s selection is a
+    contiguous ``[lo, hi)`` slice of the relation's canonical sorted
+    rows — the shape the shared-memory data plane ships as an
+    ``ShmSlice`` over the base segment instead of materializing a
+    clipped copy.  Returns ``None`` when the clip is not such a slice
+    (no constraint at all, a non-leading attribute, or several
+    constrained attributes): callers fall back to
+    :func:`clip_relation`.
+    """
+    if attr_map is None:
+        attr_map = {a: a for a in rel.schema.attrs}
+    constrained = [
+        (attr_map[a], p)
+        for a, p in shard.constraints
+        if p != PLAMBDA and a in attr_map
+    ]
+    if len(constrained) != 1:
+        return None
+    attr, packed = constrained[0]
+    if attr != rel.schema.attrs[0]:
+        return None
+    lo, hi = _packed_range(packed, depth)
+    rows = rel.view(rel.schema.attrs).rows
+    left = bisect.bisect_left(rows, (lo,))
+    right = bisect.bisect_left(rows, (hi + 1,), left)
+    return left, right
+
+
+def clip_slice(
+    rel: Relation,
+    shard: Shard,
+    depth: int,
+    attr_map: Optional[Mapping[str, str]] = None,
+) -> Optional[Tuple[int, int, Tuple[Tuple[int, int, int], ...]]]:
+    """The shard's clip as a leading slice plus a residual box, if any.
+
+    Generalizes :func:`clip_range` to the shape the shared-memory plane
+    actually ships: whenever the schema-*leading* attribute is
+    constrained, the clip is the bisected canonical row range of that
+    constraint — ``(lo, hi)`` — with every *further* constrained
+    attribute carried as an inclusive ``(column index, lo, hi)`` filter
+    the worker applies to the slice on arrival.  The parent then never
+    materializes the clipped rows at all: one bisect here, the residual
+    scan on the worker (in parallel, over the shared columns).
+
+    Returns ``None`` when the clip is not slice-shaped — nothing
+    constrained (ship the whole relation) or the leading attribute
+    unconstrained (the bisect would need a non-canonical sort order);
+    callers fall back to :func:`clip_relation`.  A returned range with
+    ``hi <= lo`` means the clip is *provably empty* — the leading range
+    bisected to nothing, or a residual range is disjoint from its
+    column's value range — and the shard can be pruned without
+    dispatching.
+    """
+    if attr_map is None:
+        attr_map = {a: a for a in rel.schema.attrs}
+    constrained = [
+        (attr_map[a], p)
+        for a, p in shard.constraints
+        if p != PLAMBDA and a in attr_map
+    ]
+    if not constrained:
+        return None
+    attrs = rel.schema.attrs
+    by_attr = dict(constrained)
+    if attrs[0] not in by_attr:
+        return None
+    lo_v, hi_v = _packed_range(by_attr[attrs[0]], depth)
+    rows = rel.view(attrs).rows
+    left = bisect.bisect_left(rows, (lo_v,))
+    right = bisect.bisect_left(rows, (hi_v + 1,), left)
+    rest: List[Tuple[int, int, int]] = []
+    ranges = rel.column_ranges()
+    for attr, p in constrained:
+        if attr == attrs[0]:
+            continue
+        r_lo, r_hi = _packed_range(p, depth)
+        col_lo, col_hi = ranges.get(attr, (0, -1))
+        if r_lo > col_hi or r_hi < col_lo:
+            return 0, 0, ()
+        rest.append((attrs.index(attr), r_lo, r_hi))
+    return left, right, tuple(rest)
+
+
 def clip_relation(
     rel: Relation,
     shard: Shard,

@@ -15,9 +15,18 @@ already holds is preferred, and known relations ship as content-key
 references instead of rows — the "repeated queries on the same data ship
 no rows" path.
 
+Cold payloads go through :meth:`WorkerPool._encode_payload`: relations
+above the shm size threshold export into the process-wide
+:data:`~repro.parallel.shm.ARENA` and ship as segment *refs*
+(``ShmRef``/``ShmSlice`` — a few hundred wire bytes however large the
+relation); everything else ships as a pre-pickled :class:`RelBlob`,
+sized at dispatch for the actual-wire accounting.  The pool holds one
+arena owner per ``(pool, worker, segment)``; eviction acks and pool
+close release them, which is what lets the arena unlink safely.
+
 Pools persist for the process lifetime (:func:`get_pool` memoizes per
-worker count; ``atexit`` shuts them down), so a served workload pays
-process spawn once, not per query.
+worker count; ``atexit`` shuts them down and closes the arena), so a
+served workload pays process spawn once, not per query.
 """
 
 from __future__ import annotations
@@ -27,10 +36,17 @@ import multiprocessing as mp
 import time
 from dataclasses import dataclass
 from multiprocessing import connection as mp_connection
+from multiprocessing.reduction import ForkingPickler
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.parallel import shm as _shm
 from repro.parallel.partition import Shard
-from repro.parallel.workers import ShardResult, ShardTask, worker_main
+from repro.parallel.workers import (
+    RelBlob,
+    ShardResult,
+    ShardTask,
+    worker_main,
+)
 
 
 class WorkerError(RuntimeError):
@@ -39,18 +55,30 @@ class WorkerError(RuntimeError):
 
 @dataclass
 class PendingShard:
-    """A clipped shard ready to deal: relations carry their cache keys."""
+    """A clipped shard ready to deal.
+
+    ``relations`` holds ``(name, cache key, ship)`` per query atom,
+    where ``ship`` is a clipped :class:`Relation` or a
+    :class:`~repro.parallel.shm.SlicePlan` (a bisect range over the base
+    relation, resolved at dispatch).  ``weight`` is the clipped input
+    size: the LPT priority.
+    """
 
     shard_id: int
     shard: Shard
-    relations: Tuple[Tuple[str, Tuple, object], ...]  # (name, key, Relation)
-    weight: int  # clipped input size: the LPT priority
+    relations: Tuple[Tuple[str, Tuple, object], ...]
+    weight: int
 
 
 def _preferred_start_method() -> str:
     # fork shares the warm parent image (no re-import per worker); fall
     # back to spawn where fork is unavailable (Windows, some macOS).
     return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def _wire_size(payload) -> int:
+    """The payload's actual pickled size on the task wire."""
+    return len(ForkingPickler.dumps(payload))
 
 
 class WorkerPool:
@@ -61,6 +89,16 @@ class WorkerPool:
     ):
         if num_workers < 1:
             raise ValueError(f"need at least 1 worker, got {num_workers}")
+        # Start the resource tracker *before* forking: children then
+        # share the parent's tracker (idempotent re-registers on shm
+        # attach), instead of each lazily starting a private tracker
+        # that would unlink parent-owned segments when the worker exits.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - exotic platforms
+            pass
         ctx = mp.get_context(start_method or _preferred_start_method())
         self.num_workers = num_workers
         self._conns: List = []
@@ -79,6 +117,14 @@ class WorkerPool:
             self._procs.append(proc)
         #: Mirror of each worker's relation cache, by content key.
         self._known: List[set] = [set() for _ in range(num_workers)]
+        #: Per-worker map of cached key → arena segment id, so an
+        #: eviction ack releases the matching arena owner.
+        self._seg_refs: List[Dict[Tuple, Tuple[str, int]]] = [
+            {} for _ in range(num_workers)
+        ]
+        #: Content keys ever shipped by value through this pool — how
+        #: the report tells a first ship from a steal-induced re-ship.
+        self._shipped_keys: set = set()
         self.closed = False
         #: True while a run owns the pipes.  The one-in/one-out protocol
         #: cannot multiplex runs: a second concurrent run would receive
@@ -87,7 +133,9 @@ class WorkerPool:
 
     # -- dealing ---------------------------------------------------------------
 
-    def _pick_job(self, wid: int, pending: List[PendingShard]) -> PendingShard:
+    def _pick_job(
+        self, wid: int, pending: List[PendingShard]
+    ) -> Tuple[PendingShard, bool]:
         """Pop the best pending shard for a worker: affinity, then LPT.
 
         ``pending`` is kept heaviest-first.  Score prefers shards this
@@ -95,7 +143,9 @@ class WorkerPool:
         by *another* worker — stealing re-ships rows, so it's the last
         resort (and the right one: when only another worker's shards
         remain, idling would straggle the run).  Ties break toward the
-        heavier shard.
+        heavier shard.  Returns ``(job, stolen)`` — stolen meaning the
+        pick holds relations resident on another worker but none on this
+        one, so any by-value payloads it ships are genuine re-ships.
         """
         known = self._known[wid]
         others = [k for i, k in enumerate(self._known) if i != wid]
@@ -117,7 +167,10 @@ class WorkerPool:
                 best_i, best_score = i, score
                 if own == len(job.relations):
                     break  # fully cached and heaviest such — done
-        return pending.pop(best_i)
+        job = pending.pop(best_i)
+        own, stolen = (best_score if best_score is not None
+                       else (0, 0))
+        return job, own == 0 and -stolen > 0
 
     def run_shards(
         self,
@@ -160,7 +213,9 @@ class WorkerPool:
             while pending or busy:
                 while free and pending:
                     wid = free.pop()
-                    job = self._pick_job(wid, pending)
+                    job, stolen = self._pick_job(wid, pending)
+                    if stolen and report is not None:
+                        report.shards_stolen += 1
                     self._dispatch(
                         wid, job, atoms, backend, index_kind, gao, limit,
                         report, trace,
@@ -188,6 +243,12 @@ class WorkerPool:
                             f"{result.shard_id} while {job.shard_id} "
                             f"was in flight (protocol desync)"
                         )
+                    if report is not None:
+                        report.shm_attaches += result.shm_attaches
+                        report.shm_attached_bytes += (
+                            result.shm_attached_bytes
+                        )
+                        report.shm_attach_seconds += result.attach_seconds
                     yield result, wid, job
         finally:
             # Drain in-flight replies (dispatched but not yet received)
@@ -199,26 +260,72 @@ class WorkerPool:
                     pass
             self.active = False
 
+    def _encode_payload(self, wid: int, key: Tuple, ship, report):
+        """One cold payload's wire form, with ship accounting.
+
+        Slices and large relations go by segment ref through the arena
+        (fallback: materialize / blob); everything else ships as a
+        pre-pickled blob whose length is the *actual* wire size — the
+        nominal ``8 × rows × attrs`` figure is kept separately.
+        """
+        owner = (id(self), wid)
+        if isinstance(ship, _shm.SlicePlan):
+            ref = _shm.ARENA.export(ship.base, owner=owner)
+            if ref is not None:
+                payload = _shm.ShmSlice(ref, ship.lo, ship.hi, ship.rest)
+                self._seg_refs[wid][key] = (ref.segment, ref.generation)
+                if report is not None:
+                    report.shm_ships += 1
+                    report.bytes_shipped += _wire_size(payload)
+                    report.bytes_nominal += ship.nominal_bytes()
+                return payload
+            if report is not None and _shm.shm_enabled():
+                report.shm_fallbacks += 1
+            ship = ship.materialize()
+        if (
+            _shm.shm_enabled()
+            and ship.nominal_bytes() >= _shm.shm_min_bytes()
+        ):
+            ref = _shm.ARENA.export(ship, owner=owner)
+            if ref is not None:
+                self._seg_refs[wid][key] = (ref.segment, ref.generation)
+                if report is not None:
+                    report.shm_ships += 1
+                    report.bytes_shipped += _wire_size(ref)
+                    report.bytes_nominal += ship.nominal_bytes()
+                return ref
+            if report is not None:
+                report.shm_fallbacks += 1
+        payload = RelBlob(bytes(ForkingPickler.dumps(ship)))
+        if report is not None:
+            if key in self._shipped_keys:
+                # This content is already resident on another worker:
+                # a steal-induced re-ship, tallied apart so the
+                # first-ship row count stays meaningful.
+                report.rows_reshipped += len(ship)
+            else:
+                report.rows_shipped += len(ship)
+            report.bytes_shipped += len(payload.blob)
+            report.bytes_nominal += ship.nominal_bytes()
+        self._shipped_keys.add(key)
+        return payload
+
     def _dispatch(
         self, wid, job, atoms, backend, index_kind, gao, limit, report,
         trace=None,
     ) -> None:
         known = self._known[wid]
         payloads = []
-        for name, key, rel in job.relations:
+        for name, key, ship in job.relations:
             if key in known:
                 payloads.append((name, key, None))
                 if report is not None:
                     report.ref_hits += 1
             else:
-                payloads.append((name, key, rel))
+                payloads.append(
+                    (name, key, self._encode_payload(wid, key, ship, report))
+                )
                 known.add(key)
-                if report is not None:
-                    report.rows_shipped += len(rel)
-                    # Nominal wire volume: 8 bytes per column value.
-                    # Pickle framing varies; this stays comparable
-                    # across runs, which is what the metric is for.
-                    report.bytes_shipped += 8 * len(rel) * len(rel.attrs)
             if report is not None:
                 report.refs_total += 1
         task = ShardTask(
@@ -247,6 +354,11 @@ class WorkerPool:
             ) from exc
         for key in result.evicted:
             self._known[wid].discard(key)
+            seg_id = self._seg_refs[wid].pop(key, None)
+            if seg_id is not None and seg_id not in (
+                self._seg_refs[wid].values()
+            ):
+                _shm.ARENA.release(seg_id, (id(self), wid))
         return result
 
     # -- lifecycle -------------------------------------------------------------
@@ -275,6 +387,11 @@ class WorkerPool:
                 proc.terminate()
         for conn in self._conns:
             conn.close()
+        # Workers are gone (or going): their segment attachments die
+        # with them, so every arena owner this pool held is released.
+        for refs in self._seg_refs:
+            refs.clear()
+        _shm.ARENA.release_owners(id(self))
 
 
 _POOLS: Dict[int, List[WorkerPool]] = {}
@@ -301,11 +418,13 @@ def get_pool(num_workers: int) -> WorkerPool:
 
 
 def shutdown_pools() -> None:
-    """Close every memoized pool (registered atexit; callable in tests)."""
+    """Close every memoized pool and unlink the arena's segments
+    (registered atexit; callable in tests)."""
     for pools in _POOLS.values():
         for pool in pools:
             pool.close()
     _POOLS.clear()
+    _shm.ARENA.close()
 
 
 atexit.register(shutdown_pools)

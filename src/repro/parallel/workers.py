@@ -7,13 +7,25 @@ end of a duplex pipe.  The protocol is strictly one-in/one-out: every
 this to keep its per-worker bookkeeping exact, even while draining an
 abandoned run.
 
-Payloads are pickle-lean: a relation ships as schema + canonical rows
-only (``Relation.__getstate__`` drops every memoized view/column), and
-only the *first* time a given content key reaches a given worker — the
-worker keeps an LRU **relation cache keyed by content**
-(``Relation.cache_key``), so repeated queries over the same data ship
-references, no rows.  Evictions are reported back with each result so
-the scheduler's view of the cache never drifts.
+Relation payloads arrive in one of three forms, and only the *first*
+time a given content key reaches a given worker:
+
+* :class:`~repro.parallel.shm.ShmRef` — attach the named shared-memory
+  segment and build a zero-copy relation over it
+  (``Relation.from_shm``);
+* :class:`~repro.parallel.shm.ShmSlice` — the same, restricted to a
+  canonical row range (the zero-copy form of a shard clip);
+* :class:`RelBlob` — the pickle fallback: the relation as one blob,
+  sized at ship time for the actual-wire accounting.
+
+The worker keeps an LRU **relation cache keyed by content**
+(:class:`WorkerCache`), so repeated queries over the same data ship
+references, no rows.  Cached shm relations ref-count their attached
+segment; the segment detaches when its last relation is evicted
+(tolerating Python's ``BufferError`` on still-exported views by
+leaving the unmap to the garbage collector).  Evictions are reported
+back with each result so the scheduler's cache mirror and the arena's
+segment ref-counts never drift.
 
 Workers execute through the engine's backend registry directly (the
 parent already planned: backend, index kind and GAO arrive in the task),
@@ -24,6 +36,7 @@ the hot loop.
 from __future__ import annotations
 
 import itertools
+import pickle
 import time
 import traceback
 from collections import OrderedDict
@@ -39,15 +52,32 @@ CACHE_ENTRIES = 256
 
 
 @dataclass(frozen=True)
+class RelBlob:
+    """A relation pre-pickled at dispatch time (the shm fallback wire).
+
+    Pickling in the scheduler — instead of letting ``Connection.send``
+    embed the live object — costs nothing extra (one dumps either way)
+    and gives the report the *actual* wire size, not the nominal
+    ``8 × rows × attrs`` estimate.
+    """
+
+    blob: bytes
+
+    def load(self):
+        return pickle.loads(self.blob)
+
+
+@dataclass(frozen=True)
 class ShardTask:
     """One shard's work order, self-contained on the wire.
 
-    ``payloads`` holds, per query atom, ``(name, cache key, relation or
-    None)`` — ``None`` means "you have this one cached".  ``trace`` is
-    the propagated span context of a traced query: ``(trace id, parent
-    span id)``; the worker's spans open under that parent so the merged
-    trace renders one tree across processes.  ``None`` (the default)
-    keeps the worker's hot path untouched.
+    ``payloads`` holds, per query atom, ``(name, cache key, payload)``
+    where the payload is ``None`` ("you have this one cached"), a
+    :class:`RelBlob`, or an ``ShmRef``/``ShmSlice`` segment reference.
+    ``trace`` is the propagated span context of a traced query:
+    ``(trace id, parent span id)``; the worker's spans open under that
+    parent so the merged trace renders one tree across processes.
+    ``None`` (the default) keeps the worker's hot path untouched.
     """
 
     shard_id: int
@@ -75,6 +105,132 @@ class ShardResult:
     #: carried a trace context; the scheduler's parent tracer adopts
     #: them verbatim.
     spans: Tuple = field(default_factory=tuple)
+    #: Shared-memory accounting: segments newly attached by this task,
+    #: the bytes they map, and the wall time spent attaching + building
+    #: the zero-copy relations.
+    shm_attaches: int = 0
+    shm_attached_bytes: int = 0
+    attach_seconds: float = 0.0
+
+
+class WorkerCache:
+    """The worker's relation LRU plus its attached-segment table.
+
+    Relations are keyed by the parent-assigned content key; each
+    shm-backed relation holds a reference into ``_segments``, a
+    ``(name, generation) → [mapping, refcount, header]`` table, so one
+    segment shared by many slices attaches exactly once — and its
+    layout header (schema, domain, row count) is unpickled exactly
+    once, no matter how many slices of it the run ships.  Evicting the
+    last relation of a segment detaches it.
+    """
+
+    def __init__(self, entries: int = CACHE_ENTRIES):
+        self.entries = entries
+        #: key → (relation, segment id or None)
+        self._rels: "OrderedDict[Tuple, Tuple[object, Optional[Tuple]]]" = (
+            OrderedDict()
+        )
+        self._segments: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._rels)
+
+    def get(self, key: Tuple):
+        """The cached relation for a key, or ``None`` (LRU-touched)."""
+        hit = self._rels.get(key)
+        if hit is None:
+            return None
+        self._rels.move_to_end(key)
+        return hit[0]
+
+    def _attach(self, ref) -> Tuple[list, int]:
+        """The segment's table entry, attaching on first use.
+
+        Returns ``([mapping, refcount, header], newly attached bytes)``
+        — the bytes are zero on a table hit, which is what makes warm
+        repeats report ``shm_attached_bytes == 0``.  The header slot
+        starts ``None`` and is filled by the first relation built over
+        the segment, so later slices skip the unpickle.
+        """
+        from repro.parallel.shm import attach_segment
+
+        seg_id = (ref.segment, ref.generation)
+        entry = self._segments.get(seg_id)
+        if entry is not None:
+            return entry, 0
+        entry = [attach_segment(ref.segment), 0, None]
+        self._segments[seg_id] = entry
+        return entry, ref.nbytes
+
+    @staticmethod
+    def _from_entry(entry: list, lo=None, hi=None):
+        """A zero-copy relation over an attached entry, header-cached."""
+        from repro.relational.relation import Relation
+
+        shm = entry[0]
+        if entry[2] is None:
+            entry[2] = Relation.parse_shm_header(shm.buf)
+        return Relation.from_shm(shm.buf, lo, hi, keep=shm, header=entry[2])
+
+    def store(self, key: Tuple, payload, evicted: List[Tuple]):
+        """Materialize a payload, cache it, evict LRU overflow.
+
+        Returns ``(relation, newly attached bytes)``.  Evicted keys are
+        appended to ``evicted`` for the result's bookkeeping ride home.
+        """
+        from repro.parallel.shm import ShmRef, ShmSlice, filter_rows
+        from repro.relational.relation import Relation
+
+        seg_id = None
+        attached = 0
+        if isinstance(payload, RelBlob):
+            rel = payload.load()
+        elif isinstance(payload, ShmSlice):
+            entry, attached = self._attach(payload.base)
+            rel = self._from_entry(entry, payload.lo, payload.hi)
+            if payload.rest:
+                # A residual box beyond the leading-attribute bisect:
+                # filter the slice here, where it runs in parallel —
+                # the parent shipped a range, never the rows.
+                rel = Relation.from_sorted_rows(
+                    rel.schema,
+                    filter_rows(rel.rows(), payload.rest),
+                    rel.domain,
+                )
+            seg_id = (payload.base.segment, payload.base.generation)
+        elif isinstance(payload, ShmRef):
+            entry, attached = self._attach(payload)
+            rel = self._from_entry(entry)
+            seg_id = (payload.segment, payload.generation)
+        else:  # a bare Relation (direct calls in tests)
+            rel = payload
+        self._rels[key] = (rel, seg_id)
+        self._rels.move_to_end(key)
+        if seg_id is not None:
+            self._segments[seg_id][1] += 1
+        while len(self._rels) > self.entries:
+            old_key, (_, old_seg) = self._rels.popitem(last=False)
+            evicted.append(old_key)
+            if old_seg is not None:
+                self._release_segment(old_seg)
+        return rel, attached
+
+    def _release_segment(self, seg_id: Tuple) -> None:
+        entry = self._segments.get(seg_id)
+        if entry is None:
+            return
+        entry[1] -= 1
+        if entry[1] > 0:
+            return
+        del self._segments[seg_id]
+        try:
+            entry[0].close()
+        except BufferError:
+            # A live relation (this task's own database, typically)
+            # still exports views over the mapping; dropping our
+            # reference leaves the unmap to the garbage collector.
+            pass
 
 
 class _ShardPlan:
@@ -87,10 +243,11 @@ class _ShardPlan:
         self.gao = gao
 
 
-def execute_shard(task: ShardTask, cache: OrderedDict) -> ShardResult:
+def execute_shard(task: ShardTask, cache: WorkerCache) -> ShardResult:
     """Run one shard against the backend registry; never raises."""
     from repro.core.resolution import ResolutionStats
     from repro.engine.executor import _REGISTRY
+    from repro.parallel.shm import ShmRef, ShmSlice
     from repro.relational.query import Database, JoinQuery
 
     tracer = None
@@ -110,21 +267,39 @@ def execute_shard(task: ShardTask, cache: OrderedDict) -> ShardResult:
     # contention.  process_time is what the shard costs on any host.
     t0 = time.process_time()
     evicted: List[Tuple] = []
+    attach_seconds = 0.0
+    attached_bytes = 0
+    attaches = 0
     try:
         relations = []
         hits = 0
-        for _name, key, rel in task.payloads:
-            if rel is None:
-                rel = cache[key]
-                cache.move_to_end(key)
+        attach_span = None
+        if tracer is not None and any(
+            isinstance(p, (ShmRef, ShmSlice)) for _, _, p in task.payloads
+        ):
+            attach_span = tracer.start("shm.attach")
+        for _name, key, payload in task.payloads:
+            if payload is None:
+                rel = cache.get(key)
+                if rel is None:
+                    raise KeyError(
+                        f"scheduler referenced {key!r} but it is not cached"
+                    )
                 hits += 1
             else:
-                cache[key] = rel
-                cache.move_to_end(key)
-                while len(cache) > CACHE_ENTRIES:
-                    old_key, _ = cache.popitem(last=False)
-                    evicted.append(old_key)
+                is_shm = isinstance(payload, (ShmRef, ShmSlice))
+                ta = time.perf_counter() if is_shm else 0.0
+                rel, new_bytes = cache.store(key, payload, evicted)
+                if is_shm:
+                    attach_seconds += time.perf_counter() - ta
+                    if new_bytes:
+                        attached_bytes += new_bytes
+                        attaches += 1
             relations.append(rel)
+        if attach_span is not None:
+            tracer.finish(
+                attach_span, attaches=attaches, bytes=attached_bytes
+            )
         query = JoinQuery(task.atoms)
         db = Database(relations)
         spec = _REGISTRY[task.backend]
@@ -151,6 +326,9 @@ def execute_shard(task: ShardTask, cache: OrderedDict) -> ShardResult:
             ref_hits=hits,
             evicted=tuple(evicted),
             spans=tuple(tracer.serialized()) if tracer is not None else (),
+            shm_attaches=attaches,
+            shm_attached_bytes=attached_bytes,
+            attach_seconds=attach_seconds,
         )
     except Exception:
         if tracer is not None:
@@ -164,12 +342,15 @@ def execute_shard(task: ShardTask, cache: OrderedDict) -> ShardResult:
             evicted=tuple(evicted),
             error=traceback.format_exc(),
             spans=tuple(tracer.serialized()) if tracer is not None else (),
+            shm_attaches=attaches,
+            shm_attached_bytes=attached_bytes,
+            attach_seconds=attach_seconds,
         )
 
 
 def worker_main(conn) -> None:
     """The worker process loop: recv task / send result until ``None``."""
-    cache: OrderedDict = OrderedDict()
+    cache = WorkerCache()
     try:
         while True:
             task = conn.recv()

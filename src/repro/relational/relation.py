@@ -25,6 +25,8 @@ bound; the canonical schema-order view is pinned.
 from __future__ import annotations
 
 import bisect
+import pickle
+import struct
 from array import array
 from collections import OrderedDict
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -38,6 +40,22 @@ Tuple_ = Tuple[int, ...]
 #: widest value any packed box or domain code needs, and the layout
 #: shared-memory attachment expects.
 COLUMN_TYPECODE = "q"
+
+#: Leading magic of a relation laid out in a shared-memory segment:
+#: 8 bytes of magic, a little-endian ``u64`` header length, the pickled
+#: ``(schema, domain, nrows)`` header, padding to 8-byte alignment, then
+#: the flat columns back to back (``nrows × 8`` bytes each, schema
+#: order, canonical row order).
+SHM_MAGIC = b"RPRSHM1\n"
+
+_SHM_LEN_FMT = "<Q"
+_SHM_LEN_OFF = len(SHM_MAGIC)
+_SHM_HEADER_OFF = _SHM_LEN_OFF + struct.calcsize(_SHM_LEN_FMT)
+
+
+def _shm_data_offset(header_len: int) -> int:
+    """First column byte: the header padded to 8-byte alignment."""
+    return (_SHM_HEADER_OFF + header_len + 7) & ~7
 
 
 def _columns_of(rows: Sequence[Tuple_], arity: int) -> Tuple[array, ...]:
@@ -176,6 +194,9 @@ class Relation:
         self._cols = cols
         self._nrows = len(rows) if rows is not None else int(nrows or 0)
         self._tuples = tuples_set
+        #: Keep-alive for shm-backed relations: the attached
+        #: ``SharedMemory`` whose mapping the columns view into.
+        self._shm_keep = None
         self._views: "OrderedDict[Tuple[str, ...], SortedView]" = (
             OrderedDict()
         )
@@ -251,6 +272,112 @@ class Relation:
             self._nrows,
             hash(self.tuples()),
         )
+
+    # -- shared memory: the zero-copy wire -------------------------------------
+
+    def nominal_bytes(self) -> int:
+        """The payload's nominal size: 8 bytes per column value.
+
+        What the shm size threshold and the ``parallel.ship.
+        bytes_nominal`` metric measure — pickle framing and the shm
+        header vary, this stays comparable across runs.
+        """
+        return 8 * self._nrows * self.schema.arity
+
+    def shm_layout(self) -> Tuple[int, bytes]:
+        """``(total segment bytes, header blob)`` for :meth:`to_shm`."""
+        header = pickle.dumps(
+            (self.schema, self.domain, self._nrows),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        total = _shm_data_offset(len(header)) + self.nominal_bytes()
+        return total, header
+
+    def to_shm(self, buf, header: Optional[bytes] = None) -> int:
+        """Lay this relation into a writable buffer (a shm segment).
+
+        Magic + header + the flat columns, one ``tobytes`` memcpy per
+        column — the same cost as pickling, paid **once** per relation
+        instead of once per worker.  Returns the bytes written.  Every
+        sub-view of ``buf`` is transient, so the caller can still
+        ``close()`` a ``SharedMemory`` segment afterwards.
+        """
+        if header is None:
+            _, header = self.shm_layout()
+        data_off = _shm_data_offset(len(header))
+        buf[:_SHM_LEN_OFF] = SHM_MAGIC
+        struct.pack_into(_SHM_LEN_FMT, buf, _SHM_LEN_OFF, len(header))
+        buf[_SHM_HEADER_OFF:_SHM_HEADER_OFF + len(header)] = header
+        colbytes = 8 * self._nrows
+        offset = data_off
+        for col in self.columns():
+            buf[offset:offset + colbytes] = (
+                col.tobytes() if self._nrows else b""
+            )
+            offset += colbytes
+        return offset
+
+    @staticmethod
+    def parse_shm_header(buf) -> Tuple[RelationSchema, Domain, int, int]:
+        """``(schema, domain, nrows, data offset)`` of a laid-out buffer.
+
+        Split out of :meth:`from_shm` so attach-side callers building
+        many slices of one segment can unpickle the header once and pass
+        it back in, instead of re-parsing per slice.
+        """
+        mv = memoryview(buf)
+        if bytes(mv[:_SHM_LEN_OFF]) != SHM_MAGIC:
+            raise ValueError("buffer does not hold a relation layout")
+        (header_len,) = struct.unpack_from(_SHM_LEN_FMT, mv, _SHM_LEN_OFF)
+        schema, domain, nrows = pickle.loads(
+            mv[_SHM_HEADER_OFF:_SHM_HEADER_OFF + header_len]
+        )
+        return schema, domain, nrows, _shm_data_offset(header_len)
+
+    @classmethod
+    def from_shm(
+        cls,
+        buf,
+        lo: Optional[int] = None,
+        hi: Optional[int] = None,
+        keep=None,
+        header: Optional[Tuple[RelationSchema, Domain, int, int]] = None,
+    ) -> "Relation":
+        """A relation whose columns view ``buf`` zero-copy.
+
+        ``buf`` is a buffer laid out by :meth:`to_shm` (typically
+        ``SharedMemory.buf``).  With ``lo``/``hi`` the columns are
+        sliced to canonical rows ``[lo, hi)`` — still zero-copy, the
+        shard-clip path.  ``keep`` is retained on the relation so the
+        mapping outlives it (pass the attached ``SharedMemory``).
+        ``header`` is an optional pre-parsed :meth:`parse_shm_header`
+        result (workers cache it per attached segment).  Lazy rows,
+        sorted views and statistics build on demand exactly as after
+        unpickling.
+        """
+        mv = memoryview(buf)
+        if header is None:
+            header = cls.parse_shm_header(mv)
+        schema, domain, nrows, data_off = header
+        colbytes = 8 * nrows
+        if lo is None:
+            lo2, hi2 = 0, nrows
+        else:
+            lo2 = max(0, min(lo, nrows))
+            hi2 = max(lo2, min(nrows if hi is None else hi, nrows))
+        cols = []
+        for i in range(schema.arity):
+            start = data_off + i * colbytes
+            col = mv[start:start + colbytes].cast(COLUMN_TYPECODE)
+            if (lo2, hi2) != (0, nrows):
+                col = col[lo2:hi2]
+            cols.append(col)
+        rel = cls.__new__(cls)
+        rel.schema = schema
+        rel.domain = domain
+        rel._init_from_rows(None, cols=tuple(cols), nrows=hi2 - lo2)
+        rel._shm_keep = keep
+        return rel
 
     @property
     def name(self) -> str:

@@ -11,9 +11,11 @@ from repro.parallel.partition import (
     choose_split_attrs,
     clip_database,
     clip_relation,
+    clip_slice,
     default_num_shards,
     partition_shards,
 )
+from repro.parallel.shm import filter_rows
 from repro.relational.query import evaluate_reference, triangle_query
 from repro.workloads.generators import (
     graph_triangle_db,
@@ -155,6 +157,50 @@ class TestClipping:
         half = 1 << (depth - 1)
         expected = sorted(t for t in rel.rows() if t[1] < half)
         assert clipped.rows() == expected
+
+
+class TestClipSlice:
+    """The zero-copy clip: bisect range + residual box ≡ clip_relation."""
+
+    def test_slice_plus_residual_matches_clip(self, triangle_instance):
+        query, db = triangle_instance
+        depth = db.domain.depth
+        shards = partition_shards(query, db, 8)
+        sliced = 0
+        for shard in shards:
+            for name in ("R", "S", "T"):
+                rel = db[name]
+                rng = clip_slice(rel, shard, depth)
+                if rng is None:
+                    continue
+                sliced += 1
+                lo, hi, rest = rng
+                expected = clip_relation(rel, shard, depth)
+                assert filter_rows(rel.rows()[lo:hi], rest) == (
+                    expected.rows()
+                )
+        assert sliced  # the instance must exercise the slice path
+
+    def test_none_without_leading_constraint(self):
+        _query, db = random_path_db(2, 200, seed=3, depth=8)
+        # A1 is the *second* attribute of R0(A0, A1): no bisect range
+        # over the canonical order exists, the caller must materialize.
+        shard = Shard((("A1", 0b10),))
+        assert clip_slice(db["R0"], shard, db.domain.depth) is None
+
+    def test_disjoint_residual_prunes_to_empty(self):
+        from repro.relational.relation import Relation
+        from repro.relational.schema import Domain, RelationSchema
+
+        rel = Relation(
+            RelationSchema("R", ("A", "B")),
+            {(i, i % 8) for i in range(64)},
+            Domain(8),
+        )
+        # B's column holds only [0, 7]; constraining B to the upper
+        # half is provably empty, and the slice says so without rows.
+        shard = Shard((("A", 0b10), ("B", 0b11)))
+        assert clip_slice(rel, shard, 8) == (0, 0, ())
 
 
 class TestPickleLeanRelation:
