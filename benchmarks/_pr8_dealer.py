@@ -1,0 +1,82 @@
+"""The PR-8 deal loop, frozen — the unsupervised baseline for
+``bench_faults.py``.
+
+This replicates the scheduler's dynamic dealing exactly as it stood
+before worker supervision landed: the wait set holds pipe connections
+only (no process sentinels), the ready-connection lookup is the old
+O(n) ``conns.index``, there are no deadlines, no stall budgets, no
+retries — a worker death hangs or kills the run — and the end-of-run
+drain is unbounded.  Payload encoding, cache-affine picking and the
+receive path are shared with the live pool (``_dispatch`` /
+``_receive`` / ``_pick_job``), so racing this loop against
+``WorkerPool.run_shards`` isolates precisely the supervision machinery:
+the sentinel wait set, the in-flight bookkeeping, the attempt counting
+and the timeout arithmetic.
+
+Fault-free, the two loops do identical work per shard; the benchmark's
+gate asserts the supervised loop stays within a few percent of this
+one.  Never import this from production code.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import connection as mp_connection
+
+from repro.parallel.scheduler import WorkerError, WorkerPool
+
+
+def pr8_run_shards(
+    pool: WorkerPool, jobs, atoms, backend, index_kind, gao, limit,
+    report=None,
+):
+    """Deal shards the PR-8 way: no supervision, no timeouts.
+
+    Yields ``(result, worker_id, job)`` like the live dealer.  Any
+    worker-side error is fatal; a dead worker blocks forever.  Use only
+    under injected-fault-free conditions.
+    """
+    if pool.closed:
+        raise WorkerError("worker pool is closed")
+    if pool.active:
+        raise WorkerError("worker pool is already running a shard set")
+    pool.active = True
+    pending = sorted(jobs, key=lambda j: -j.weight)
+    free = list(range(pool.num_workers))
+    busy = {}
+    try:
+        while pending or busy:
+            while free and pending:
+                wid = free.pop()
+                job, stolen = pool._pick_job(wid, pending)
+                if stolen and report is not None:
+                    report.shards_stolen += 1
+                pool._dispatch(
+                    wid, job, atoms, backend, index_kind, gao, limit,
+                    report,
+                )
+                busy[wid] = job
+            ready = mp_connection.wait(
+                [pool._conns[w] for w in busy]
+            )
+            for conn in ready:
+                wid = pool._conns.index(conn)  # the PR-8 O(n) lookup
+                result = pool._receive(wid)
+                job = busy.pop(wid)
+                free.append(wid)
+                if result.error is not None:
+                    raise WorkerError(
+                        f"shard {job.shard_id} failed:\n{result.error}"
+                    )
+                if report is not None:
+                    report.shm_attaches += result.shm_attaches
+                    report.shm_attached_bytes += result.shm_attached_bytes
+                    report.shm_attach_seconds += result.attach_seconds
+                yield result, wid, job
+    finally:
+        for wid in list(busy):  # unbounded: a hung worker wedges us
+            busy.pop(wid)
+            try:
+                pool._receive(wid)
+            except Exception:
+                pass
+        pool.active = False

@@ -73,6 +73,7 @@ def _apply_shm_flag(args: argparse.Namespace) -> None:
 
 def _cmd_join(args: argparse.Namespace) -> int:
     from repro.engine import execute
+    from repro.parallel import QueryTimeout
 
     _apply_shm_flag(args)
     try:
@@ -94,10 +95,16 @@ def _cmd_join(args: argparse.Namespace) -> int:
             query, db, algorithm=algorithm,
             index_kind=args.index_kind, gao=_parse_gao(args.gao),
             limit=args.limit, decode=dictionary, workers=args.workers,
+            timeout_ms=args.timeout_ms,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except QueryTimeout as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.report is not None:
+            print(f"# partial: {exc.report.summary()}", file=sys.stderr)
+        return 3
     elapsed = time.perf_counter() - t0
     print(f"# query: {query}")
     print(f"# variables: {', '.join(result.variables)}")
@@ -166,7 +173,10 @@ def _cmd_explain(args: argparse.Namespace) -> int:
             if db is None:
                 print("error: --execute needs --csv data", file=sys.stderr)
                 return 2
-            result = execute(query, db, plan=plan, decode=dictionary)
+            result = execute(
+                query, db, plan=plan, decode=dictionary,
+                timeout_ms=args.timeout_ms,
+            )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -352,6 +362,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="disable the shared-memory data plane for parallel "
                  "execution (ship relations by value instead; same as "
                  "REPRO_NO_SHM=1)",
+        )
+        p.add_argument(
+            "--timeout-ms", type=int, default=None, metavar="MS",
+            help="per-query deadline for parallel runs: past it the "
+                 "query aborts with a timeout error and hung workers "
+                 "are killed and respawned (default "
+                 "REPRO_QUERY_TIMEOUT_MS; serial plans ignore it)",
         )
         p.add_argument("--delimiter", default=",")
         p.add_argument("--skip-header", action="store_true")

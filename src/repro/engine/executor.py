@@ -371,6 +371,7 @@ def _parallel_cursor(
     plan: Plan,
     limit: Optional[int],
     decode,
+    timeout_ms: Optional[int] = None,
 ) -> ResultCursor:
     """The merged streaming cursor over a shard-parallel run.
 
@@ -386,7 +387,7 @@ def _parallel_cursor(
     # Capture the tracer by reference: the merge generator below may be
     # pulled after the ambient context has been uninstalled.
     tracer = _tracing.current_tracer()
-    outcomes, report = run_shards(query, db, plan, limit)
+    outcomes, report = run_shards(query, db, plan, limit, timeout_ms)
     stats = ResolutionStats()
 
     def rows() -> Iterator[Row]:
@@ -428,6 +429,7 @@ def execute_cursor(
     probe_certificate: bool = False,
     use_cache: bool = True,
     workers: Optional[int] = None,
+    timeout_ms: Optional[int] = None,
     **plan_kwargs,
 ) -> ResultCursor:
     """Plan a join and return a lazy :class:`ResultCursor` over its rows.
@@ -438,6 +440,13 @@ def execute_cursor(
     Aggregates should consume cursors — no intermediate result set is
     materialized on the way.  With ``workers=N`` (and a plan that went
     parallel) rows stream shard by shard off the worker pool instead.
+
+    ``timeout_ms`` (default ``REPRO_QUERY_TIMEOUT_MS``) deadlines a
+    *parallel* run: past it, consumption raises
+    :class:`~repro.parallel.QueryTimeout` (hung workers are killed and
+    respawned; the exception carries the partial parallel report).
+    Serial plans ignore it — single-process backends have no supervisor
+    to interrupt them.
     """
     # A directly-opened cursor under REPRO_TRACE gets its own tracer
     # (ambient only while planning — the caller drives consumption);
@@ -458,7 +467,9 @@ def execute_cursor(
             probe_certificate, use_cache, workers, plan_kwargs,
         )
         if plan.num_shards > 1:
-            cursor = _parallel_cursor(query, db, plan, limit, decode)
+            cursor = _parallel_cursor(
+                query, db, plan, limit, decode, timeout_ms
+            )
         else:
             if spec.streamer is not None:
                 rows, stats, ran_gao = spec.streamer(query, db, plan, limit)
@@ -488,6 +499,7 @@ def execute(
     probe_certificate: bool = False,
     use_cache: bool = True,
     workers: Optional[int] = None,
+    timeout_ms: Optional[int] = None,
     **plan_kwargs,
 ) -> ExecutionResult:
     """Plan (unless a plan is supplied) and run a join query.
@@ -504,7 +516,12 @@ def execute(
     processes: under ``algorithm="auto"`` the cost model decides
     serial-vs-parallel; a forced backend plus ``workers`` always runs
     parallel.  Parallel output is bit-for-bit the serial output (shards
-    partition the output space; the merged rows are re-sorted).
+    partition the output space; the merged rows are re-sorted) — worker
+    crashes and hangs are survived by the pool's supervision (respawn,
+    retry, serial quarantine), so it stays bit-for-bit under faults too.
+    ``timeout_ms`` (default ``REPRO_QUERY_TIMEOUT_MS``) deadlines a
+    parallel run with :class:`~repro.parallel.QueryTimeout`; serial
+    plans ignore it.
 
     Observability happens here, once per query: with tracing on (or the
     slow-query log armed) the whole run executes under a ``query`` span;
@@ -548,7 +565,8 @@ def execute(
                     # parallel cursor must release its worker pool
                     # (draining in-flight shards) for the next run.
                     with execute_cursor(
-                        query, db, plan=plan, limit=limit
+                        query, db, plan=plan, limit=limit,
+                        timeout_ms=timeout_ms,
                     ) as cursor:
                         tuples = sorted(cursor.fetchall())
                         stats, ran_gao = cursor.stats, cursor.gao

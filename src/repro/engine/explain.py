@@ -133,6 +133,20 @@ def _render_shard_tree(report) -> List[str]:
             f"({report.shm_attach_seconds:.4f}s), "
             f"{report.shm_fallbacks} fallbacks"
         )
+    if report.had_faults:
+        serial = report.shards_quarantined + report.serial_fallback_shards
+        notes = [
+            f"{report.worker_respawns} workers respawned",
+            f"{report.shard_retries} shards retried",
+            f"{serial} run serially in-parent",
+        ]
+        if report.shm_export_errors:
+            notes.append(
+                f"{report.shm_export_errors} shm exports degraded"
+            )
+        if report.timed_out:
+            notes.append("DEADLINE EXCEEDED (partial run)")
+        lines.append(f"│   ├─ faults   : {', '.join(notes)}")
     lines.append(
         f"│   ├─ makespan : {report.makespan_seconds:.4f}s "
         f"(busiest worker {report.max_worker_seconds:.4f}s, "
@@ -144,8 +158,9 @@ def _render_shard_tree(report) -> List[str]:
     for i, (desc, worker, rows, seconds) in enumerate(shown):
         last = i == len(shown) - 1 and len(details) <= len(shown)
         branch = "└─" if last else "├─"
+        where = "parent (serial)" if worker < 0 else f"worker {worker}"
         lines.append(
-            f"│   {branch} {desc}  → worker {worker}: {rows} rows, "
+            f"│   {branch} {desc}  → {where}: {rows} rows, "
             f"{seconds:.4f}s"
         )
     hidden = len(details) - len(shown)

@@ -40,10 +40,13 @@ from repro.parallel.partition import (
     clip_slice,
     partition_shards,
 )
+from repro.parallel.faults import FaultPlan, InjectedFault, parse_faults
 from repro.parallel.scheduler import (
+    QueryTimeout,
     WorkerError,
     WorkerPool,
     get_pool,
+    run_job_in_parent,
     shutdown_pools,
 )
 from repro.parallel.shm import (
@@ -59,7 +62,10 @@ from repro.parallel.workers import ShardResult, ShardTask
 
 __all__ = [
     "ARENA",
+    "FaultPlan",
+    "InjectedFault",
     "ParallelReport",
+    "QueryTimeout",
     "Shard",
     "ShardOutcome",
     "ShardResult",
@@ -77,7 +83,9 @@ __all__ = [
     "clip_relation",
     "clip_slice",
     "get_pool",
+    "parse_faults",
     "partition_shards",
+    "run_job_in_parent",
     "run_shards",
     "shm_enabled",
     "shm_min_bytes",

@@ -20,6 +20,7 @@ render.
 
 from __future__ import annotations
 
+import os
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -34,7 +35,13 @@ from repro.parallel.partition import (
     clip_slice,
     partition_shards,
 )
-from repro.parallel.scheduler import PendingShard, get_pool
+from repro.parallel.scheduler import (
+    PendingShard,
+    QueryTimeout,
+    WorkerError,
+    get_pool,
+    run_job_in_parent,
+)
 from repro.parallel.shm import SlicePlan, shm_enabled, shm_min_bytes
 from repro.relational.query import Database, JoinQuery
 
@@ -91,6 +98,19 @@ class ParallelReport:
     shm_attaches: int = 0
     shm_attached_bytes: int = 0
     shm_attach_seconds: float = 0.0
+    #: Fault-recovery accounting: workers respawned after death/hang,
+    #: shards re-dealt after losing their worker, shards quarantined to
+    #: serial in-parent execution (repeat failures or a deterministic
+    #: worker-side error), shards run serially because the pool
+    #: degraded (spawn failure / crash budget exceeded), and shm
+    #: exports that failed by *raising* (degraded to blob ships).
+    worker_respawns: int = 0
+    shard_retries: int = 0
+    shards_quarantined: int = 0
+    serial_fallback_shards: int = 0
+    shm_export_errors: int = 0
+    #: The run aborted on its deadline (the report is partial).
+    timed_out: bool = False
     partition_seconds: float = 0.0
     #: Wall time of the deal/collect loop, parent side.
     loop_seconds: float = 0.0
@@ -147,6 +167,18 @@ class ParallelReport:
         )
 
     @property
+    def had_faults(self) -> bool:
+        """Whether any recovery machinery fired during this run."""
+        return bool(
+            self.worker_respawns
+            or self.shard_retries
+            or self.shards_quarantined
+            or self.serial_fallback_shards
+            or self.shm_export_errors
+            or self.timed_out
+        )
+
+    @property
     def balance(self) -> float:
         """Busiest-worker share of mean load (1.0 = perfectly level)."""
         if not self.worker_busy:
@@ -168,12 +200,22 @@ class ParallelReport:
             if self.shm_ships
             else ""
         )
+        faults = (
+            f" faults: {self.worker_respawns} respawns, "
+            f"{self.shard_retries} retries, "
+            f"{self.shards_quarantined + self.serial_fallback_shards} "
+            f"serial"
+            if self.had_faults
+            else ""
+        )
+        timed = " TIMED OUT" if self.timed_out else ""
         return (
             f"workers={self.workers} shards={self.executed_shards}"
             f"+{self.pruned_shards} pruned "
             f"shipped={self.rows_shipped} rows (ref hits {hit}){shm} "
             f"makespan={self.makespan_seconds:.4f}s "
             f"(busiest worker {self.max_worker_seconds:.4f}s)"
+            f"{faults}{timed}"
         )
 
 
@@ -297,11 +339,27 @@ def prepare_jobs(
     return prepared
 
 
+#: Default per-query deadline, milliseconds; unset/0 = no deadline.
+QUERY_TIMEOUT_ENV = "REPRO_QUERY_TIMEOUT_MS"
+
+
+def _env_timeout_ms() -> Optional[int]:
+    raw = os.environ.get(QUERY_TIMEOUT_ENV)
+    if raw is None:
+        return None
+    try:
+        ms = int(raw)
+    except ValueError:
+        return None
+    return ms if ms > 0 else None
+
+
 def run_shards(
     query: JoinQuery,
     db: Database,
     plan,
     limit: Optional[int] = None,
+    timeout_ms: Optional[int] = None,
 ) -> Tuple[Iterator[ShardOutcome], ParallelReport]:
     """Execute a planned parallel join; outcomes stream as shards finish.
 
@@ -310,6 +368,16 @@ def run_shards(
     stops dealing and drains in-flight work.  ``limit`` is forwarded to
     every shard as a per-shard cap (no shard can contribute more than
     ``limit`` rows; the merged cursor enforces the global cut-off).
+
+    ``timeout_ms`` (default: ``REPRO_QUERY_TIMEOUT_MS``; ``None``/≤0 =
+    unbounded) arms a per-query deadline, counted from first
+    consumption: past it the run aborts with
+    :class:`~repro.parallel.scheduler.QueryTimeout` carrying this
+    (partial) report, and any hung workers are killed and respawned.
+
+    A pool that cannot be spawned at all degrades the whole run to
+    serial in-process execution — ``workers=N`` is a performance hint,
+    never a correctness risk.
     """
     tracer = _tracing.current_tracer()
     t0 = time.perf_counter()
@@ -330,13 +398,37 @@ def run_shards(
         return iter(()), report
 
     by_id = {job.shard_id: job for job in jobs}
+    if timeout_ms is None:
+        timeout_ms = _env_timeout_ms()
+    if timeout_ms is not None and timeout_ms <= 0:
+        timeout_ms = None
     # Capture the dispatch span's parent *now*, while the caller's span
     # stack still reflects this query — the outcome generator below may
     # run after the ambient context has moved on.
     dispatch_parent = tracer.context()[1] if tracer is not None else None
 
+    def emit(result, worker_id: int, job: PendingShard) -> ShardOutcome:
+        if tracer is not None and result.spans:
+            tracer.adopt(result.spans)
+        outcome = ShardOutcome(
+            shard=by_id[result.shard_id].shard,
+            shard_id=result.shard_id,
+            rows=result.rows,
+            stats=result.stats,
+            compute_seconds=result.compute_seconds,
+            worker_id=worker_id,
+            input_rows=job.weight,
+        )
+        report.record(outcome)
+        return outcome
+
     def outcomes() -> Iterator[ShardOutcome]:
         loop_start = time.perf_counter()
+        deadline = (
+            time.monotonic() + timeout_ms / 1000.0
+            if timeout_ms is not None
+            else None
+        )
         dispatch_span = None
         trace_ctx = None
         if tracer is not None:
@@ -347,41 +439,65 @@ def run_shards(
                 shards=len(jobs),
             )
             trace_ctx = (tracer.trace_id, dispatch_span.span_id)
-        # Pool acquisition happens at first consumption, synchronously
-        # with the dealer reserving it — get_pool never returns a pool
-        # another open cursor is mid-run on, so interleaved parallel
-        # cursors cannot cross-wire each other's pipe replies.
-        pool = get_pool(plan.workers)
-        dealer = pool.run_shards(
-            jobs,
-            atoms=query.atoms,
-            backend=plan.backend,
-            index_kind=plan.index_kind,
-            gao=plan.gao,
-            limit=limit,
-            report=report,
-            trace=trace_ctx,
-        )
         try:
-            for result, worker_id, job in dealer:
-                if tracer is not None and result.spans:
-                    tracer.adopt(result.spans)
-                outcome = ShardOutcome(
-                    shard=by_id[result.shard_id].shard,
-                    shard_id=result.shard_id,
-                    rows=result.rows,
-                    stats=result.stats,
-                    compute_seconds=result.compute_seconds,
-                    worker_id=worker_id,
-                    input_rows=job.weight,
-                )
-                report.record(outcome)
-                yield outcome
+            # Pool acquisition happens at first consumption,
+            # synchronously with the dealer reserving it — get_pool
+            # never returns a pool another open cursor is mid-run on,
+            # so interleaved parallel cursors cannot cross-wire each
+            # other's pipe replies.  A pool that cannot be spawned at
+            # all (fork/pipe exhaustion) degrades the run to serial
+            # in-process execution of every shard instead of failing:
+            # workers=N is a performance hint, never a correctness
+            # risk.
+            try:
+                pool = get_pool(plan.workers)
+            except (OSError, WorkerError):
+                if tracer is not None:
+                    tracer.finish(
+                        tracer.start(
+                            "parallel.degraded",
+                            reason="pool spawn failed",
+                        )
+                    )
+                for job in sorted(jobs, key=lambda j: -j.weight):
+                    if (
+                        deadline is not None
+                        and time.monotonic() >= deadline
+                    ):
+                        report.timed_out = True
+                        raise QueryTimeout(
+                            "serial-fallback query exceeded its "
+                            "deadline",
+                            report=report,
+                        )
+                    result = run_job_in_parent(
+                        job, query.atoms, plan.backend, plan.index_kind,
+                        plan.gao, limit, trace_ctx,
+                    )
+                    report.serial_fallback_shards += 1
+                    yield emit(result, -1, job)
+                return
+            dealer = pool.run_shards(
+                jobs,
+                atoms=query.atoms,
+                backend=plan.backend,
+                index_kind=plan.index_kind,
+                gao=plan.gao,
+                limit=limit,
+                report=report,
+                trace=trace_ctx,
+                deadline=deadline,
+            )
+            try:
+                for result, worker_id, job in dealer:
+                    yield emit(result, worker_id, job)
+            finally:
+                # Explicit close: abandoning the merged cursor
+                # mid-stream must deterministically stop dealing and
+                # drain in-flight shards, not wait for garbage
+                # collection.
+                dealer.close()
         finally:
-            # Explicit close: abandoning the merged cursor mid-stream
-            # must deterministically stop dealing and drain in-flight
-            # shards, not wait for garbage collection.
-            dealer.close()
             report.loop_seconds = time.perf_counter() - loop_start
             if tracer is not None:
                 tracer.finish(
@@ -414,6 +530,14 @@ def _publish_report(report: ParallelReport) -> None:
             "parallel.shm.fallbacks": report.shm_fallbacks,
             "parallel.shm.attaches": report.shm_attaches,
             "parallel.shm.attached_bytes": report.shm_attached_bytes,
+            "parallel.faults.respawns": report.worker_respawns,
+            "parallel.faults.retries": report.shard_retries,
+            "parallel.faults.quarantined": report.shards_quarantined,
+            "parallel.faults.serial_fallback": (
+                report.serial_fallback_shards
+            ),
+            "parallel.faults.shm_export_errors": report.shm_export_errors,
+            "parallel.faults.timeouts": 1 if report.timed_out else 0,
         }
     )
     if report.shm_attach_seconds > 0.0:

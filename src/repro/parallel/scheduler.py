@@ -1,4 +1,5 @@
-"""The shard scheduler: persistent worker pools and dynamic dealing.
+"""The shard scheduler: persistent worker pools, dynamic dealing, and
+worker supervision.
 
 A :class:`WorkerPool` owns N worker processes connected by duplex pipes
 and deals shards **dynamically**: every worker holds exactly one
@@ -24,6 +25,33 @@ sized at dispatch for the actual-wire accounting.  The pool holds one
 arena owner per ``(pool, worker, segment)``; eviction acks and pool
 close release them, which is what lets the arena unlink safely.
 
+Dealing is also **supervised**.  Shards are disjoint dyadic output boxes
+whose results are pure functions of ``(shard, database)``, so every
+shard is safely re-executable — the engine is embarrassingly
+recoverable, and this module exploits it:
+
+* The wait set includes each busy worker's ``Process.sentinel``, so a
+  worker death (crash, OOM-kill) is noticed the moment it happens, not
+  when a pipe read fails.  The dead worker is **respawned in place**
+  (its arena owners released, its cache mirror reset) and the lost
+  in-flight shard is re-dealt with bounded retries.
+* A shard that keeps killing workers (:data:`SHARD_RETRY_LIMIT`
+  dispatches), or any deterministic worker-side ``ShardResult.error``,
+  is **quarantined**: re-executed serially in-parent over the clipped
+  relations the job already holds.  One poisoned shard degrades to
+  serial; the query still answers.
+* A per-query **deadline** (``run_shards(..., deadline=)``) bounds the
+  wait; on expiry busy workers are killed-and-respawned and
+  :class:`QueryTimeout` carries the partial report out.  A per-shard
+  stall budget (``REPRO_SHARD_TIMEOUT_MS``) treats a silent worker as
+  hung — kill, respawn, retry — without failing the query.
+* Exceeding the run's **respawn budget** flips the run into degraded
+  mode: remaining shards execute serially in-parent.  ``workers=N`` is
+  a performance hint, never a correctness risk.
+* The abandoned-cursor drain in the ``finally`` block is **bounded**
+  (``REPRO_DRAIN_TIMEOUT_MS``): a dead or hung worker can no longer
+  wedge the parent; it is respawned and the pool stays serviceable.
+
 Pools persist for the process lifetime (:func:`get_pool` memoizes per
 worker count; ``atexit`` shuts them down and closes the arena), so a
 served workload pays process spawn once, not per query.
@@ -33,24 +61,63 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing as mp
+import os
 import time
 from dataclasses import dataclass
 from multiprocessing import connection as mp_connection
 from multiprocessing.reduction import ForkingPickler
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.obs import tracing as _tracing
+from repro.parallel import faults as _faults
 from repro.parallel import shm as _shm
 from repro.parallel.partition import Shard
 from repro.parallel.workers import (
     RelBlob,
     ShardResult,
     ShardTask,
+    WorkerCache,
+    execute_shard,
     worker_main,
 )
 
+#: Dispatch attempts per shard before it is quarantined to serial
+#: in-parent execution (first try + retries).
+SHARD_RETRY_LIMIT = 3
+
+#: Per-shard stall budget, milliseconds.  Unset/0 disables the check
+#: (the fault-free wait then blocks with no timeout at all — zero
+#: supervision overhead).  A busy worker silent past the budget is
+#: treated as hung: killed, respawned, its shard retried.
+SHARD_TIMEOUT_ENV = "REPRO_SHARD_TIMEOUT_MS"
+
+#: Bound on the abandoned-run drain (cursor closed with shards still in
+#: flight).  A worker that doesn't answer within the budget is respawned
+#: instead of wedging the parent.
+DRAIN_TIMEOUT_ENV = "REPRO_DRAIN_TIMEOUT_MS"
+DEFAULT_DRAIN_TIMEOUT_MS = 5000
+
 
 class WorkerError(RuntimeError):
-    """A shard failed in a worker (carries the worker's traceback)."""
+    """A shard failed for real (carries the worker's traceback) or the
+    pipe protocol desynchronized beyond repair."""
+
+
+class QueryTimeout(RuntimeError):
+    """A parallel query exceeded its deadline.
+
+    ``report`` holds the partial :class:`~repro.parallel.merge.
+    ParallelReport` at abort time — shards executed so far, respawns,
+    ship accounting — so callers can see how far the run got.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
+class _WorkerDied(Exception):
+    """Internal: a pipe endpoint failed — the worker process is gone."""
 
 
 @dataclass
@@ -70,6 +137,15 @@ class PendingShard:
     weight: int
 
 
+@dataclass
+class _InFlight:
+    """One dispatched shard: what's riding on a busy worker's pipe."""
+
+    job: PendingShard
+    attempt: int
+    started: float  # monotonic dispatch time (stall detection)
+
+
 def _preferred_start_method() -> str:
     # fork shares the warm parent image (no re-import per worker); fall
     # back to spawn where fork is unavailable (Windows, some macOS).
@@ -79,6 +155,80 @@ def _preferred_start_method() -> str:
 def _wire_size(payload) -> int:
     """The payload's actual pickled size on the task wire."""
     return len(ForkingPickler.dumps(payload))
+
+
+def _env_ms(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+def _shard_stall_seconds() -> Optional[float]:
+    ms = _env_ms(SHARD_TIMEOUT_ENV, 0)
+    return ms / 1000.0 if ms > 0 else None
+
+
+def _drain_timeout_seconds() -> float:
+    ms = _env_ms(DRAIN_TIMEOUT_ENV, DEFAULT_DRAIN_TIMEOUT_MS)
+    if ms <= 0:
+        ms = DEFAULT_DRAIN_TIMEOUT_MS
+    return ms / 1000.0
+
+
+def _instant_span(name: str, **attrs) -> None:
+    """Record a zero-duration event span if a tracer is ambient."""
+    tracer = _tracing.current_tracer()
+    if tracer is None:
+        return
+    tracer.finish(tracer.start(name, **attrs))
+
+
+def run_job_in_parent(
+    job: PendingShard,
+    atoms: Tuple,
+    backend: str,
+    index_kind: str,
+    gao: Optional[Tuple[str, ...]],
+    limit: Optional[int],
+    trace: Optional[Tuple[str, Optional[str]]] = None,
+) -> ShardResult:
+    """Execute one clipped shard serially in the parent process.
+
+    The quarantine / degradation path: the clipped relations are already
+    parent-side (that's what :class:`PendingShard` carries), so the
+    shard runs through the exact worker code path —
+    :func:`~repro.parallel.workers.execute_shard` over bare relation
+    payloads — with no pipes, no pickling, no shared memory.  Raises
+    :class:`WorkerError` when the shard fails even here: a shard that
+    fails deterministically in serial execution is a genuine query
+    error, not a fault to survive.
+    """
+    payloads = []
+    for name, key, ship in job.relations:
+        if isinstance(ship, _shm.SlicePlan):
+            ship = ship.materialize()
+        payloads.append((name, key, ship))
+    task = ShardTask(
+        shard_id=job.shard_id,
+        atoms=atoms,
+        payloads=tuple(payloads),
+        backend=backend,
+        index_kind=index_kind,
+        gao=gao,
+        limit=limit,
+        trace=trace,
+    )
+    result = execute_shard(task, WorkerCache())
+    if result.error is not None:
+        raise WorkerError(
+            f"shard {job.shard_id} failed even in serial in-parent "
+            f"re-execution:\n{result.error}"
+        )
+    return result
 
 
 class WorkerPool:
@@ -99,22 +249,37 @@ class WorkerPool:
             resource_tracker.ensure_running()
         except Exception:  # pragma: no cover - exotic platforms
             pass
-        ctx = mp.get_context(start_method or _preferred_start_method())
+        self._ctx = mp.get_context(start_method or _preferred_start_method())
         self.num_workers = num_workers
         self._conns: List = []
         self._procs: List = []
-        for i in range(num_workers):
-            parent_end, child_end = ctx.Pipe()
-            proc = ctx.Process(
-                target=worker_main,
-                args=(child_end,),
-                daemon=True,
-                name=f"repro-shard-worker-{i}",
-            )
-            proc.start()
-            child_end.close()
-            self._conns.append(parent_end)
-            self._procs.append(proc)
+        try:
+            fault_plan = _faults.plan()
+            if fault_plan is not None and fault_plan.take_spawn_failure():
+                raise OSError(
+                    "injected worker pool spawn failure (REPRO_FAULTS)"
+                )
+            for i in range(num_workers):
+                conn, proc = self._spawn_worker(i)
+                self._conns.append(conn)
+                self._procs.append(proc)
+        except BaseException:
+            # Leave no half-pool behind: callers degrade to serial
+            # in-process execution on a spawn failure.
+            for conn in self._conns:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            for proc in self._procs:
+                if proc.is_alive():
+                    proc.terminate()
+            raise
+        #: Precomputed pipe → worker id map (the deal loop's ready-conn
+        #: lookup; kept exact across respawns).
+        self._conn_wid: Dict[object, int] = {
+            conn: wid for wid, conn in enumerate(self._conns)
+        }
         #: Mirror of each worker's relation cache, by content key.
         self._known: List[set] = [set() for _ in range(num_workers)]
         #: Per-worker map of cached key → arena segment id, so an
@@ -125,11 +290,57 @@ class WorkerPool:
         #: Content keys ever shipped by value through this pool — how
         #: the report tells a first ship from a steal-induced re-ship.
         self._shipped_keys: set = set()
+        #: Pool-lifetime count of workers respawned after death/hang.
+        self.respawns = 0
         self.closed = False
         #: True while a run owns the pipes.  The one-in/one-out protocol
         #: cannot multiplex runs: a second concurrent run would receive
         #: the first run's in-flight replies as its own shards.
         self.active = False
+
+    def _spawn_worker(self, wid: int):
+        parent_end, child_end = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(child_end,),
+            daemon=True,
+            name=f"repro-shard-worker-{wid}",
+        )
+        proc.start()
+        child_end.close()
+        return parent_end, proc
+
+    def _respawn(self, wid: int, report=None, reason: str = "") -> None:
+        """Replace a dead/hung worker in place.
+
+        The worker's segment attachments died with it, so its arena
+        owners are released and its cache mirror reset — the respawned
+        worker starts cold and the next dispatch re-ships what it needs.
+        """
+        old_conn = self._conns[wid]
+        self._conn_wid.pop(old_conn, None)
+        try:
+            old_conn.close()
+        except OSError:
+            pass
+        proc = self._procs[wid]
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - SIGTERM ignored
+                proc.kill()
+                proc.join(timeout=2.0)
+        self._seg_refs[wid].clear()
+        _shm.ARENA.release_owner((id(self), wid))
+        self._known[wid] = set()
+        conn, proc = self._spawn_worker(wid)
+        self._conns[wid] = conn
+        self._procs[wid] = proc
+        self._conn_wid[conn] = wid
+        self.respawns += 1
+        if report is not None:
+            report.worker_respawns += 1
+        _instant_span("worker.respawn", worker=wid, reason=reason)
 
     # -- dealing ---------------------------------------------------------------
 
@@ -182,13 +393,24 @@ class WorkerPool:
         limit: Optional[int],
         report=None,
         trace: Optional[Tuple[str, Optional[str]]] = None,
+        deadline: Optional[float] = None,
     ) -> Iterator[Tuple[ShardResult, int, PendingShard]]:
         """Deal shards dynamically; yield results in completion order.
 
-        Yields ``(result, worker_id, job)``.  Raises :class:`WorkerError`
-        on a shard failure or a dead worker.  Closing the generator early
-        (a merged cursor hitting its limit) stops dealing and *drains*
-        the in-flight shards so the one-in/one-out pipe protocol stays in
+        Yields ``(result, worker_id, job)`` — ``worker_id`` is ``-1``
+        for shards executed serially in-parent (quarantine or degraded
+        mode).  ``deadline`` is a ``time.monotonic()`` instant; past it
+        the run aborts with :class:`QueryTimeout` (busy workers are
+        killed and respawned so the pool stays serviceable).
+
+        Worker deaths and hangs are survived: the worker is respawned,
+        the shard retried up to :data:`SHARD_RETRY_LIMIT` dispatches,
+        then quarantined to serial in-parent execution.
+        :class:`WorkerError` is raised only for genuine failures — a
+        shard that fails even serially, or an unrecoverable protocol
+        desync.  Closing the generator early (a merged cursor hitting
+        its limit) stops dealing and *drains* the in-flight shards with
+        a bounded timeout so the one-in/one-out pipe protocol stays in
         sync for the next run.
 
         A pool runs one shard set at a time: the generator marks the
@@ -206,59 +428,231 @@ class WorkerPool:
                 "(acquire pools via get_pool)"
             )
         self.active = True
+        stall_s = _shard_stall_seconds()
         pending = sorted(jobs, key=lambda j: -j.weight)
         free = list(range(self.num_workers))
-        busy: Dict[int, PendingShard] = {}
+        busy: Dict[int, _InFlight] = {}
+        #: shard_id → dispatches so far (the retry bound).
+        attempts: Dict[int, int] = {}
+        # A run that keeps burning workers must stop paying fork+reship
+        # per shard at some point: past the budget the remaining shards
+        # run serially in-parent instead (degraded mode).
+        respawn_budget = max(4, 2 * self.num_workers)
+        respawns_used = 0
+        degraded = False
+
+        def serial(job: PendingShard, why: str) -> ShardResult:
+            if report is not None:
+                if why == "quarantine":
+                    report.shards_quarantined += 1
+                else:
+                    report.serial_fallback_shards += 1
+            return run_job_in_parent(
+                job, atoms, backend, index_kind, gao, limit, trace
+            )
+
+        def fail(wid: int, reason: str) -> Optional[PendingShard]:
+            """A busy worker died or hung: respawn it, decide the shard.
+
+            Returns the job when it must now run serially (retries
+            exhausted or degraded mode), else ``None`` (requeued).
+            """
+            nonlocal respawns_used, degraded
+            inflight = busy.pop(wid)
+            respawns_used += 1
+            self._respawn(wid, report=report, reason=reason)
+            free.append(wid)
+            if respawns_used >= respawn_budget:
+                degraded = True
+            job = inflight.job
+            if degraded or attempts.get(job.shard_id, 0) >= SHARD_RETRY_LIMIT:
+                return job
+            if report is not None:
+                report.shard_retries += 1
+            _instant_span(
+                "shard.retry",
+                shard=job.shard_id,
+                attempt=attempts.get(job.shard_id, 0),
+                reason=reason,
+            )
+            pending.append(job)
+            pending.sort(key=lambda j: -j.weight)
+            return None
+
         try:
             while pending or busy:
-                while free and pending:
+                if degraded:
+                    # Past the crash budget: stop dealing, run the rest
+                    # here (busy results are still collected below).
+                    while pending:
+                        job = pending.pop(0)
+                        yield serial(job, "degraded"), -1, job
+                while not degraded and free and pending:
                     wid = free.pop()
                     job, stolen = self._pick_job(wid, pending)
                     if stolen and report is not None:
                         report.shards_stolen += 1
-                    self._dispatch(
-                        wid, job, atoms, backend, index_kind, gao, limit,
-                        report, trace,
-                    )
-                    busy[wid] = job
-                ready = mp_connection.wait(
-                    [self._conns[w] for w in busy]
-                )
-                for conn in ready:
-                    wid = self._conns.index(conn)
-                    result = self._receive(wid)
-                    job = busy.pop(wid)
-                    free.append(wid)
-                    if result.error is not None:
-                        raise WorkerError(
-                            f"shard {result.shard_id} failed in worker "
-                            f"{wid}:\n{result.error}"
+                    attempt = attempts.get(job.shard_id, 0)
+                    attempts[job.shard_id] = attempt + 1
+                    busy[wid] = _InFlight(job, attempt, time.monotonic())
+                    try:
+                        self._dispatch(
+                            wid, job, atoms, backend, index_kind, gao,
+                            limit, report, trace, attempt,
                         )
-                    if result.shard_id != job.shard_id:
+                    except _WorkerDied as exc:
+                        q = fail(wid, f"dispatch failed: {exc}")
+                        if q is not None:
+                            yield serial(q, "quarantine"), -1, q
+                if not busy:
+                    continue
+
+                now = time.monotonic()
+                if deadline is not None and now >= deadline:
+                    self._abort_on_deadline(busy, pending, report)
+                timeout = None
+                if deadline is not None:
+                    timeout = max(0.0, deadline - now)
+                if stall_s is not None:
+                    next_stall = max(
+                        0.0,
+                        min(f.started for f in busy.values())
+                        + stall_s - now,
+                    )
+                    timeout = (
+                        next_stall if timeout is None
+                        else min(timeout, next_stall)
+                    )
+                # Waiting on pipes *and* process sentinels: a worker
+                # death wakes the loop immediately, even when it died
+                # without writing a byte.  Fault-free with no deadline
+                # armed, timeout stays None — a plain blocking wait.
+                conns = {self._conns[w]: w for w in busy}
+                sentinels = {self._procs[w].sentinel: w for w in busy}
+                ready = mp_connection.wait(
+                    list(conns) + list(sentinels), timeout
+                )
+                ready_wids: List[int] = []
+                dead_wids: List[int] = []
+                seen = set()
+                for obj in ready:
+                    wid = conns.get(obj)
+                    if wid is not None and wid not in seen:
+                        seen.add(wid)
+                        ready_wids.append(wid)
+                for obj in ready:
+                    wid = sentinels.get(obj)
+                    if wid is None or wid in seen:
+                        continue
+                    seen.add(wid)
+                    # The process is gone, but its final result may
+                    # still sit in the pipe buffer — prefer it to a
+                    # needless retry.
+                    try:
+                        has_result = self._conns[wid].poll(0)
+                    except (OSError, EOFError):
+                        has_result = False
+                    (ready_wids if has_result else dead_wids).append(wid)
+
+                for wid in ready_wids:
+                    try:
+                        result = self._receive(wid)
+                    except _WorkerDied as exc:
+                        q = fail(wid, str(exc))
+                        if q is not None:
+                            yield serial(q, "quarantine"), -1, q
+                        continue
+                    inflight = busy.pop(wid)
+                    free.append(wid)
+                    if result.shard_id != inflight.job.shard_id:
                         # Desynchronized pipe: never serve mismatched
                         # results as if they belonged to this run.
                         self._invalidate()
                         raise WorkerError(
                             f"worker {wid} answered shard "
-                            f"{result.shard_id} while {job.shard_id} "
-                            f"was in flight (protocol desync)"
+                            f"{result.shard_id} while "
+                            f"{inflight.job.shard_id} was in flight "
+                            f"(protocol desync)"
                         )
+                    if result.error is not None:
+                        # A deterministic worker-side failure (the
+                        # worker itself is alive and in protocol):
+                        # retrying would fail identically, so go
+                        # straight to serial in-parent execution.
+                        job = inflight.job
+                        yield serial(job, "quarantine"), -1, job
+                        continue
                     if report is not None:
                         report.shm_attaches += result.shm_attaches
                         report.shm_attached_bytes += (
                             result.shm_attached_bytes
                         )
                         report.shm_attach_seconds += result.attach_seconds
-                    yield result, wid, job
+                    yield result, wid, inflight.job
+
+                for wid in dead_wids:
+                    if wid not in busy:
+                        continue
+                    q = fail(wid, "worker process died")
+                    if q is not None:
+                        yield serial(q, "quarantine"), -1, q
+
+                if stall_s is not None:
+                    now = time.monotonic()
+                    stalled = [
+                        w for w, f in busy.items()
+                        if now - f.started >= stall_s
+                    ]
+                    for wid in stalled:
+                        q = fail(
+                            wid,
+                            f"no result in {stall_s:.1f}s (hung worker)",
+                        )
+                        if q is not None:
+                            yield serial(q, "quarantine"), -1, q
         finally:
-            # Drain in-flight replies (dispatched but not yet received)
-            # so the next run starts from a synchronized protocol state.
-            for wid in list(busy):
-                try:
-                    self._receive(wid)
-                except WorkerError:
-                    pass
+            if not self.closed:
+                self._drain(busy, report)
             self.active = False
+
+    def _abort_on_deadline(self, busy, pending, report) -> None:
+        """Deadline expired: kill-and-respawn every busy worker (a hung
+        worker must not outlive the query), then raise
+        :class:`QueryTimeout` with the partial report."""
+        in_flight = len(busy)
+        for wid in list(busy):
+            busy.pop(wid)
+            self._respawn(wid, report=report, reason="query deadline")
+        if report is not None:
+            report.timed_out = True
+        raise QueryTimeout(
+            f"parallel query exceeded its deadline with {in_flight} "
+            f"shards in flight and {len(pending)} pending",
+            report=report,
+        )
+
+    def _drain(self, busy: Dict[int, _InFlight], report) -> None:
+        """Drain in-flight replies (dispatched but not yet received) so
+        the next run starts from a synchronized protocol state.
+
+        Bounded: a worker that doesn't answer within
+        ``REPRO_DRAIN_TIMEOUT_MS`` — dead, or hung mid-shard — is
+        respawned instead of wedging the parent forever (the failure
+        mode of the old unbounded drain).
+        """
+        drain_deadline = time.monotonic() + _drain_timeout_seconds()
+        for wid in list(busy):
+            busy.pop(wid)
+            drained = False
+            try:
+                remaining = drain_deadline - time.monotonic()
+                if remaining > 0 and self._conns[wid].poll(remaining):
+                    self._receive(wid)
+                    drained = True
+            except (_WorkerDied, OSError, EOFError):
+                drained = False
+            if not drained:
+                self._respawn(wid, report=report, reason="drain timeout")
 
     def _encode_payload(self, wid: int, key: Tuple, ship, report):
         """One cold payload's wire form, with ship accounting.
@@ -266,11 +660,20 @@ class WorkerPool:
         Slices and large relations go by segment ref through the arena
         (fallback: materialize / blob); everything else ships as a
         pre-pickled blob whose length is the *actual* wire size — the
-        nominal ``8 × rows × attrs`` figure is kept separately.
+        nominal ``8 × rows × attrs`` figure is kept separately.  An
+        *exception* from ``export`` (shm exhaustion beyond the arena's
+        own fallback net, injected faults) degrades to the blob path
+        exactly like a ``None`` return: shipping is never the reason a
+        query dies.
         """
         owner = (id(self), wid)
         if isinstance(ship, _shm.SlicePlan):
-            ref = _shm.ARENA.export(ship.base, owner=owner)
+            try:
+                ref = _shm.ARENA.export(ship.base, owner=owner)
+            except Exception:
+                ref = None
+                if report is not None:
+                    report.shm_export_errors += 1
             if ref is not None:
                 payload = _shm.ShmSlice(ref, ship.lo, ship.hi, ship.rest)
                 self._seg_refs[wid][key] = (ref.segment, ref.generation)
@@ -286,7 +689,12 @@ class WorkerPool:
             _shm.shm_enabled()
             and ship.nominal_bytes() >= _shm.shm_min_bytes()
         ):
-            ref = _shm.ARENA.export(ship, owner=owner)
+            try:
+                ref = _shm.ARENA.export(ship, owner=owner)
+            except Exception:
+                ref = None
+                if report is not None:
+                    report.shm_export_errors += 1
             if ref is not None:
                 self._seg_refs[wid][key] = (ref.segment, ref.generation)
                 if report is not None:
@@ -312,7 +720,7 @@ class WorkerPool:
 
     def _dispatch(
         self, wid, job, atoms, backend, index_kind, gao, limit, report,
-        trace=None,
+        trace=None, attempt=0,
     ) -> None:
         known = self._known[wid]
         payloads = []
@@ -337,19 +745,20 @@ class WorkerPool:
             gao=gao,
             limit=limit,
             trace=trace,
+            attempt=attempt,
         )
         try:
             self._conns[wid].send(task)
         except (BrokenPipeError, OSError) as exc:
-            self._invalidate()
-            raise WorkerError(f"worker {wid} is gone: {exc}") from exc
+            raise _WorkerDied(
+                f"worker {wid} is gone at dispatch: {exc}"
+            ) from exc
 
     def _receive(self, wid: int) -> ShardResult:
         try:
             result = self._conns[wid].recv()
         except (EOFError, OSError) as exc:
-            self._invalidate()
-            raise WorkerError(
+            raise _WorkerDied(
                 f"worker {wid} died mid-shard: {exc}"
             ) from exc
         for key in result.evicted:
@@ -406,6 +815,10 @@ def get_pool(num_workers: int) -> WorkerPool:
     still open gets its own pool, because the pipe protocol cannot carry
     two runs at once.  Idle pools are recycled; extra pools accumulate
     only while that many parallel runs are genuinely open at once.
+
+    May raise ``OSError`` when worker processes cannot be spawned at
+    all; :func:`repro.parallel.merge.run_shards` degrades that into
+    serial in-process execution.
     """
     pools = _POOLS.setdefault(num_workers, [])
     pools[:] = [p for p in pools if not p.closed]

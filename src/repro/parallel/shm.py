@@ -49,7 +49,14 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
 
 from repro.obs.metrics import REGISTRY as _METRICS
+from repro.parallel import faults as _faults
 from repro.relational.relation import Relation
+
+
+class ShmExportError(OSError):
+    """A segment export failed by *raising* (injected or truly broken
+    platform state) rather than by the ordinary ``None`` fallback; the
+    scheduler treats it exactly like the fallback — ship a blob."""
 
 #: Escape hatch: set ``REPRO_NO_SHM=1`` to force the pickle-blob wire
 #: everywhere (tests, platforms with constrained /dev/shm, debugging).
@@ -299,10 +306,20 @@ class ShmArena:
 
         Returns ``None`` — *ship a blob instead* — when shared memory is
         disabled or segment creation fails (exhausted /dev/shm, exotic
-        platforms); the caller records the fallback.
+        platforms); the caller records the fallback.  May also *raise*
+        :class:`ShmExportError` (fault injection stands in for the
+        platform states where ``SharedMemory`` raises something the
+        ``(OSError, ValueError)`` net below doesn't cover); callers must
+        treat a raising export as a fallback, never as query failure.
         """
         if not shm_enabled():
             return None
+        fault_plan = _faults.plan()
+        if fault_plan is not None and fault_plan.take_shm_export_failure():
+            self.fallbacks += 1
+            raise ShmExportError(
+                "injected shm export failure (REPRO_FAULTS)"
+            )
         key = rel.cache_key()
         seg = self._segments.get(key)
         if seg is None:
@@ -338,6 +355,13 @@ class ShmArena:
             if (seg.shm.name, seg.generation) == seg_id:
                 seg.owners.discard(owner)
                 break
+        self._sweep()
+
+    def release_owner(self, owner: Tuple[int, int]) -> None:
+        """Drop one ``(pool, worker)`` owner from every segment (the
+        worker died: its attachments died with it)."""
+        for seg in self._segments.values():
+            seg.owners.discard(owner)
         self._sweep()
 
     def release_owners(self, pool_id: int) -> None:

@@ -43,6 +43,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.parallel import faults as _faults
+
 Row = Tuple[int, ...]
 
 #: Worker-side relation cache capacity (entries).  Evicted keys ride
@@ -78,6 +80,11 @@ class ShardTask:
     ``(trace id, parent span id)``; the worker's spans open under that
     parent so the merged trace renders one tree across processes.
     ``None`` (the default) keeps the worker's hot path untouched.
+    ``attempt`` counts prior dispatches of this shard in this run (a
+    retry after a worker death arrives as attempt 1, 2, …): shards are
+    pure functions of their inputs so the worker ignores it, but the
+    fault-injection harness keys on it to make "fail N times, then
+    succeed" deterministic without any cross-process counter.
     """
 
     shard_id: int
@@ -88,6 +95,7 @@ class ShardTask:
     gao: Optional[Tuple[str, ...]]
     limit: Optional[int]
     trace: Optional[Tuple[str, Optional[str]]] = None
+    attempt: int = 0
 
 
 @dataclass
@@ -300,6 +308,12 @@ def execute_shard(task: ShardTask, cache: WorkerCache) -> ShardResult:
             tracer.finish(
                 attach_span, attaches=attaches, bytes=attached_bytes
             )
+        fault_plan = _faults.plan()
+        if fault_plan is not None:
+            # After materialization, before compute: a crash here leaves
+            # the scheduler's cache mirror genuinely diverged from the
+            # (dead) worker — the case supervision must clean up.
+            _faults.maybe_fire(fault_plan, task.shard_id, task.attempt)
         query = JoinQuery(task.atoms)
         db = Database(relations)
         spec = _REGISTRY[task.backend]
@@ -348,15 +362,54 @@ def execute_shard(task: ShardTask, cache: WorkerCache) -> ShardResult:
         )
 
 
+def _fallback_result(task: ShardTask, result: ShardResult) -> ShardResult:
+    """An error-result standing in for one that failed to pickle.
+
+    Carries the original result's eviction acks — the worker's cache
+    *did* change, and dropping the acks would desynchronize the
+    scheduler's mirror — but none of the unpicklable content.
+    """
+    from repro.core.resolution import ResolutionStats
+
+    return ShardResult(
+        shard_id=task.shard_id,
+        rows=[],
+        stats=ResolutionStats(),
+        compute_seconds=result.compute_seconds,
+        ref_hits=result.ref_hits,
+        evicted=result.evicted,
+        error=(
+            "shard result failed to serialize on the pipe:\n"
+            + traceback.format_exc()
+        ),
+    )
+
+
 def worker_main(conn) -> None:
     """The worker process loop: recv task / send result until ``None``."""
+    _faults.mark_worker()
     cache = WorkerCache()
     try:
         while True:
             task = conn.recv()
             if task is None:
                 break
-            conn.send(execute_shard(task, cache))
+            result = execute_shard(task, cache)
+            fault_plan = _faults.plan()
+            if fault_plan is not None and fault_plan.should_unpickle_fail(
+                task.shard_id, task.attempt
+            ):
+                result.stats = _faults.Unpicklable()
+            try:
+                conn.send(result)
+            except Exception:
+                # One-in/one-out must hold even when the result itself
+                # is unsendable (an unpicklable stats object, say):
+                # answer with a fallback error-result instead of dying
+                # and desynchronizing the whole pipe.  Connection.send
+                # pickles fully before writing, so the failed send left
+                # no partial bytes on the wire.
+                conn.send(_fallback_result(task, result))
     except (EOFError, BrokenPipeError, KeyboardInterrupt):
         pass
     finally:

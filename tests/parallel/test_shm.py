@@ -24,7 +24,7 @@ import pytest
 from repro.engine import clear_plan_cache, execute, plan_query
 from repro.engine.cost import CostModel
 from repro.parallel import clear_job_cache, shutdown_pools
-from repro.parallel.scheduler import WorkerError, get_pool
+from repro.parallel.scheduler import get_pool
 from repro.parallel.shm import (
     ARENA,
     ShmArena,
@@ -466,12 +466,12 @@ class TestFaultInjection:
         pool = get_pool(2)
         os.kill(pool._procs[0].pid, signal.SIGKILL)
         pool._procs[0].join(timeout=5.0)
-        with pytest.raises(WorkerError):
-            execute(query, db, algorithm="hash", workers=2)
-        # The crashed pool invalidated itself and released its owners; a
-        # fresh pool serves the retry with the same answer.
-        retry = execute(query, db, algorithm="hash", workers=2)
-        assert retry.tuples == first.tuples
+        # Supervision absorbs the crash: the dead worker is respawned in
+        # place and the same pool answers bit-identically.
+        survived = execute(query, db, algorithm="hash", workers=2)
+        assert survived.tuples == first.tuples
+        assert survived.parallel.worker_respawns >= 1
+        assert get_pool(2) is pool and not pool.closed
         # Full shutdown unlinks every name — nothing left in /dev/shm.
         shutdown_pools()
         assert len(ARENA) == 0
