@@ -1,6 +1,6 @@
 """Observability overhead benchmark: the instrumented engine vs. PR-6.
 
-Three execution modes race over the five Table-1 workload families at
+Five execution modes race over the five Table-1 workload families at
 worker counts 1 and 4, all running the *same* pre-computed plan:
 
 * **plain** — the frozen pre-observability execute path
@@ -9,28 +9,44 @@ worker counts 1 and 4, all running the *same* pre-computed plan:
 * **disabled** — ``execute()`` with the metrics registry and tracing
   both off.  This is the default-off cost every query pays: a handful
   of per-query flag checks, never anything per tuple.
+* **metrics** — registry on, tracing off: quantile histograms, the
+  flight recorder, and — on parallel rows — each worker's registry
+  delta shipped home on its shard results.  The default-on production
+  configuration.
 * **traced** — ``execute()`` with metrics on and tracing on: span tree
   for the full lifecycle (worker processes serialize their shard spans
   back over the pipe) plus two registry snapshots per query.
+* **profiled** — metrics on plus the 200 Hz sampling profiler running;
+  sampling is statistical, so this bounds the flamegraph tax.
 
 Output parity is asserted across modes on every run.  The gates:
 
 * ``--max-disabled-overhead`` (default 0.03) — geomean of
   ``disabled/plain − 1`` must stay under it; observability that is
   switched off must be free.
+* ``--max-shipping-overhead`` (default 0.03) — geomean of
+  ``metrics/plain − 1`` over the **parallel** rows only: histograms +
+  worker-delta shipping must stay in the noise.
 * ``--max-traced-overhead`` (default 0.15) — geomean of
   ``traced/plain − 1``; full tracing is allowed a real but bounded tax.
+* ``--max-profiled-overhead`` (default 0.10) — geomean of
+  ``profiled/plain − 1``; a running sampler costs a few percent.
 
 ``--trace-sample PATH`` additionally writes one traced parallel run as
-a Chrome trace-event file (load it at https://ui.perfetto.dev) — CI
-uploads it as an artifact so every build has an inspectable trace.
+a Chrome trace-event file (load it at https://ui.perfetto.dev), and
+``--flame-sample PATH`` writes one profiled run as a speedscope JSON
+flamegraph (plus the collapsed-stack ``.folded`` next to it) — CI
+uploads both as artifacts so every build has an inspectable trace and
+profile.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_obs.py \
         [--quick] [--repeats 5] [--output BENCH_obs.json] \
         [--trace-sample trace-sample.json] \
-        [--max-disabled-overhead 0.03] [--max-traced-overhead 0.15]
+        [--flame-sample flame-sample.speedscope.json] \
+        [--max-disabled-overhead 0.03] [--max-shipping-overhead 0.03] \
+        [--max-traced-overhead 0.15] [--max-profiled-overhead 0.10]
 """
 
 from __future__ import annotations
@@ -48,11 +64,17 @@ from bench_parallel import _host_cores, _workloads
 WORKER_COUNTS = (1, 4)
 
 
-def _set_modes(metrics_on: bool, trace_on: bool) -> None:
-    from repro.obs import metrics, tracing
+def _set_modes(
+    metrics_on: bool, trace_on: bool, profile_on: bool = False
+) -> None:
+    from repro.obs import metrics, profiler, tracing
 
     metrics.set_enabled(metrics_on)
     tracing.set_enabled(trace_on)
+    if profile_on:
+        profiler.install()
+    elif profiler.active() is not None:
+        profiler.uninstall()
 
 
 def _time_interleaved(modes, repeats: int) -> Dict[str, float]:
@@ -116,6 +138,7 @@ def run_suite(quick: bool, repeats: int) -> Dict[str, dict]:
                     )
 
             _check("disabled", False, False)
+            _check("metrics", True, False)
             _check("traced", True, True)
 
             run = lambda: execute(query, db, plan=plan)  # noqa: E731
@@ -124,7 +147,11 @@ def run_suite(quick: bool, repeats: int) -> Dict[str, dict]:
                     ("plain", lambda: _set_modes(False, False),
                      lambda: plain_execute(query, db, plan)),
                     ("disabled", lambda: _set_modes(False, False), run),
+                    ("metrics", lambda: _set_modes(True, False), run),
                     ("traced", lambda: _set_modes(True, True), run),
+                    ("profiled",
+                     lambda: _set_modes(True, False, profile_on=True),
+                     run),
                 ],
                 repeats,
             )
@@ -134,9 +161,13 @@ def run_suite(quick: bool, repeats: int) -> Dict[str, dict]:
                 "num_shards": plan.num_shards,
                 "plain_s": best["plain"],
                 "disabled_s": best["disabled"],
+                "metrics_s": best["metrics"],
                 "traced_s": best["traced"],
+                "profiled_s": best["profiled"],
                 "disabled_ratio": best["disabled"] / best["plain"],
+                "metrics_ratio": best["metrics"] / best["plain"],
                 "traced_ratio": best["traced"] / best["plain"],
+                "profiled_ratio": best["profiled"] / best["plain"],
             }
         entry["n_tuples"] = db.total_tuples
         entry["output_tuples"] = len(expected)
@@ -146,8 +177,10 @@ def run_suite(quick: bool, repeats: int) -> Dict[str, dict]:
             print(
                 f"  {name:20s} ×{w}  plain "
                 f"{p['plain_s'] * 1e3:8.1f} ms   disabled "
-                f"{(p['disabled_ratio'] - 1) * 100:+6.2f}%   traced "
-                f"{(p['traced_ratio'] - 1) * 100:+6.2f}%"
+                f"{(p['disabled_ratio'] - 1) * 100:+6.2f}%   metrics "
+                f"{(p['metrics_ratio'] - 1) * 100:+6.2f}%   traced "
+                f"{(p['traced_ratio'] - 1) * 100:+6.2f}%   profiled "
+                f"{(p['profiled_ratio'] - 1) * 100:+6.2f}%"
             )
     return results
 
@@ -173,6 +206,33 @@ def write_trace_sample(quick: bool, path: str) -> None:
     )
 
 
+def write_flame_sample(quick: bool, path: str) -> None:
+    """One profiled traced run, exported as speedscope JSON + folded
+    stacks (``<path minus extension>.folded``)."""
+    from repro.engine import execute
+    from repro.obs import profiler
+
+    name, query, db = _workloads(quick)[0]
+    prof = profiler.install()
+    prof.clear()
+    _set_modes(True, True, profile_on=True)
+    try:
+        # Traced so samples attribute to span stages, repeated so even
+        # a fast host lands enough ticks to make the flamegraph real.
+        for _ in range(3):
+            execute(query, db, algorithm="leapfrog", workers=4)
+    finally:
+        _set_modes(True, False, profile_on=True)
+    prof.write_speedscope(path, name=f"{name} ×4")
+    folded = os.path.splitext(path)[0] + ".folded"
+    prof.write_folded(folded)
+    profiler.uninstall()
+    print(
+        f"  flame sample       : {name} ×4 → {path} + {folded} "
+        f"({prof.ticks} samples @ {prof.hz} Hz)"
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--label", default="obs")
@@ -180,13 +240,17 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--quick", action="store_true", help="small sizes")
     parser.add_argument("--trace-sample", default=None, metavar="PATH")
+    parser.add_argument("--flame-sample", default=None, metavar="PATH")
     parser.add_argument("--max-disabled-overhead", type=float, default=0.03)
+    parser.add_argument("--max-shipping-overhead", type=float, default=0.03)
     parser.add_argument("--max-traced-overhead", type=float, default=0.15)
+    parser.add_argument("--max-profiled-overhead", type=float, default=0.10)
     args = parser.parse_args(argv)
 
     # The registry/tracer flags are flipped per mode below; pin the env
     # out of the way so a caller's REPRO_* settings can't skew a mode.
     os.environ.pop("REPRO_SLOW_QUERY_MS", None)
+    os.environ.pop("REPRO_PROFILE", None)
 
     print(
         f"[{args.label}] observability overhead benchmark "
@@ -196,28 +260,36 @@ def main(argv=None) -> int:
     results = run_suite(args.quick, args.repeats)
     if args.trace_sample:
         write_trace_sample(args.quick, args.trace_sample)
+    if args.flame_sample:
+        write_flame_sample(args.quick, args.flame_sample)
 
     from repro.parallel import shutdown_pools
 
     shutdown_pools()
 
-    disabled_ratios = [
-        p["disabled_ratio"]
-        for e in results.values()
-        for p in e["by_workers"].values()
-    ]
-    traced_ratios = [
-        p["traced_ratio"]
-        for e in results.values()
-        for p in e["by_workers"].values()
-    ]
-    disabled_overhead = geometric_mean(disabled_ratios) - 1
-    traced_overhead = geometric_mean(traced_ratios) - 1
+    def _ratios(tag, parallel_only=False):
+        return [
+            p[tag]
+            for e in results.values()
+            for w, p in e["by_workers"].items()
+            if not parallel_only or int(w) > 1
+        ]
+
+    disabled_overhead = geometric_mean(_ratios("disabled_ratio")) - 1
+    shipping_overhead = (
+        geometric_mean(_ratios("metrics_ratio", parallel_only=True)) - 1
+    )
+    traced_overhead = geometric_mean(_ratios("traced_ratio")) - 1
+    profiled_overhead = geometric_mean(_ratios("profiled_ratio")) - 1
     print(
         f"  geomean overhead   : disabled {disabled_overhead * 100:+.2f}% "
-        f"(gate < {args.max_disabled_overhead * 100:.0f}%), traced "
-        f"{traced_overhead * 100:+.2f}% "
-        f"(gate < {args.max_traced_overhead * 100:.0f}%)"
+        f"(gate < {args.max_disabled_overhead * 100:.0f}%), shipping "
+        f"{shipping_overhead * 100:+.2f}% "
+        f"(gate < {args.max_shipping_overhead * 100:.0f}%, parallel rows), "
+        f"traced {traced_overhead * 100:+.2f}% "
+        f"(gate < {args.max_traced_overhead * 100:.0f}%), profiled "
+        f"{profiled_overhead * 100:+.2f}% "
+        f"(gate < {args.max_profiled_overhead * 100:.0f}%)"
     )
 
     record = {
@@ -230,10 +302,14 @@ def main(argv=None) -> int:
         "worker_counts": list(WORKER_COUNTS),
         "families": results,
         "geomean_disabled_overhead": disabled_overhead,
+        "geomean_shipping_overhead": shipping_overhead,
         "geomean_traced_overhead": traced_overhead,
+        "geomean_profiled_overhead": profiled_overhead,
         "gates": {
             "max_disabled_overhead": args.max_disabled_overhead,
+            "max_shipping_overhead": args.max_shipping_overhead,
             "max_traced_overhead": args.max_traced_overhead,
+            "max_profiled_overhead": args.max_profiled_overhead,
         },
     }
     with open(args.output, "w") as fh:
@@ -242,18 +318,19 @@ def main(argv=None) -> int:
     print(f"wrote {args.output}")
 
     failed = False
-    if disabled_overhead > args.max_disabled_overhead:
-        print(
-            f"FAIL: disabled overhead {disabled_overhead * 100:.2f}% > "
-            f"{args.max_disabled_overhead * 100:.0f}%"
-        )
-        failed = True
-    if traced_overhead > args.max_traced_overhead:
-        print(
-            f"FAIL: traced overhead {traced_overhead * 100:.2f}% > "
-            f"{args.max_traced_overhead * 100:.0f}%"
-        )
-        failed = True
+    gates = (
+        ("disabled", disabled_overhead, args.max_disabled_overhead),
+        ("shipping", shipping_overhead, args.max_shipping_overhead),
+        ("traced", traced_overhead, args.max_traced_overhead),
+        ("profiled", profiled_overhead, args.max_profiled_overhead),
+    )
+    for tag, overhead, gate in gates:
+        if overhead > gate:
+            print(
+                f"FAIL: {tag} overhead {overhead * 100:.2f}% > "
+                f"{gate * 100:.0f}%"
+            )
+            failed = True
     return 1 if failed else 0
 
 

@@ -9,6 +9,8 @@ Subcommands::
     python -m repro triangles edges.txt [--algorithm auto|tetris|...]
     python -m repro sat formula.cnf [--enumerate]
     python -m repro analyze "R(A,B), S(B,C), T(A,C)"
+    python -m repro metrics ["R(A,B), S(B,C)" --csv ... --workers 4]
+    python -m repro metrics --serve 9100
 
 ``join`` evaluates an arbitrary natural join over CSV files through the
 adaptive engine (``--algorithm auto`` picks the cost-optimal backend;
@@ -19,7 +21,10 @@ for a query, with or without data; ``triangles`` lists/counts triangles
 in an edge list; ``sat`` counts models of a DIMACS CNF via
 Tetris-as-DPLL; ``analyze`` prints a query's structural profile
 (acyclicity, treewidth, fhtw, recommended GAO) and which Table 1 runtime
-row applies.
+row applies; ``metrics`` dumps the process metrics registry — optionally
+after running a query to populate it — as aligned text (quantiles
+included) or OpenMetrics (``--openmetrics``), serves it for scraping
+(``--serve PORT``), or prints the flight-recorder ring (``--last N``).
 """
 
 from __future__ import annotations
@@ -132,10 +137,28 @@ def _write_trace(tracer, path: str) -> None:
         write_chrome_trace(spans, path)
 
 
+def _write_profile(path: str) -> None:
+    """Export the process profiler's samples as a flamegraph file."""
+    from repro.obs import profiler as _profiler
+
+    prof = _profiler.active()
+    if prof is None:
+        return
+    if path.endswith((".folded", ".txt")):
+        prof.write_folded(path)
+    else:
+        prof.write_speedscope(path)
+    print(f"# profile written to {path}", file=sys.stderr)
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.engine import execute, explain_text, plan_query
 
     _apply_shm_flag(args)
+    if args.profile or args.profile_out:
+        from repro.obs import profiler as _profiler
+
+        _profiler.install()
     try:
         query, db, dictionary = _load_join_db(args)
     except ValueError as exc:
@@ -161,6 +184,8 @@ def _cmd_explain(args: argparse.Namespace) -> int:
                 _write_trace(report.tracer, args.trace_out)
                 print(f"# trace written to {args.trace_out}",
                       file=sys.stderr)
+            if args.profile_out:
+                _write_profile(args.profile_out)
             return 0
         plan = plan_query(
             query, db, algorithm=args.algorithm,
@@ -185,6 +210,67 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     if args.trace_out and result is not None and result.trace is not None:
         _write_trace(result.trace, args.trace_out)
         print(f"# trace written to {args.trace_out}", file=sys.stderr)
+    if args.profile_out:
+        _write_profile(args.profile_out)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.flight import RECORDER
+    from repro.obs.metrics import REGISTRY, render_metrics
+
+    _apply_shm_flag(args)
+    if args.query:
+        from repro.engine import execute
+        from repro.parallel import QueryTimeout
+
+        try:
+            query, db, dictionary = _load_join_db(args)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if db is None:
+            print("error: a query needs --csv NAME=PATH for every "
+                  "relation", file=sys.stderr)
+            return 2
+        try:
+            for _ in range(max(1, args.repeat)):
+                execute(
+                    query, db, algorithm=args.algorithm,
+                    index_kind=args.index_kind, gao=_parse_gao(args.gao),
+                    workers=args.workers, timeout_ms=args.timeout_ms,
+                )
+        except (ValueError, QueryTimeout) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.last is not None:
+        for rec in RECORDER.last(args.last):
+            print(_json.dumps(rec.to_dict()))
+        return 0
+    if args.serve is not None:
+        from repro.obs.export import start_metrics_server
+
+        server = start_metrics_server(args.serve)
+        host, port = server.server_address[:2]
+        print(
+            f"# serving OpenMetrics on http://{host}:{port}/metrics "
+            f"(flight ring at /flight; Ctrl-C to stop)",
+            file=sys.stderr,
+        )
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            server.shutdown()
+        return 0
+    if args.openmetrics:
+        from repro.obs.export import render_openmetrics
+
+        sys.stdout.write(render_openmetrics())
+    else:
+        print("\n".join(render_metrics(REGISTRY.snapshot())))
     return 0
 
 
@@ -332,8 +418,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_query_options(p: argparse.ArgumentParser) -> None:
-        p.add_argument("query", help='e.g. "R(A,B), S(B,C)"')
+    def add_query_options(
+        p: argparse.ArgumentParser, query_required: bool = True
+    ) -> None:
+        if query_required:
+            p.add_argument("query", help='e.g. "R(A,B), S(B,C)"')
+        else:
+            p.add_argument(
+                "query", nargs="?", default=None,
+                help='optional query to run first, e.g. "R(A,B), S(B,C)"',
+            )
         p.add_argument(
             "--csv", action="append", default=[], metavar="NAME=PATH",
             help="CSV file for a relation (repeatable)",
@@ -412,6 +506,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's spans (.jsonl → raw log, anything else → "
              "Chrome trace-event JSON for Perfetto)",
     )
+    p_explain.add_argument(
+        "--profile", action="store_true",
+        help="run the sampling wall-clock profiler during the query "
+             "(same as REPRO_PROFILE=1); with --analyze the report "
+             "gains sampled per-stage self-time",
+    )
+    p_explain.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="write the profile as a flamegraph (.folded/.txt → "
+             "collapsed stacks, anything else → speedscope JSON); "
+             "implies --profile",
+    )
     p_explain.set_defaults(func=_cmd_explain)
 
     p_cal = sub.add_parser(
@@ -449,6 +555,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_an = sub.add_parser("analyze", help="structural profile of a query")
     p_an.add_argument("query", help='e.g. "R(A,B), S(B,C), T(A,C)"')
     p_an.set_defaults(func=_cmd_analyze)
+
+    p_met = sub.add_parser(
+        "metrics",
+        help="dump or serve the process metrics registry "
+             "(quantile histograms, worker counters, flight records)",
+    )
+    add_query_options(p_met, query_required=False)
+    p_met.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="run the query N times before dumping (warms caches and "
+             "populates the latency histograms)",
+    )
+    p_met.add_argument(
+        "--openmetrics", action="store_true",
+        help="emit OpenMetrics/Prometheus exposition text instead of "
+             "the aligned human-readable dump",
+    )
+    p_met.add_argument(
+        "--serve", type=int, default=None, metavar="PORT",
+        help="serve GET /metrics (OpenMetrics) and /flight (JSON "
+             "lines) on PORT until interrupted",
+    )
+    p_met.add_argument(
+        "--last", type=int, default=None, metavar="N",
+        help="print the newest N flight-recorder records as JSON lines "
+             "(run a query in the same invocation to populate the ring)",
+    )
+    p_met.set_defaults(func=_cmd_metrics)
     return parser
 
 

@@ -39,6 +39,8 @@ from typing import (
 
 from repro.core.resolution import ResolutionStats
 from repro.engine.planner import Plan, plan_query
+from repro.obs import flight as _flight
+from repro.obs import profiler as _profiler
 from repro.obs import slowlog as _slowlog
 from repro.obs import tracing as _tracing
 from repro.obs.metrics import REGISTRY as _METRICS
@@ -535,6 +537,9 @@ def execute(
     )
     if owns_tracer:
         tracer = _tracing.Tracer()
+    # Honor REPRO_PROFILE lazily: one env read per process, then a
+    # global check — the disabled path stays bit-identical.
+    _profiler.maybe_start()
     metrics_on = _METRICS.enabled
     before = _METRICS.snapshot() if metrics_on else None
     wall0 = time.perf_counter()
@@ -584,7 +589,23 @@ def execute(
         finally:
             if tracer is not None:
                 tracer.finish(qspan)
+    wall_s = time.perf_counter() - wall0
+    stage_seconds: Dict[str, float] = {}
     if metrics_on:
+        _METRICS.observe("query.latency", wall_s)
+        _METRICS.observe(
+            f"query.latency.backend.{plan.backend}", wall_s
+        )
+        if tracer is not None:
+            # Span durations feed the per-stage latency histograms:
+            # the name's bracket suffix (shard[3]) is stripped so all
+            # shards of a stage share one distribution.
+            for s in tracer.spans:
+                base = s.name.split("[", 1)[0]
+                _METRICS.observe(f"stage.{base}.seconds", s.duration)
+                stage_seconds[base] = (
+                    stage_seconds.get(base, 0.0) + s.duration
+                )
         _METRICS.inc_many(
             {
                 "engine.queries": 1,
@@ -609,12 +630,23 @@ def execute(
         metrics=delta,
         trace=tracer,
     )
-    _slowlog.maybe_report(
+    description = (
         f"{' ⋈ '.join(a.name for a in query.atoms)} "
         f"backend={plan.backend} workers={plan.workers} "
-        f"rows={len(tuples)}",
-        time.perf_counter() - wall0,
+        f"rows={len(tuples)}"
+    )
+    flight_rec = (
+        _flight.record_query(
+            description, wall_s, result, delta, stage_seconds
+        )
+        if metrics_on
+        else None
+    )
+    _slowlog.maybe_report(
+        description,
+        wall_s,
         tracer=tracer,
         metrics_delta=delta.nonzero() if delta is not None else None,
+        flight=flight_rec,
     )
     return result

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.obs import calibration as _calibration
+from repro.obs import profiler as _profiler
 from repro.obs import tracing as _tracing
 
 
@@ -41,6 +42,12 @@ class AnalyzeReport:
     error_bits: float
     record: Dict = field(default_factory=dict)
     log_path: Optional[str] = None
+    #: Sampled self-time per span stage from the process profiler
+    #: (``None`` when no profiler ran during the query): within a
+    #: stage, what the sampler actually caught the main thread doing.
+    profile_stage_seconds: Optional[Dict[str, float]] = None
+    #: Sampling rate behind those numbers, for the rendering.
+    profile_hz: Optional[int] = None
 
 
 def _stage_seconds(tracer) -> Dict[str, float]:
@@ -79,12 +86,27 @@ def analyze(
     tracer = _tracing.current_tracer()
     if tracer is None:
         tracer = _tracing.Tracer()
+    prof = _profiler.maybe_start()
+    prof_before = prof.snapshot_samples() if prof is not None else None
     with _tracing.use(tracer):
         result = execute(
             query, db, algorithm=algorithm, index_kind=index_kind,
             gao=gao, workers=workers, limit=limit, decode=decode,
             probe_certificate=probe_certificate, cost_model=model,
         )
+    profile_stages: Optional[Dict[str, float]] = None
+    if prof is not None:
+        # Only this query's samples: diff the sample table around the
+        # run, then collapse to per-stage tick counts.
+        profile_stages = {}
+        for key, count in prof.samples.items():
+            delta_ticks = count - prof_before.get(key, 0)
+            if delta_ticks > 0:
+                stage = key[0]
+                profile_stages[stage] = (
+                    profile_stages.get(stage, 0.0)
+                    + delta_ticks / prof.hz
+                )
     plan = result.plan
     stages = _stage_seconds(tracer)
     # The execute stage is the window the cost model prices: planning
@@ -118,6 +140,8 @@ def analyze(
         actual_seconds=actual_seconds,
         error_bits=error_bits,
         record=record,
+        profile_stage_seconds=profile_stages,
+        profile_hz=prof.hz if prof is not None else None,
     )
     if append_log:
         report.log_path = _calibration.append_run(record, path=log_path)
@@ -150,6 +174,18 @@ def render_analyze(report: AnalyzeReport) -> str:
         f"(error {report.error_bits:.2f} bits, "
         f"{_ratio(report.actual_seconds, report.predicted_seconds)})"
     )
+    if report.profile_stage_seconds is not None:
+        lines.append(
+            f"├─ profile     : sampled self-time per stage "
+            f"({report.profile_hz} Hz)"
+        )
+        by_time = sorted(
+            report.profile_stage_seconds.items(), key=lambda kv: -kv[1]
+        )
+        for stage, seconds in by_time:
+            lines.append(f"│   {stage:<20} {seconds * 1e3:9.1f} ms")
+        if not by_time:
+            lines.append("│   (no samples landed in this query)")
     metrics = getattr(report.result, "metrics", None)
     if metrics is not None:
         lines.append("├─ metrics")

@@ -61,14 +61,19 @@ def default_calibration_path() -> str:
 
 
 def append_run(record: Mapping, path: Optional[str] = None) -> str:
-    """Append one ANALYZE record to the calibration log; returns the path."""
+    """Append one ANALYZE record to the calibration log; returns the path.
+
+    Appends rotate at ``REPRO_LOG_MAX_BYTES`` (``path`` → ``path.1``),
+    so analyzing in a loop is disk-bounded; ``repro calibrate`` fits
+    from the newest cap's worth of runs, which is also the freshest
+    signal for the constants.
+    """
+    from repro.obs.slowlog import rotating_append
+
     path = path or default_log_path()
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    with open(path, "a") as fh:
-        fh.write(json.dumps(dict(record), sort_keys=True))
-        fh.write("\n")
+    rotating_append(
+        path, json.dumps(dict(record), sort_keys=True) + "\n"
+    )
     return path
 
 

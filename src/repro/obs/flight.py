@@ -1,0 +1,289 @@
+"""The flight recorder: what was this process doing over the last N
+queries?
+
+Every executed query (while metrics are enabled) appends one
+:class:`FlightRecord` to a bounded ring: the plan digest, per-stage
+span seconds, the query's metrics delta, its wall time, and where that
+wall time sat in the process's latency distribution.  The ring is the
+incident-response view — after a slow query, a fault-recovery run, or
+an operator ``SIGUSR2``, the recent history is already in memory and
+dumps as JSON lines without any prior configuration.
+
+Triggers:
+
+* ``repro metrics --last N`` — print the newest N records;
+* ``SIGUSR2`` — dump the whole ring to ``REPRO_FLIGHT_DUMP`` (or
+  stderr when unset) without interrupting the query in flight;
+* a run whose :class:`~repro.parallel.merge.ParallelReport` recorded
+  faults appends its record to ``REPRO_FLIGHT_DUMP`` when that path is
+  set (chaos runs stay quiet by default);
+* slow-query reports (:mod:`repro.obs.slowlog`) embed the record.
+
+The ring size is ``REPRO_FLIGHT_RECORDS`` (default
+:data:`DEFAULT_CAPACITY`); records are plain dicts of scalars, so a
+full ring is a few hundred KB, not a leak.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import REGISTRY as _METRICS
+
+#: Ring capacity (records kept).
+FLIGHT_RECORDS_ENV = "REPRO_FLIGHT_RECORDS"
+DEFAULT_CAPACITY = 128
+
+#: Where dumps go.  Unset: ``SIGUSR2`` dumps to stderr and fault runs
+#: don't dump at all.
+FLIGHT_DUMP_ENV = "REPRO_FLIGHT_DUMP"
+
+#: The histogram the percentile context is computed against.
+LATENCY_HIST = "query.latency"
+
+
+def _env_capacity() -> int:
+    raw = os.environ.get(FLIGHT_RECORDS_ENV)
+    if raw is None:
+        return DEFAULT_CAPACITY
+    try:
+        n = int(raw)
+    except ValueError:
+        return DEFAULT_CAPACITY
+    return n if n > 0 else DEFAULT_CAPACITY
+
+
+def plan_digest(plan) -> str:
+    """A short stable fingerprint of a plan's execution shape.
+
+    Two queries with the same digest ran the same backend over the
+    same shard/order decisions — the grouping key for "which plan
+    shape is slow", deliberately blind to data content.
+    """
+    text = "|".join(
+        str(x)
+        for x in (
+            plan.backend,
+            plan.index_kind,
+            ",".join(plan.gao or ()),
+            plan.workers,
+            plan.num_shards,
+            ",".join(plan.split_attrs or ()),
+        )
+    )
+    return hashlib.sha1(text.encode()).hexdigest()[:10]
+
+
+@dataclass
+class FlightRecord:
+    """One query's black-box entry (all scalars; JSON-ready)."""
+
+    ts: float
+    description: str
+    plan_digest: str
+    backend: str
+    workers: int
+    seconds: float
+    rows: int
+    #: span-stage name → summed wall seconds (empty when untraced)
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: the query's nonzero metrics delta
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: process latency distribution at record time: p50/p95/p99
+    quantiles: Dict[str, float] = field(default_factory=dict)
+    #: where this query's wall time sat in that distribution (0..1)
+    percentile: Optional[float] = None
+    #: fault-recovery counters when the run recorded any
+    faults: Optional[Dict[str, int]] = None
+
+    def to_dict(self) -> dict:
+        out = {
+            "ts": self.ts,
+            "description": self.description,
+            "plan_digest": self.plan_digest,
+            "backend": self.backend,
+            "workers": self.workers,
+            "seconds": self.seconds,
+            "rows": self.rows,
+            "stage_seconds": self.stage_seconds,
+            "metrics": self.metrics,
+            "quantiles": self.quantiles,
+            "percentile": self.percentile,
+        }
+        if self.faults:
+            out["faults"] = self.faults
+        return out
+
+
+class FlightRecorder:
+    """A bounded ring of :class:`FlightRecord` entries."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is None:
+            capacity = _env_capacity()
+        self.capacity = capacity
+        self._ring: "deque[FlightRecord]" = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def record(self, rec: FlightRecord) -> FlightRecord:
+        self._ring.append(rec)
+        return rec
+
+    def last(self, n: int) -> List[FlightRecord]:
+        """The newest ``n`` records, oldest of them first."""
+        if n <= 0:
+            return []
+        return list(self._ring)[-n:]
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def dump(self, fh=None) -> None:
+        """Every record as one JSON line (oldest first)."""
+        out = fh if fh is not None else sys.stderr
+        for rec in self._ring:
+            out.write(json.dumps(rec.to_dict()) + "\n")
+
+    def dump_to(self, path: str) -> None:
+        with open(path, "a") as fh:
+            self.dump(fh)
+
+
+#: The process-wide ring the executor records into.
+RECORDER = FlightRecorder()
+
+_SIGNAL_INSTALLED = False
+
+
+def _on_dump_signal(signum, frame) -> None:  # pragma: no cover - signal
+    path = os.environ.get(FLIGHT_DUMP_ENV)
+    if path:
+        RECORDER.dump_to(path)
+    else:
+        RECORDER.dump(sys.stderr)
+
+
+def _ensure_signal_handler() -> None:
+    """Install the ``SIGUSR2`` dump handler (main thread only; at most
+    one attempt per process)."""
+    global _SIGNAL_INSTALLED
+    if _SIGNAL_INSTALLED:
+        return
+    _SIGNAL_INSTALLED = True
+    try:
+        import signal
+
+        signal.signal(signal.SIGUSR2, _on_dump_signal)
+    except (ValueError, OSError, AttributeError):
+        # Not the main thread, or a platform without SIGUSR2: the ring
+        # still works, only the signal trigger is unavailable.
+        pass
+
+
+def record_query(
+    description: str,
+    seconds: float,
+    result,
+    delta,
+    stage_seconds: Optional[Dict[str, float]] = None,
+) -> FlightRecord:
+    """Append one executed query to the ring.
+
+    ``result`` is the engine's ``ExecutionResult`` (plan + optional
+    parallel report), ``delta`` the query's :class:`MetricsSnapshot`
+    diff.  The latency quantiles are read from the process registry
+    *after* this query's own observation, so the percentile answers
+    "where did this query sit among everything this process has run".
+    """
+    _ensure_signal_handler()
+    plan = result.plan
+    hist = _METRICS.histogram(LATENCY_HIST)
+    quantiles: Dict[str, float] = {}
+    percentile = None
+    if hist is not None and hist.count > 0:
+        quantiles = {
+            "p50": hist.quantile(0.5),
+            "p95": hist.quantile(0.95),
+            "p99": hist.quantile(0.99),
+        }
+        percentile = hist.rank(seconds)
+    faults = None
+    report = result.parallel
+    if report is not None and report.had_faults:
+        faults = {
+            "respawns": report.worker_respawns,
+            "retries": report.shard_retries,
+            "quarantined": report.shards_quarantined,
+            "serial_fallback": report.serial_fallback_shards,
+            "shm_export_errors": report.shm_export_errors,
+            "timed_out": int(report.timed_out),
+        }
+    rec = FlightRecord(
+        ts=time.time(),
+        description=description,
+        plan_digest=plan_digest(plan),
+        backend=plan.backend,
+        workers=plan.workers if result.parallel is not None else 1,
+        seconds=seconds,
+        rows=len(result.tuples),
+        stage_seconds=dict(stage_seconds or {}),
+        metrics=(
+            dict(delta.nonzero().as_dict()) if delta is not None else {}
+        ),
+        quantiles=quantiles,
+        percentile=percentile,
+        faults=faults,
+    )
+    RECORDER.record(rec)
+    if faults is not None:
+        path = os.environ.get(FLIGHT_DUMP_ENV)
+        if path:
+            with open(path, "a") as fh:
+                fh.write(json.dumps(rec.to_dict()) + "\n")
+    return rec
+
+
+def render_record(rec: FlightRecord, indent: str = "") -> List[str]:
+    """A record as aligned human-readable lines (slow-query reports)."""
+    lines = [
+        f"{indent}plan {rec.plan_digest}  backend={rec.backend}  "
+        f"workers={rec.workers}  rows={rec.rows}  "
+        f"{rec.seconds * 1000.0:.1f} ms",
+    ]
+    if rec.quantiles:
+        pct = (
+            f"  (this query ≈ p{round(100 * rec.percentile)})"
+            if rec.percentile is not None
+            else ""
+        )
+        lines.append(
+            f"{indent}process latency: "
+            + "  ".join(
+                f"{k}={v * 1000.0:.1f}ms"
+                for k, v in sorted(rec.quantiles.items())
+            )
+            + pct
+        )
+    if rec.stage_seconds:
+        top = sorted(
+            rec.stage_seconds.items(), key=lambda kv: -kv[1]
+        )[:6]
+        lines.append(
+            f"{indent}stages: "
+            + "  ".join(f"{k}={v * 1000.0:.1f}ms" for k, v in top)
+        )
+    if rec.faults:
+        lines.append(
+            f"{indent}faults: "
+            + "  ".join(f"{k}={v}" for k, v in rec.faults.items() if v)
+        )
+    return lines

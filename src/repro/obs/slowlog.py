@@ -3,9 +3,17 @@
 Set ``REPRO_SLOW_QUERY_MS=<budget>`` and every query whose wall time
 exceeds the budget dumps a report — the plan line, the full span tree
 (arming the slow log forces tracing on for every query, so the tree is
-there when a query finally blows the budget), and the query's metrics
+there when a query finally blows the budget), the query's
+flight-recorder record with its latency-quantile context (where this
+query sat in the process's distribution), and the query's metrics
 delta — to stderr, or to the file named by ``REPRO_SLOW_QUERY_LOG``
 (appended, so a long-lived process accumulates a triage log).
+
+Appends go through :func:`rotating_append`: once the log would exceed
+``REPRO_LOG_MAX_BYTES`` (default :data:`DEFAULT_MAX_BYTES`) it rotates
+to ``<path>.1`` first, so an armed budget in a tight loop can never
+fill the disk.  The analyze log (:mod:`repro.obs.calibration`) shares
+the same helper and knob.
 
 The executor consults :func:`budget_ms` once per query; an unset budget
 costs one environment read.
@@ -19,6 +27,49 @@ from typing import List, Optional
 
 SLOW_QUERY_MS_ENV = "REPRO_SLOW_QUERY_MS"
 SLOW_QUERY_LOG_ENV = "REPRO_SLOW_QUERY_LOG"
+
+#: Size cap for every append-forever observability log (slow-query log,
+#: analyze calibration log).  Crossing it rotates ``path`` → ``path.1``
+#: (one generation kept) before the append.
+LOG_MAX_BYTES_ENV = "REPRO_LOG_MAX_BYTES"
+DEFAULT_MAX_BYTES = 10 * 1024 * 1024
+
+
+def log_max_bytes() -> int:
+    raw = os.environ.get(LOG_MAX_BYTES_ENV)
+    if not raw:
+        return DEFAULT_MAX_BYTES
+    try:
+        n = int(raw)
+    except ValueError:
+        return DEFAULT_MAX_BYTES
+    return n if n > 0 else DEFAULT_MAX_BYTES
+
+
+def rotating_append(path: str, text: str) -> None:
+    """Append ``text`` to ``path``, rotating to ``path.1`` at the cap.
+
+    Rotation happens when the file's current size plus this write
+    would cross :func:`log_max_bytes`: the existing file moves to
+    ``<path>.1`` (replacing any previous generation) and the append
+    starts a fresh file — bounded total footprint, and the most recent
+    cap's worth of history always on disk.
+    """
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    cap = log_max_bytes()
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        size = 0
+    if size and size + len(text.encode()) > cap:
+        try:
+            os.replace(path, path + ".1")
+        except OSError:
+            pass
+    with open(path, "a") as fh:
+        fh.write(text)
 
 
 def budget_ms() -> Optional[float]:
@@ -47,12 +98,18 @@ def render_report(
     budget: float,
     tracer=None,
     metrics_delta=None,
+    flight=None,
 ) -> str:
     """The slow-query report text (also what the tests assert on)."""
     lines: List[str] = [
         f"SLOW QUERY ({elapsed_s * 1e3:.1f} ms > budget {budget:g} ms)",
         f"├─ query : {description}",
     ]
+    if flight is not None:
+        from repro.obs.flight import render_record
+
+        lines.append("├─ flight")
+        lines.extend(render_record(flight, indent="│   "))
     if tracer is not None and tracer.spans:
         from repro.obs.tracing import render_tree
 
@@ -72,12 +129,7 @@ def emit(report: str) -> None:
     """Write a report to the configured sink (file or stderr)."""
     path = os.environ.get(SLOW_QUERY_LOG_ENV)
     if path:
-        parent = os.path.dirname(path)
-        if parent:
-            os.makedirs(parent, exist_ok=True)
-        with open(path, "a") as fh:
-            fh.write(report)
-            fh.write("\n\n")
+        rotating_append(path, report + "\n\n")
     else:
         print(report, file=sys.stderr)
 
@@ -87,13 +139,14 @@ def maybe_report(
     elapsed_s: float,
     tracer=None,
     metrics_delta=None,
+    flight=None,
 ) -> Optional[str]:
     """Emit a slow-query report if the budget is armed and exceeded."""
     budget = budget_ms()
     if budget is None or elapsed_s * 1e3 <= budget:
         return None
     report = render_report(
-        description, elapsed_s, budget, tracer, metrics_delta
+        description, elapsed_s, budget, tracer, metrics_delta, flight
     )
     emit(report)
     return report

@@ -109,6 +109,13 @@ class ParallelReport:
     shards_quarantined: int = 0
     serial_fallback_shards: int = 0
     shm_export_errors: int = 0
+    #: Pipe dispatches attempted vs. answered clean.  Tallied apart so
+    #: quarantine re-runs (in-parent, no pipe) inflate neither: in a
+    #: fault-free run ``attempts == successes == executed shards dealt
+    #: to workers``, and the gap under faults is exactly the failed
+    #: worker attempts.
+    dispatch_attempts: int = 0
+    dispatch_successes: int = 0
     #: The run aborted on its deadline (the report is partial).
     timed_out: bool = False
     partition_seconds: float = 0.0
@@ -530,6 +537,8 @@ def _publish_report(report: ParallelReport) -> None:
             "parallel.shm.fallbacks": report.shm_fallbacks,
             "parallel.shm.attaches": report.shm_attaches,
             "parallel.shm.attached_bytes": report.shm_attached_bytes,
+            "parallel.dispatch.attempts": report.dispatch_attempts,
+            "parallel.dispatch.successes": report.dispatch_successes,
             "parallel.faults.respawns": report.worker_respawns,
             "parallel.faults.retries": report.shard_retries,
             "parallel.faults.quarantined": report.shards_quarantined,

@@ -68,6 +68,7 @@ from multiprocessing import connection as mp_connection
 from multiprocessing.reduction import ForkingPickler
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
 from repro.parallel import faults as _faults
 from repro.parallel import shm as _shm
@@ -583,6 +584,7 @@ class WorkerPool:
                         yield serial(job, "quarantine"), -1, job
                         continue
                     if report is not None:
+                        report.dispatch_successes += 1
                         report.shm_attaches += result.shm_attaches
                         report.shm_attached_bytes += (
                             result.shm_attached_bytes
@@ -746,7 +748,14 @@ class WorkerPool:
             limit=limit,
             trace=trace,
             attempt=attempt,
+            metrics=_metrics.REGISTRY.enabled,
         )
+        if report is not None:
+            # Attempts and successes are tallied apart: a shard whose
+            # worker dies mid-compute counts one attempt here and no
+            # success, while its quarantine re-run in-parent touches
+            # neither — so fault runs no longer double-count dispatches.
+            report.dispatch_attempts += 1
         try:
             self._conns[wid].send(task)
         except (BrokenPipeError, OSError) as exc:
@@ -768,6 +777,17 @@ class WorkerPool:
                 self._seg_refs[wid].values()
             ):
                 _shm.ARENA.release(seg_id, (id(self), wid))
+        # Fold the worker's registry movement in right here — the one
+        # chokepoint every result passes through (normal completions,
+        # error results headed for quarantine, even abandoned-run
+        # drains), so supervision paths never drop worker telemetry.
+        if result.metrics is not None:
+            _metrics.merge_wire_delta(
+                _metrics.REGISTRY,
+                result.metrics,
+                worker_prefix=f"worker.{wid}",
+            )
+            result.metrics = None  # consumed; never fold twice
         return result
 
     # -- lifecycle -------------------------------------------------------------

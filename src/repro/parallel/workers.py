@@ -43,6 +43,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.obs.metrics import REGISTRY as _METRICS, wire_delta
 from repro.parallel import faults as _faults
 
 Row = Tuple[int, ...]
@@ -85,6 +86,11 @@ class ShardTask:
     pure functions of their inputs so the worker ignores it, but the
     fault-injection harness keys on it to make "fail N times, then
     succeed" deterministic without any cross-process counter.
+    ``metrics`` asks the worker to snapshot its metrics registry around
+    the shard and ship the movement home on the result (the same
+    piggyback pattern as ``trace``/``spans``); ``False`` — the default,
+    and always the value for in-parent quarantine runs, whose counters
+    already land in the parent registry — keeps the hot path untouched.
     """
 
     shard_id: int
@@ -96,6 +102,7 @@ class ShardTask:
     limit: Optional[int]
     trace: Optional[Tuple[str, Optional[str]]] = None
     attempt: int = 0
+    metrics: bool = False
 
 
 @dataclass
@@ -119,6 +126,12 @@ class ShardResult:
     shm_attaches: int = 0
     shm_attached_bytes: int = 0
     attach_seconds: float = 0.0
+    #: The worker registry's movement during this task, as a
+    #: :func:`repro.obs.metrics.wire_delta` tuple (``None`` when the
+    #: task didn't ask or nothing moved).  The scheduler folds it into
+    #: the parent registry on receipt — error results included, so a
+    #: failing shard's cache traffic isn't lost telemetry.
+    metrics: Optional[tuple] = None
 
 
 class WorkerCache:
@@ -241,6 +254,21 @@ class WorkerCache:
             pass
 
 
+#: The worker's last-shipped registry snapshot (rolling baseline for
+#: per-shard wire deltas).  ``None`` whenever shipping is off, so a
+#: re-enable never charges a disabled period's collector traffic.
+_SHIP_BASELINE = None
+
+
+def _ship_delta() -> Optional[tuple]:
+    """This shard's registry movement, advancing the rolling baseline."""
+    global _SHIP_BASELINE
+    now = _METRICS.snapshot()
+    wire = wire_delta(_SHIP_BASELINE, now)
+    _SHIP_BASELINE = now
+    return wire
+
+
 class _ShardPlan:
     """The minimal plan shape the registered backend runners read."""
 
@@ -269,6 +297,19 @@ def execute_shard(task: ShardTask, cache: WorkerCache) -> ShardResult:
             shard=task.shard_id,
             backend=task.backend,
         )
+
+    global _SHIP_BASELINE
+    ship_metrics = task.metrics and _METRICS.enabled
+    if ship_metrics:
+        # Rolling baseline: one snapshot per shard, not two.  The delta
+        # shipped with this shard is everything since the previous
+        # shard's ship (or since shipping was enabled), which is
+        # exactly this shard's traffic — workers do nothing between
+        # shards.
+        if _SHIP_BASELINE is None:
+            _SHIP_BASELINE = _METRICS.snapshot()
+    else:
+        _SHIP_BASELINE = None
 
     # CPU time, not wall: on a host where workers outnumber free cores
     # the OS time-slices them, and wall clocks would double-count the
@@ -343,6 +384,7 @@ def execute_shard(task: ShardTask, cache: WorkerCache) -> ShardResult:
             shm_attaches=attaches,
             shm_attached_bytes=attached_bytes,
             attach_seconds=attach_seconds,
+            metrics=_ship_delta() if ship_metrics else None,
         )
     except Exception:
         if tracer is not None:
@@ -359,6 +401,7 @@ def execute_shard(task: ShardTask, cache: WorkerCache) -> ShardResult:
             shm_attaches=attaches,
             shm_attached_bytes=attached_bytes,
             attach_seconds=attach_seconds,
+            metrics=_ship_delta() if ship_metrics else None,
         )
 
 
@@ -382,6 +425,10 @@ def _fallback_result(task: ShardTask, result: ShardResult) -> ShardResult:
             "shard result failed to serialize on the pipe:\n"
             + traceback.format_exc()
         ),
+        # The wire delta is plain tuples of str/float — always
+        # picklable — so the worker's telemetry survives even when the
+        # result payload itself could not.
+        metrics=result.metrics,
     )
 
 

@@ -1,0 +1,96 @@
+"""OpenMetrics exposition: golden format and the scrape endpoint."""
+
+import urllib.request
+
+from repro.obs.export import (
+    render_openmetrics,
+    start_metrics_server,
+)
+from repro.obs.metrics import MetricsRegistry, QuantileHistogram
+
+
+def _sample_registry() -> MetricsRegistry:
+    reg = MetricsRegistry(enabled=True)
+    reg.inc("engine.queries", 3)
+    reg.gauge("pool.size", 2)
+    for v in (0.0, 1.0, 2.0):
+        reg.observe("lat", v)
+    return reg
+
+
+def test_openmetrics_golden_document():
+    """The full exposition text, byte for byte.  Bucket boundaries are
+    fixed powers of the module base, so the document is deterministic;
+    a diff here means the scrape format changed."""
+    text = render_openmetrics(_sample_registry().snapshot())
+    assert text == (
+        "# TYPE repro_engine_queries counter\n"
+        "repro_engine_queries_total 3\n"
+        "# TYPE repro_pool_size gauge\n"
+        "repro_pool_size 2\n"
+        "# TYPE repro_lat histogram\n"
+        'repro_lat_bucket{le="0"} 1\n'
+        'repro_lat_bucket{le="1.2"} 2\n'
+        'repro_lat_bucket{le="2.0736"} 3\n'
+        'repro_lat_bucket{le="+Inf"} 3\n'
+        "repro_lat_count 3\n"
+        "repro_lat_sum 3\n"
+        "# TYPE repro_lat_min gauge\n"
+        "repro_lat_min 0\n"
+        "# TYPE repro_lat_max gauge\n"
+        "repro_lat_max 2\n"
+        "# EOF\n"
+    )
+
+
+def test_bucket_boundaries_are_exact_powers():
+    # The boundary printed for bucket i is B^(i+1) — what makes PromQL
+    # histogram_quantile agree with the in-process estimates.
+    h = QuantileHistogram()
+    h.record(1.0)
+    ((index, _),) = h.bucket_items()
+    assert QuantileHistogram.bucket_upper(index) == 1.2 ** (index + 1)
+
+
+def test_names_are_sanitized_and_prefixed():
+    reg = MetricsRegistry(enabled=True)
+    reg.inc("tetris.resolutions.by_axis.0", 4)
+    reg.inc("weird-name with spaces", 1)
+    text = render_openmetrics(reg.snapshot())
+    assert "repro_tetris_resolutions_by_axis_0_total 4" in text
+    assert "repro_weird_name_with_spaces_total 1" in text
+    assert text.endswith("# EOF\n")
+
+
+def test_histogram_flat_scalars_are_not_doubled():
+    """lat.count/sum/min/max belong to the histogram series — they must
+    not also appear as standalone counters."""
+    text = render_openmetrics(_sample_registry().snapshot())
+    assert "# TYPE repro_lat_count" not in text
+    assert "repro_lat_count_total" not in text
+    assert text.count("repro_lat_count 3") == 1
+
+
+def test_metrics_server_serves_scrapes_and_flight():
+    from repro.obs.flight import RECORDER
+
+    server = start_metrics_server(port=0)
+    try:
+        port = server.server_address[1]
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/metrics", timeout=10
+        ) as resp:
+            body = resp.read().decode()
+            assert resp.headers["Content-Type"].startswith(
+                "application/openmetrics-text"
+            )
+        assert body.endswith("# EOF\n")
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/flight", timeout=10
+        ) as resp:
+            flight = resp.read().decode()
+        # The ring may be empty; the endpoint must still answer.
+        assert flight.count("\n") == len(RECORDER)
+    finally:
+        server.shutdown()
+        server.server_close()

@@ -1,0 +1,154 @@
+"""Flight recorder ring and the rotating observability logs."""
+
+import json
+
+import pytest
+
+from repro.obs import flight, slowlog
+from repro.obs.flight import FlightRecord, FlightRecorder
+
+
+def _rec(i: int) -> FlightRecord:
+    return FlightRecord(
+        ts=float(i),
+        description=f"q{i}",
+        plan_digest="d" * 10,
+        backend="hash",
+        workers=1,
+        seconds=0.001 * i,
+        rows=i,
+    )
+
+
+def test_ring_is_bounded_and_ordered():
+    ring = FlightRecorder(capacity=4)
+    for i in range(10):
+        ring.record(_rec(i))
+    assert len(ring) == 4
+    assert [r.rows for r in ring.last(10)] == [6, 7, 8, 9]
+    assert [r.rows for r in ring.last(2)] == [8, 9]
+    assert ring.last(0) == []
+    ring.clear()
+    assert len(ring) == 0
+
+
+def test_capacity_env_knob(monkeypatch):
+    monkeypatch.setenv(flight.FLIGHT_RECORDS_ENV, "3")
+    assert FlightRecorder().capacity == 3
+    monkeypatch.setenv(flight.FLIGHT_RECORDS_ENV, "junk")
+    assert FlightRecorder().capacity == flight.DEFAULT_CAPACITY
+    monkeypatch.setenv(flight.FLIGHT_RECORDS_ENV, "-1")
+    assert FlightRecorder().capacity == flight.DEFAULT_CAPACITY
+
+
+def test_dump_is_json_lines(tmp_path):
+    ring = FlightRecorder(capacity=8)
+    for i in range(3):
+        ring.record(_rec(i))
+    path = tmp_path / "flight.jsonl"
+    ring.dump_to(str(path))
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 3
+    decoded = [json.loads(line) for line in lines]
+    assert [d["rows"] for d in decoded] == [0, 1, 2]
+    assert decoded[0]["plan_digest"] == "d" * 10
+    assert "faults" not in decoded[0]  # clean runs omit the key
+
+
+def test_executed_query_lands_in_the_ring():
+    from repro.engine import execute
+    from repro.workloads.generators import (
+        graph_triangle_db,
+        random_graph_edges,
+    )
+
+    flight.RECORDER.clear()
+    query, db = graph_triangle_db(random_graph_edges(25, 60, seed=21))
+    result = execute(query, db)
+    assert len(flight.RECORDER) == 1
+    (rec,) = flight.RECORDER.last(1)
+    assert rec.rows == len(result.tuples)
+    assert rec.backend == result.backend
+    assert len(rec.plan_digest) == 10
+    assert rec.seconds > 0
+    # This query's own latency observation is in the histogram, so the
+    # quantile context always exists by record time.
+    assert set(rec.quantiles) == {"p50", "p95", "p99"}
+    assert rec.percentile is not None and 0 < rec.percentile <= 1
+    assert rec.metrics.get("engine.queries") == 1
+    # Same shape again: same digest (the grouping key is the plan).
+    execute(query, db)
+    a, b = flight.RECORDER.last(2)
+    assert a.plan_digest == b.plan_digest
+
+
+def test_render_record_lines():
+    rec = _rec(5)
+    rec.quantiles = {"p50": 0.004, "p95": 0.009, "p99": 0.010}
+    rec.percentile = 0.42
+    rec.stage_seconds = {"execute": 0.004, "plan": 0.001}
+    rec.faults = {"respawns": 1, "retries": 2, "quarantined": 0}
+    lines = flight.render_record(rec, indent="> ")
+    text = "\n".join(lines)
+    assert all(line.startswith("> ") for line in lines)
+    assert "backend=hash" in text
+    assert "p50=4.0ms" in text and "≈ p42" in text
+    assert "execute=4.0ms" in text
+    assert "respawns=1" in text and "quarantined" not in text
+
+
+def test_slow_query_report_embeds_flight_record():
+    rec = _rec(7)
+    rec.quantiles = {"p50": 0.004, "p95": 0.009, "p99": 0.010}
+    report = slowlog.render_report(
+        "q7", elapsed_s=0.5, budget=1.0, flight=rec
+    )
+    assert "├─ flight" in report
+    assert "process latency" in report
+
+
+@pytest.fixture()
+def _small_cap(monkeypatch):
+    monkeypatch.setenv(slowlog.LOG_MAX_BYTES_ENV, "120")
+
+
+def test_rotating_append_rotates_at_the_cap(tmp_path, _small_cap):
+    path = tmp_path / "logs" / "analyze.jsonl"
+    first = "a" * 80 + "\n"
+    second = "b" * 80 + "\n"
+    third = "c" * 80 + "\n"
+    slowlog.rotating_append(str(path), first)
+    assert path.read_text() == first  # under the cap: no rotation
+    slowlog.rotating_append(str(path), second)
+    rotated = tmp_path / "logs" / "analyze.jsonl.1"
+    assert rotated.read_text() == first
+    assert path.read_text() == second
+    slowlog.rotating_append(str(path), third)
+    # One generation kept: the oldest cap's worth is gone.
+    assert rotated.read_text() == second
+    assert path.read_text() == third
+
+
+def test_log_max_bytes_parsing(monkeypatch):
+    monkeypatch.delenv(slowlog.LOG_MAX_BYTES_ENV, raising=False)
+    assert slowlog.log_max_bytes() == slowlog.DEFAULT_MAX_BYTES
+    monkeypatch.setenv(slowlog.LOG_MAX_BYTES_ENV, "1024")
+    assert slowlog.log_max_bytes() == 1024
+    monkeypatch.setenv(slowlog.LOG_MAX_BYTES_ENV, "nope")
+    assert slowlog.log_max_bytes() == slowlog.DEFAULT_MAX_BYTES
+    monkeypatch.setenv(slowlog.LOG_MAX_BYTES_ENV, "0")
+    assert slowlog.log_max_bytes() == slowlog.DEFAULT_MAX_BYTES
+
+
+def test_calibration_log_rotates(tmp_path, _small_cap):
+    from repro.obs import calibration
+
+    path = tmp_path / "analyze_log.jsonl"
+    record = {"backend": "hash", "seconds": 1.0, "quantity": 2.0,
+              "pad": "x" * 60}
+    for _ in range(3):
+        calibration.append_run(record, path=str(path))
+    assert (tmp_path / "analyze_log.jsonl.1").exists()
+    # The newest generation still parses for the fitter.
+    runs = calibration.load_runs(str(path))
+    assert runs and runs[-1]["backend"] == "hash"

@@ -1,0 +1,156 @@
+"""The sampling profiler: off by default, harmless when on.
+
+The contract the executor relies on: with ``REPRO_PROFILE`` unset the
+query path never starts a thread and never changes a result; with it
+set, samples accumulate, attribute to the ambient span stage, and
+export in both flamegraph formats.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.obs import profiler, tracing
+
+
+@pytest.fixture(autouse=True)
+def _pristine_profiler(monkeypatch):
+    """No profiler before or after, and a fresh env-check latch."""
+    monkeypatch.delenv(profiler.PROFILE_ENV, raising=False)
+    profiler.uninstall()
+    monkeypatch.setattr(profiler, "_PROFILER", None)
+    monkeypatch.setattr(profiler, "_ENV_CHECKED", False)
+    yield
+    profiler.uninstall()
+
+
+def _spin(prof, min_ticks=3, timeout_s=10.0):
+    deadline = time.monotonic() + timeout_s
+    while prof.ticks < min_ticks and time.monotonic() < deadline:
+        sum(i * i for i in range(2000))
+    return prof.ticks
+
+
+def test_disabled_env_never_installs():
+    assert profiler.maybe_start() is None
+    # The latch: later calls are two global reads, still None.
+    assert profiler.maybe_start() is None
+    assert profiler.active() is None
+
+
+def test_env_hz_parsing(monkeypatch):
+    cases = {
+        "": 0, "0": 0, "off": 0, "no": 0, "false": 0,
+        "1": profiler.DEFAULT_HZ, "true": profiler.DEFAULT_HZ,
+        "500": 500, "-3": 0, "wat": profiler.DEFAULT_HZ,
+    }
+    for raw, want in cases.items():
+        monkeypatch.setenv(profiler.PROFILE_ENV, raw)
+        assert profiler._env_hz() == want, raw
+
+
+def test_maybe_start_honors_env(monkeypatch):
+    monkeypatch.setenv(profiler.PROFILE_ENV, "400")
+    prof = profiler.maybe_start()
+    assert prof is not None and prof.running
+    assert prof.hz == 400
+    assert profiler.maybe_start() is prof  # idempotent fast path
+    profiler.uninstall()
+    assert profiler.active() is None
+
+
+def test_disabled_profiler_leaves_execution_identical():
+    """A query with no profiler == a query with one: same rows, and
+    the disabled path touches no profiler state at all."""
+    from repro.engine import execute
+    from repro.workloads.generators import (
+        graph_triangle_db,
+        random_graph_edges,
+    )
+
+    query, db = graph_triangle_db(random_graph_edges(25, 60, seed=3))
+    baseline = execute(query, db).tuples
+    assert profiler.active() is None  # the run installed nothing
+    prof = profiler.install(hz=300)
+    try:
+        profiled = execute(query, db).tuples
+    finally:
+        profiler.uninstall()
+    assert profiled == baseline
+
+
+def test_samples_accumulate_and_attribute_to_spans():
+    prof = profiler.install(hz=500)
+    try:
+        tracer = tracing.Tracer()
+        with tracing.use(tracer):
+            with tracer.span("backend[hash]"):
+                _spin(prof)
+    finally:
+        profiler.uninstall()
+    assert prof.ticks >= 3
+    stages = {stage for stage, _ in prof.samples}
+    # Bracketed span names collapse to their base stage.
+    assert "backend" in stages or profiler.UNTRACED in stages
+    total = prof.stage_self_seconds()
+    assert abs(sum(total.values()) - prof.ticks / prof.hz) < 1e-9
+
+
+def test_folded_and_speedscope_exports(tmp_path):
+    prof = profiler.SamplingProfiler(hz=1000)
+    prof.samples = {
+        ("plan", ("a.py:main", "b.py:inner")): 3,
+        (profiler.UNTRACED, ("a.py:main",)): 1,
+    }
+    folded = prof.folded()
+    assert "plan;a.py:main;b.py:inner 3" in folded
+    assert f"{profiler.UNTRACED};a.py:main 1" in folded
+    out = tmp_path / "prof.folded"
+    prof.write_folded(str(out))
+    assert out.read_text().strip().splitlines() == folded
+
+    doc = prof.speedscope()
+    assert doc["$schema"].startswith("https://www.speedscope.app/")
+    profile = doc["profiles"][0]
+    assert profile["type"] == "sampled"
+    assert len(profile["samples"]) == len(profile["weights"]) == 2
+    assert abs(sum(profile["weights"]) - 4 / 1000) < 1e-12
+    labels = [doc["shared"]["frames"][i]["name"]
+              for i in profile["samples"][0]]
+    assert labels[0] in ("plan", profiler.UNTRACED)
+    ss = tmp_path / "prof.speedscope.json"
+    prof.write_speedscope(str(ss))
+    assert json.loads(ss.read_text())["profiles"][0]["type"] == "sampled"
+
+
+def test_analyze_reports_profile_stage_seconds():
+    from repro.obs.analyze import analyze, render_analyze
+    from repro.workloads.generators import (
+        graph_triangle_db,
+        random_graph_edges,
+    )
+
+    query, db = graph_triangle_db(random_graph_edges(30, 80, seed=9))
+    profiler.install(hz=500)
+    try:
+        report = analyze(query, db, append_log=False)
+    finally:
+        profiler.uninstall()
+    assert report.profile_hz == 500
+    assert report.profile_stage_seconds is not None
+    text = render_analyze(report)
+    assert "profile" in text and "500 Hz" in text
+
+
+def test_analyze_without_profiler_renders_no_profile_section():
+    from repro.obs.analyze import analyze, render_analyze
+    from repro.workloads.generators import (
+        graph_triangle_db,
+        random_graph_edges,
+    )
+
+    query, db = graph_triangle_db(random_graph_edges(20, 50, seed=1))
+    report = analyze(query, db, append_log=False)
+    assert report.profile_stage_seconds is None
+    assert "sampled self-time" not in render_analyze(report)
